@@ -1,0 +1,102 @@
+"""Ablation: FIFO (cost-aware skip) vs bucket (Section 7) queueing.
+
+The paper proposes the list-of-lists structure knowing it "will increase
+the time requested to register the release" in exchange for an O(1)
+response-time computation.  This benchmark quantifies both sides:
+
+* registration throughput of the two queue disciplines;
+* the service-quality price of strict bucket order (no cheap-event
+  overtaking) on the heterogeneous campaign sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.queues import InstanceBucketQueue, PendingQueue
+from repro.experiments.campaign import execute_system
+from repro.sim.metrics import aggregate
+from repro.workload import GenerationParameters, RandomSystemGenerator
+from repro.workload.rng import PortableRandom
+
+
+@dataclass
+class Item:
+    cost_ns: int
+
+
+def _registration_workload(n=5000, seed=11):
+    rng = PortableRandom(seed)
+    return [Item(rng.randint(100_000, 4_000_000)) for _ in range(n)]
+
+
+def bench_queue_registration_fifo(benchmark):
+    items = _registration_workload()
+
+    def register():
+        q = PendingQueue()
+        for item in items:
+            q.add(item)
+        return q
+
+    q = benchmark(register)
+    assert len(q) == len(items)
+
+
+def bench_queue_registration_bucket(benchmark):
+    items = _registration_workload()
+
+    def register():
+        q = InstanceBucketQueue(capacity_ns=4_000_000)
+        return [q.add(item) for item in items]
+
+    placements = benchmark(register)
+    assert len(placements) == len(items)
+    print(
+        f"\nbucket registration also yields (Ia, Cpa) for each of the "
+        f"{len(placements)} releases — the O(1) admission input"
+    )
+
+
+def bench_queue_discipline_service_quality(benchmark):
+    """Strict bucket order forfeits the cheap-event overtaking that the
+    FIFO skip exploits on heterogeneous sets."""
+    from dataclasses import replace
+
+    from repro.workload.spec import AperiodicEventSpec, GeneratedSystem
+
+    params = GenerationParameters(
+        task_density=2.0, average_cost=3.0, std_deviation=2.0,
+        server_capacity=4.0, server_period=6.0, nb_generation=10, seed=1983,
+    )
+    # the bucket queue (rightly) rejects declarations above the capacity,
+    # so clamp costs to the capacity for both disciplines — the paper's
+    # own design constraint ("wcet ... less or equal to the server
+    # capacity") applied at workload level
+    systems = []
+    for system in RandomSystemGenerator(params).generate():
+        events = tuple(
+            AperiodicEventSpec(
+                event_id=e.event_id,
+                release=e.release,
+                declared_cost=min(e.declared_cost, params.server_capacity),
+            )
+            for e in system.events
+        )
+        systems.append(replace(system, events=events))
+
+    def run(queue_kind):
+        return aggregate([
+            execute_system(system, "polling", queue=queue_kind).metrics
+            for system in systems
+        ])
+
+    fifo = benchmark(run, "fifo")
+    bucket = run("bucket")
+    print(
+        f"\nheterogeneous (2,2) set: FIFO AART {fifo.aart:.2f} "
+        f"ASR {fifo.asr:.2f} | bucket AART {bucket.aart:.2f} "
+        f"ASR {bucket.asr:.2f}"
+    )
+    # predictability costs responsiveness: FIFO-skip should not be worse
+    assert fifo.aart <= bucket.aart + 1e-9

@@ -1,0 +1,86 @@
+"""Ablation: the Section 2 server-policy landscape on one workload.
+
+The paper surveys background servicing, PS, DS, the Sporadic Server,
+Priority Exchange and Slack Stealing before adapting PS and DS.  This
+benchmark runs all six ideal policies on the same generated workloads
+(with periodic load underneath, so exchange/stealing have something to
+trade against) and prints the response-time / served-ratio landscape.
+"""
+
+from __future__ import annotations
+
+from repro.sim import (
+    AperiodicJob,
+    BackgroundServer,
+    FixedPriorityPolicy,
+    IdealDeferrableServer,
+    IdealPollingServer,
+    PriorityExchangeServer,
+    Simulation,
+    SlackStealingServer,
+    SporadicServer,
+    aggregate,
+    measure_run,
+)
+from repro.workload import GenerationParameters, RandomSystemGenerator
+from repro.workload.spec import PeriodicTaskSpec, ServerSpec
+
+PARAMS = GenerationParameters(
+    task_density=1.0, average_cost=1.5, std_deviation=0.5,
+    server_capacity=2.0, server_period=6.0, nb_generation=8, seed=1983,
+)
+
+PERIODIC = [
+    PeriodicTaskSpec("ctrl", cost=2.0, period=8.0, priority=5),
+    PeriodicTaskSpec("io", cost=1.0, period=12.0, priority=3),
+]
+
+POLICIES = (
+    ("background", BackgroundServer, ServerSpec(1.0, 1000.0, priority=0)),
+    ("polling", IdealPollingServer, None),
+    ("deferrable", IdealDeferrableServer, None),
+    ("sporadic", SporadicServer, None),
+    ("priority-exchange", PriorityExchangeServer, None),
+    ("slack-stealing", SlackStealingServer,
+     ServerSpec(1.0, 1000.0, priority=10)),
+)
+
+
+def run_all_policies():
+    systems = RandomSystemGenerator(PARAMS).generate()
+    rows = {}
+    for name, cls, override in POLICIES:
+        runs = []
+        for system in systems:
+            sim = Simulation(FixedPriorityPolicy())
+            server = cls(override or system.server, name=name)
+            server.attach(sim, horizon=system.horizon)
+            for task in PERIODIC:
+                sim.add_periodic_task(task)
+            jobs = []
+            for event in system.events:
+                job = AperiodicJob(
+                    f"h{event.event_id}", release=event.release,
+                    cost=event.cost,
+                )
+                jobs.append(job)
+                sim.submit_aperiodic(job, server.submit)
+            sim.run(until=system.horizon)
+            runs.append(measure_run(jobs))
+        rows[name] = aggregate(runs)
+    return rows
+
+
+def bench_ablation_server_policies(benchmark):
+    rows = benchmark(run_all_policies)
+    print()
+    print(f"{'policy':>20} {'AART':>8} {'ASR':>6}")
+    for name, metrics in rows.items():
+        print(f"{name:>20} {metrics.aart:8.2f} {metrics.asr:6.2f}")
+    # the orderings the literature predicts (paper Section 2):
+    # capacity-preserving policies beat the polling server on latency
+    assert rows["deferrable"].aart < rows["polling"].aart
+    assert rows["sporadic"].aart < rows["polling"].aart
+    # the slack stealer is the most responsive of the guaranteeing
+    # policies on this lightly-loaded workload
+    assert rows["slack-stealing"].aart <= rows["deferrable"].aart

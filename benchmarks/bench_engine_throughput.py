@@ -1,0 +1,40 @@
+"""Infrastructure benchmarks: simulator kernel and VM throughput.
+
+Not a paper table — these pin the cost of the two substrates so that
+regressions in the event kernels are visible: RTSS processing a dense
+periodic set over a long horizon, and the emulated RTSJ VM running the
+full Table 1 configuration with events.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import SCENARIOS, run_scenario_execution
+from repro.sim import FixedPriorityPolicy, Simulation, TraceEventKind
+from repro.workload.spec import PeriodicTaskSpec
+
+
+def bench_rtss_kernel_dense_periodic(benchmark):
+    def run():
+        sim = Simulation(FixedPriorityPolicy())
+        for i, (cost, period) in enumerate(
+            [(1, 5), (2, 8), (1, 10), (3, 20), (2, 25)]
+        ):
+            sim.add_periodic_task(
+                PeriodicTaskSpec(f"t{i}", cost=cost, period=period,
+                                 priority=10 - i)
+            )
+        return sim.run(until=5000)
+
+    trace = benchmark(run)
+    assert trace.events_of(TraceEventKind.DEADLINE_MISS) == []
+    releases = len(trace.events_of(TraceEventKind.RELEASE))
+    print(f"\nprocessed {releases} releases, "
+          f"{len(trace.segments)} segments over 5000 tu")
+
+
+def bench_rtsj_vm_scenario_pipeline(benchmark):
+    def run():
+        return [run_scenario_execution(spec) for spec in SCENARIOS]
+
+    outcomes = benchmark(run)
+    assert len(outcomes) == 3

@@ -1,0 +1,47 @@
+"""Regenerates Figures 2-4: the worked scheduling scenarios (Table 1).
+
+Each benchmark runs one scenario on the framework Polling Server with
+overheads disabled, prints the temporal diagram, and asserts the exact
+segment timeline read off the paper's figure.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    EXPECTED_TIMELINES,
+    SCENARIOS,
+    figure_text,
+    run_scenario_execution,
+    timeline_of,
+)
+
+
+def _bench_scenario(benchmark, name: str):
+    spec = next(s for s in SCENARIOS if s.name == name)
+    outcome = benchmark(run_scenario_execution, spec)
+    print()
+    print(figure_text(spec, outcome))
+    for entity, segments in EXPECTED_TIMELINES[name].items():
+        assert timeline_of(outcome.trace, entity) == [
+            (float(a), float(b)) for a, b in segments
+        ]
+    return outcome
+
+
+def bench_figure2_scenario1(benchmark):
+    outcome = _bench_scenario(benchmark, "scenario1")
+    assert outcome.job("h1").finish_time == 2.0
+    assert outcome.job("h2").finish_time == 8.0
+
+
+def bench_figure3_scenario2(benchmark):
+    outcome = _bench_scenario(benchmark, "scenario2")
+    # h2 deferred to the 12 tu instance (remaining capacity 1 < cost 2)
+    assert outcome.job("h2").start_time == 12.0
+
+
+def bench_figure4_scenario3(benchmark):
+    outcome = _bench_scenario(benchmark, "scenario3")
+    # h2 (declared 1, actual 2) starts at 8 and is interrupted at 9
+    h2 = outcome.job("h2")
+    assert h2.start_time == 8.0 and h2.finish_time == 9.0 and h2.interrupted

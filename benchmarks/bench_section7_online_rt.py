@@ -1,0 +1,84 @@
+"""Section 7: the O(1) on-line response-time computation.
+
+Measures the cost of one admission decision against a loaded
+bucket-queue Polling server (the paper's promise: constant time,
+independent of backlog length) and verifies the predictions against the
+measured response times of a full run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    PollingTaskServer,
+    ServableAsyncEvent,
+    ServableAsyncEventHandler,
+    TaskServerParameters,
+)
+from repro.rtsj import (
+    NS_PER_UNIT as M,
+    OverheadModel,
+    RelativeTime,
+    RTSJVirtualMachine,
+)
+
+
+def loaded_server(backlog: int):
+    vm = RTSJVirtualMachine(overhead=OverheadModel.zero())
+    server = PollingTaskServer(
+        TaskServerParameters(
+            RelativeTime(4, 0), RelativeTime(6, 0), priority=30
+        ),
+        queue="bucket",
+    )
+    server.attach(vm, 10_000 * M)
+    for i in range(backlog):
+        handler = ServableAsyncEventHandler(
+            RelativeTime(2, 0), server, name=f"h{i}"
+        )
+        event = ServableAsyncEvent(f"e{i}")
+        event.add_servable_handler(handler)
+        # enqueue directly at t=0 (before the run): a deep backlog
+        server.servable_event_released(handler)
+    return vm, server
+
+
+def bench_section7_o1_prediction(benchmark):
+    """One prediction against a 10k-release backlog."""
+    vm, server = loaded_server(backlog=10_000)
+    rt_ns = benchmark(server.predict_response_time_ns, 2 * M)
+    # 10k cost-2 releases pack two per 4-capacity bucket, filling buckets
+    # 0..4999: the new event opens bucket 5000, served by instance 5000
+    # (instances count from the one at t=0), finishing at 5000*6 + 2
+    assert rt_ns == (5000 * 6 + 2) * M
+    print(f"\npredicted response over 10k-release backlog: "
+          f"{rt_ns / M:g} tu (computed in O(1))")
+
+
+def bench_section7_prediction_accuracy(benchmark):
+    """Predictions recorded at registration match the measured run."""
+
+    def run():
+        vm, server = loaded_server(backlog=0)
+        for i, (at, cost) in enumerate(
+            [(0.5, 2.0), (1.0, 3.0), (2.0, 2.0), (7.0, 1.0), (13.0, 4.0)]
+        ):
+            handler = ServableAsyncEventHandler(
+                RelativeTime.from_units(cost), server, name=f"h{i}"
+            )
+            event = ServableAsyncEvent(f"e{i}")
+            event.add_servable_handler(handler)
+            vm.schedule_timer_event(
+                round(at * M), lambda now, e=event: e.fire()
+            )
+        vm.run(120 * M)
+        return server
+
+    server = benchmark(run)
+    predicted = server.predicted_response_times()
+    for job in server.jobs:
+        assert job.response_time == pytest.approx(predicted[job.name])
+    print("\nall equation-(5) predictions matched the measured run:")
+    for name, value in predicted.items():
+        print(f"  {name}: {value:g} tu")

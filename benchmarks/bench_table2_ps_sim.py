@@ -1,0 +1,23 @@
+"""Regenerates Table 2: Polling Server *simulations* (ideal policy).
+
+Six sets x ten systems on RTSS with the literature Polling Server; the
+benchmark measures the whole generation+simulation+aggregation pipeline
+and prints the AART / AIR / ASR rows beside the paper's values.
+"""
+
+from __future__ import annotations
+
+from conftest import run_table_benchmark
+
+
+def bench_table2_polling_simulations(benchmark):
+    measured = run_table_benchmark(benchmark, 2)
+    # the ideal policy never interrupts: the paper's AIR row is all zero
+    assert all(m.air == 0.0 for m in measured.values())
+    # response times grow with density within each std block
+    for std in (0.0, 2.0):
+        assert (
+            measured[(1, std)].aart
+            < measured[(2, std)].aart
+            < measured[(3, std)].aart
+        )

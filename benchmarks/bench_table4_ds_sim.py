@@ -1,0 +1,17 @@
+"""Regenerates Table 4: Deferrable Server *simulations* (ideal policy).
+
+The paper's central comparison is asserted: the DS beats the PS on
+average response time on every set, and serves at least as much.
+"""
+
+from __future__ import annotations
+
+from conftest import run_table_benchmark, run_arm
+
+
+def bench_table4_deferrable_simulations(benchmark):
+    measured = run_table_benchmark(benchmark, 4)
+    assert all(m.air == 0.0 for m in measured.values())
+    ps = run_arm("ps_sim")
+    assert all(measured[k].aart < ps[k].aart for k in measured)
+    assert all(measured[k].asr >= ps[k].asr for k in measured)

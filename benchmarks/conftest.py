@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_table*.py`` regenerates one of the paper's tables; the
+benchmark measures the full pipeline (generation + run + aggregation)
+for its arm, and the regenerated rows are printed so the harness output
+can be compared against the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.campaign import run_campaign
+from repro.experiments.tables import TABLE_ARMS, format_comparison
+from repro.workload.generator import PAPER_SETS
+
+
+@pytest.fixture(scope="session")
+def paper_sets():
+    return PAPER_SETS
+
+
+def run_arm(arm: str):
+    """Run the campaign for a single arm and return its table."""
+    return run_campaign(arms=(arm,)).table(arm)
+
+
+def report_table(table_no: int, measured) -> None:
+    """Print the regenerated table next to the paper's values."""
+    print()
+    print(format_comparison(table_no, measured))
+
+
+def run_table_benchmark(benchmark, table_no: int):
+    """The common body of the four table benchmarks."""
+    arm = TABLE_ARMS[table_no]
+    measured = benchmark(run_arm, arm)
+    report_table(table_no, measured)
+    # sanity: all six sets regenerated
+    assert len(measured) == 6
+    return measured

@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Alarm monitoring: aperiodic alarms alongside hard periodic control.
+
+The paper's motivation — "many of the real world phenomena are
+event-based" — in miniature: an industrial controller runs two hard
+periodic loops (sensor acquisition and actuation) while operator alarms
+arrive aperiodically.  A Deferrable Server handles the alarms so they
+get fast responses *without* invalidating the periodic tasks'
+guarantees, and the off-line analysis proves it:
+
+1. the modified (double-hit) feasibility analysis of the periodic tasks
+   under the DS (paper Section 2.2 / ``repro.analysis``);
+2. a burst of alarms served on the emulated RTSJ runtime;
+3. a comparison against background servicing, the trivial alternative.
+
+Run:  python examples/alarm_monitoring.py
+"""
+
+from repro.analysis import analyse_with_server
+from repro.core import (
+    DeferrableTaskServer,
+    ServableAsyncEvent,
+    ServableAsyncEventHandler,
+    TaskServerParameters,
+)
+from repro.rtsj import (
+    AbsoluteTime,
+    Compute,
+    NS_PER_UNIT as M,
+    OverheadModel,
+    PeriodicParameters,
+    PriorityParameters,
+    RealtimeThread,
+    RelativeTime,
+    RTSJVirtualMachine,
+    WaitForNextPeriod,
+)
+from repro.sim import (
+    AperiodicJob,
+    BackgroundServer,
+    FixedPriorityPolicy,
+    Simulation,
+)
+from repro.workload.spec import PeriodicTaskSpec, ServerSpec
+
+# The control system: a 4 tu sensor loop and a 10 tu actuation loop.
+CONTROL_TASKS = [
+    PeriodicTaskSpec("sensors", cost=1.0, period=4.0, priority=20),
+    PeriodicTaskSpec("actuate", cost=2.5, period=10.0, priority=15),
+]
+ALARM_SERVER = ServerSpec(capacity=1.0, period=5.0, priority=30)
+
+# A burst of operator alarms: (arrival, handling cost) in tu.
+ALARMS = [(3.0, 0.8), (3.5, 0.6), (9.2, 0.9), (17.0, 0.5), (17.2, 0.7)]
+
+HORIZON = 40.0
+
+
+def periodic_logic(cost_ns):
+    def logic(thread):
+        while True:
+            yield Compute(cost_ns)
+            yield WaitForNextPeriod()
+
+    return logic
+
+
+def offline_analysis() -> None:
+    print("== Off-line feasibility (DS double-hit analysis) ==")
+    result = analyse_with_server(CONTROL_TASKS, ALARM_SERVER, "deferrable")
+    for response in result.responses:
+        deadline = response.task.effective_deadline
+        print(
+            f"  {response.task.name}: worst-case response "
+            f"{response.response_time:g} tu (deadline {deadline:g}) -> "
+            f"{'OK' if response.schedulable else 'MISS'}"
+        )
+    assert result.schedulable, "the configuration must be feasible"
+
+
+def run_with_deferrable_server() -> list[float]:
+    print("\n== Execution with a Deferrable Server (emulated RTSJ) ==")
+    vm = RTSJVirtualMachine(overhead=OverheadModel.zero())
+    server = DeferrableTaskServer(
+        TaskServerParameters.from_spec(ALARM_SERVER, priority=30),
+        name="alarms",
+    )
+    server.attach(vm, round(HORIZON * M))
+    for task in CONTROL_TASKS:
+        vm.add_thread(
+            RealtimeThread(
+                periodic_logic(round(task.cost * M)),
+                PriorityParameters(task.priority),
+                PeriodicParameters(
+                    AbsoluteTime(0, 0), RelativeTime.from_units(task.period)
+                ),
+                name=task.name,
+            )
+        )
+    for i, (at, cost) in enumerate(ALARMS):
+        handler = ServableAsyncEventHandler(
+            RelativeTime.from_units(cost), server, name=f"alarm{i}"
+        )
+        event = ServableAsyncEvent(f"e{i}")
+        event.add_servable_handler(handler)
+        vm.schedule_timer_event(round(at * M), lambda now, e=event: e.fire())
+    vm.run(round(HORIZON * M))
+    rts = []
+    for job in server.jobs:
+        rt = job.response_time
+        print(f"  {job.name}: response {rt:g} tu")
+        rts.append(rt)
+    return rts
+
+
+def run_with_background() -> list[float]:
+    print("\n== Same alarms under background servicing (RTSS) ==")
+    sim = Simulation(FixedPriorityPolicy())
+    server = BackgroundServer(ServerSpec(1.0, 1000.0, priority=0), name="bg")
+    server.attach(sim, horizon=HORIZON)
+    for task in CONTROL_TASKS:
+        sim.add_periodic_task(task)
+    jobs = []
+    for i, (at, cost) in enumerate(ALARMS):
+        job = AperiodicJob(f"alarm{i}", release=at, cost=cost)
+        jobs.append(job)
+        sim.submit_aperiodic(job, server.submit)
+    sim.run(until=HORIZON)
+    rts = []
+    for job in jobs:
+        rt = job.response_time
+        print(f"  {job.name}: response {rt:g} tu")
+        rts.append(rt)
+    return rts
+
+
+def main() -> None:
+    offline_analysis()
+    ds = run_with_deferrable_server()
+    bg = run_with_background()
+    print(
+        f"\naverage alarm response: DS {sum(ds) / len(ds):.2f} tu vs "
+        f"background {sum(bg) / len(bg):.2f} tu"
+    )
+    assert sum(ds) < sum(bg), "the server must beat background servicing"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Why ProcessingGroupParameters are not enough (paper Section 3).
+
+The RTSJ's own answer to budgeted aperiodic handling is the processing
+group: a shared periodic cost for a set of schedulables.  The paper
+dismisses it for three reasons, two of which are executable:
+
+* **cost enforcement is optional** — on the reference implementation the
+  budget has no effect at all, so a bursty handler group starves hard
+  periodic tasks below it;
+* even *with* enforcement, the group implements no recognisable server
+  policy and no schedulability analysis exists for it;
+* (and there are no guidelines for choosing the parameters.)
+
+This example runs the same system three times: PGP without enforcement
+(the RI behaviour — deadline misses), PGP with enforcement (protected,
+but events handled with no policy), and the paper's answer — a proper
+Deferrable task server.
+
+Run:  python examples/pgp_limitations.py
+"""
+
+from repro.core import (
+    DeferrableTaskServer,
+    ServableAsyncEvent,
+    ServableAsyncEventHandler,
+    TaskServerParameters,
+)
+from repro.rtsj import (
+    AbsoluteTime,
+    AsyncEvent,
+    AsyncEventHandler,
+    Compute,
+    NS_PER_UNIT as M,
+    OverheadModel,
+    PeriodicParameters,
+    PriorityParameters,
+    ProcessingGroupParameters,
+    RealtimeThread,
+    RelativeTime,
+    RTSJVirtualMachine,
+    WaitForNextPeriod,
+)
+from repro.sim.trace import TraceEventKind
+
+HORIZON = 36.0
+#: bursty aperiodic events: (arrival, cost) — 2 tu of work per 6 tu
+BURSTS = [(0.5, 2.0), (6.5, 2.0), (12.5, 2.0), (18.5, 2.0), (24.5, 2.0)]
+
+
+def periodic_logic(cost_ns):
+    def logic(thread):
+        while True:
+            yield Compute(cost_ns)
+            yield WaitForNextPeriod()
+
+    return logic
+
+
+def add_victim(vm):
+    """A hard periodic task with little headroom: cost 4, period/deadline 6."""
+    vm.add_thread(
+        RealtimeThread(
+            periodic_logic(4 * M),
+            PriorityParameters(20),
+            PeriodicParameters(AbsoluteTime(0, 0), RelativeTime(6, 0)),
+            name="victim",
+        )
+    )
+
+
+def deadline_misses(trace) -> int:
+    """Victim jobs still running past their 6 tu deadline: detect via
+    segments crossing period boundaries."""
+    misses = 0
+    for k in range(int(HORIZON / 6)):
+        deadline = (k + 1) * 6.0
+        executed = sum(
+            max(0.0, min(s.end, deadline) - max(s.start, k * 6.0))
+            for s in trace.segments_of("victim")
+        )
+        released = k * 6.0 < HORIZON
+        if released and executed < 4.0 - 1e-9:
+            misses += 1
+    return misses
+
+
+def run_with_pgp(enforced: bool) -> int:
+    vm = RTSJVirtualMachine(overhead=OverheadModel.zero())
+    add_victim(vm)
+    pgp = ProcessingGroupParameters(
+        AbsoluteTime(0, 0), period=RelativeTime(6, 0),
+        cost=RelativeTime(2, 0), enforced=enforced,
+    )
+    vm.register_pgp(pgp, round(HORIZON * M))
+
+    def handler_logic(handler):
+        yield Compute(3 * M)  # the handler's real cost exceeds its share
+
+    for i, (at, _cost) in enumerate(BURSTS):
+        handler = AsyncEventHandler(
+            handler_logic, PriorityParameters(30), name=f"aeh{i}"
+        )
+        handler.pgp = pgp
+        handler.attach(vm)
+        handler.thread.pgp = pgp
+        event = AsyncEvent(f"e{i}")
+        event.add_handler(handler)
+        vm.schedule_timer_event(round(at * M), lambda now, e=event: e.fire())
+    trace = vm.run(round(HORIZON * M))
+    return deadline_misses(trace)
+
+
+def run_with_task_server() -> tuple[int, float]:
+    vm = RTSJVirtualMachine(overhead=OverheadModel.zero())
+    add_victim(vm)
+    server = DeferrableTaskServer(
+        TaskServerParameters(
+            RelativeTime(2, 0), RelativeTime(6, 0), priority=30
+        )
+    )
+    server.attach(vm, round(HORIZON * M))
+    for i, (at, cost) in enumerate(BURSTS):
+        handler = ServableAsyncEventHandler(
+            RelativeTime.from_units(cost), server, name=f"ev{i}"
+        )
+        event = ServableAsyncEvent(f"e{i}")
+        event.add_servable_handler(handler)
+        vm.schedule_timer_event(round(at * M), lambda now, e=event: e.fire())
+    trace = vm.run(round(HORIZON * M))
+    metrics = server.run_metrics()
+    return deadline_misses(trace), metrics.average_response_time
+
+
+def main() -> None:
+    misses_off = run_with_pgp(enforced=False)
+    print(
+        "PGP without cost enforcement (the reference implementation): "
+        f"{misses_off} victim deadline misses — the budget 'can have no "
+        "effect at all'"
+    )
+    misses_on = run_with_pgp(enforced=True)
+    print(
+        f"PGP with cost enforcement: {misses_on} victim deadline misses — "
+        "protected, but with no service policy or analysis"
+    )
+    misses_ts, aart = run_with_task_server()
+    print(
+        f"Deferrable task server: {misses_ts} victim deadline misses, "
+        f"alarm AART {aart:.2f} tu — budgeted, analysable, policy-defined"
+    )
+    assert misses_off > 0 and misses_on == 0 and misses_ts == 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""RTSS as a standalone simulator: FP vs EDF vs D-OVER (paper Section 5).
+
+The paper distributes RTSS as a general real-time system simulator with
+three scheduling policies.  This example exercises all three:
+
+* a non-harmonic task set above the rate-monotonic utilization bound:
+  fixed priority misses a deadline that EDF meets;
+* a firm-deadline overload where D-OVER sacrifices a low-value job at
+  its latest start time and collects the offline-optimal total value;
+* the D-OVER trace is written as an SVG next to this script.
+
+Run:  python examples/rtss_standalone.py
+"""
+
+from pathlib import Path
+
+from repro.sim import (
+    AperiodicJob,
+    DOverScheduler,
+    EarliestDeadlineFirstPolicy,
+    FixedPriorityPolicy,
+    Simulation,
+    TraceEventKind,
+    ascii_gantt,
+    svg_gantt,
+)
+from repro.workload.spec import PeriodicTaskSpec
+
+
+def fp_vs_edf() -> None:
+    print("== Fixed priority vs EDF (U = 0.97, non-harmonic periods) ==")
+    tasks = [
+        PeriodicTaskSpec("fast", cost=2.0, period=5.0, priority=9),
+        PeriodicTaskSpec("slow", cost=4.0, period=7.0, priority=1),
+    ]
+    miss_counts = {}
+    for label, policy in (
+        ("FP", FixedPriorityPolicy()),
+        ("EDF", EarliestDeadlineFirstPolicy()),
+    ):
+        sim = Simulation(policy)
+        for task in tasks:
+            sim.add_periodic_task(task)
+        trace = sim.run(until=35)  # one hyperperiod
+        misses = trace.events_of(TraceEventKind.DEADLINE_MISS)
+        miss_counts[label] = len(misses)
+        print(f"\n{label}: {len(misses)} deadline miss(es)")
+        print(ascii_gantt(trace, until=35))
+    assert miss_counts["FP"] > 0 and miss_counts["EDF"] == 0
+    print(
+        "\nThe set exceeds the Liu & Layland bound, so rate-monotonic "
+        "priorities miss while EDF (exact at U <= 1) does not."
+    )
+
+
+def overload_dover() -> None:
+    print("\n== Firm-deadline overload under D-OVER ==")
+    # 10 units of demand against ~6.5 units of usable time: 'cheap' and
+    # 'rich' want the same window.  Offline-optimal value = rich + tail.
+    jobs = [
+        AperiodicJob("cheap", release=0.0, cost=4.0, deadline=4.0, value=4.0),
+        AperiodicJob("rich", release=0.0, cost=4.0, deadline=4.5, value=12.0),
+        AperiodicJob("tail", release=0.0, cost=2.0, deadline=10.0, value=2.0),
+    ]
+    result = DOverScheduler(jobs).run(until=20)
+    print(
+        f"completed: {[j.name for j in result.completed]}, "
+        f"abandoned: {[j.name for j in result.aborted]}"
+    )
+    print(f"total value: {result.total_value:.0f} (offline optimum is 14)")
+    print(ascii_gantt(result.trace, until=10))
+    assert result.total_value == 14.0
+
+    # For contrast: greedy EDF (no abandonment) would run 'cheap' first
+    # (earliest deadline), waste nothing on it (it completes at 4), but
+    # then 'rich' expires having never run: value 4 + 2 = 6.
+    print(
+        "greedy EDF would earn 6 (cheap + tail); D-OVER's latest-start-"
+        "time interrupt hands the window to 'rich' instead."
+    )
+
+    out = Path(__file__).with_name("dover_trace.svg")
+    out.write_text(svg_gantt(result.trace, until=10))
+    print(f"SVG written to {out}")
+
+
+def main() -> None:
+    fp_vs_edf()
+    overload_dover()
+
+
+if __name__ == "__main__":
+    main()

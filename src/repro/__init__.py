@@ -1,0 +1,43 @@
+"""repro — reproduction of Masson & Midonnet (2007).
+
+*The Design and Implementation of Real-time Event-based Applications
+with RTSJ* (WPDRTS / IPDPS 2007).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: the Task Server Framework (servable
+    events, abstract task server, Polling and Deferrable policies,
+    Section 7's O(1) on-line response-time machinery).
+``repro.rtsj``
+    The emulated RTSJ substrate: a deterministic virtual-time runtime
+    with realtime threads, async events, timers, ``Timed`` asynchronous
+    transfer of control and a calibrated overhead model.
+``repro.sim``
+    RTSS, the discrete-event real-time system simulator: FP / EDF /
+    D-OVER scheduling, six ideal aperiodic-server policies, temporal
+    diagrams and the AART/AIR/ASR metrics.
+``repro.analysis``
+    Off-line feasibility: exact RTA, server-aware analysis (PS as a
+    periodic task, DS double hit), utilization bounds, and the
+    decentralised ``getInterference()`` design.
+``repro.workload``
+    The random real-time system generator (platform-independent
+    streams, the paper's Section 6.1 parameters).
+``repro.experiments``
+    Harness regenerating every table and figure of the evaluation.
+"""
+
+from . import analysis, core, experiments, rtsj, sim, workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "experiments",
+    "rtsj",
+    "sim",
+    "workload",
+    "__version__",
+]

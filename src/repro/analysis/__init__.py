@@ -1,0 +1,59 @@
+"""Feasibility and schedulability analysis.
+
+Implements the off-line side of the paper's two-level analysis story
+(Section 2): exact response-time analysis for the periodic tasks — with
+the Polling Server folded in as a periodic task and the Deferrable
+Server through its modified (double-hit) interference — plus the
+decentralised ``getInterference()`` design the paper proposes in
+Section 3 and the classic utilization bounds.
+"""
+
+from .rta import RTAResult, TaskResponse, response_time_analysis
+from .interference import (
+    DeferrableServerInterference,
+    InterferenceSource,
+    PeriodicInterference,
+    SporadicInterference,
+    TaskServerInterference,
+    response_time_with_interference,
+)
+from .server_analysis import (
+    ServerAwareResponse,
+    ServerAwareResult,
+    analyse_with_server,
+    deferrable_server_sources,
+    polling_server_sources,
+)
+from .resource_model import ServerSupply, deferrable_supply, polling_supply
+from .utilization import (
+    deferrable_server_bound,
+    hyperperiod,
+    liu_layland_bound,
+    rm_schedulable_by_utilization,
+    total_utilization,
+)
+
+__all__ = [
+    "RTAResult",
+    "TaskResponse",
+    "response_time_analysis",
+    "DeferrableServerInterference",
+    "InterferenceSource",
+    "PeriodicInterference",
+    "SporadicInterference",
+    "TaskServerInterference",
+    "response_time_with_interference",
+    "ServerAwareResponse",
+    "ServerAwareResult",
+    "analyse_with_server",
+    "deferrable_server_sources",
+    "polling_server_sources",
+    "deferrable_server_bound",
+    "hyperperiod",
+    "liu_layland_bound",
+    "rm_schedulable_by_utilization",
+    "total_utilization",
+    "ServerSupply",
+    "deferrable_supply",
+    "polling_supply",
+]

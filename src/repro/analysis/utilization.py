@@ -1,0 +1,100 @@
+"""Utilization-based schedulability bounds.
+
+Complements the exact RTA with the classic closed-form tests:
+
+* Liu & Layland's rate-monotonic bound ``n(2^(1/n) - 1)``;
+* the Deferrable Server bound of Strosnider, Lehoczky & Sha: with a DS
+  of utilization ``Us`` at the highest priority, ``n`` rate-monotonic
+  periodic tasks are schedulable when their utilization does not exceed
+  ``n * ((Us + 2) / (2 Us + 1))^(1/n) - n``... expressed through the
+  helper :func:`deferrable_server_bound`;
+* hyperperiod and utilization helpers shared by the examples.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import reduce
+
+from ..workload.spec import PeriodicTaskSpec, ServerSpec
+
+__all__ = [
+    "total_utilization",
+    "liu_layland_bound",
+    "deferrable_server_bound",
+    "rm_schedulable_by_utilization",
+    "hyperperiod",
+]
+
+
+def total_utilization(tasks: list[PeriodicTaskSpec]) -> float:
+    """Sum of cost/period over the task set."""
+    return sum(t.utilization for t in tasks)
+
+
+def liu_layland_bound(n: int) -> float:
+    """``n (2^(1/n) - 1)``: the RM least upper bound for ``n`` tasks."""
+    if n <= 0:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return n * (2 ** (1 / n) - 1)
+
+
+def deferrable_server_bound(server_utilization: float, n: int) -> float:
+    """The RM least upper bound for ``n`` periodic tasks below a
+    highest-priority Deferrable Server of utilization ``Us``:
+
+        U_lub = n * (((Us + 2) / (2*Us + 1)) ** (1/n) - 1)
+
+    For ``Us = 0`` this degenerates to Liu & Layland's bound.
+    """
+    if not 0 <= server_utilization < 1:
+        raise ValueError(
+            f"server utilization must be in [0, 1), got {server_utilization}"
+        )
+    if n <= 0:
+        raise ValueError(f"n must be >= 1, got {n}")
+    k = (server_utilization + 2) / (2 * server_utilization + 1)
+    return n * (k ** (1 / n) - 1)
+
+
+def rm_schedulable_by_utilization(
+    tasks: list[PeriodicTaskSpec],
+    server: ServerSpec | None = None,
+    policy: str = "polling",
+) -> bool:
+    """Sufficient (not necessary) utilization test for RM task sets.
+
+    With a Polling Server the server counts as one more periodic task
+    under Liu & Layland; with a Deferrable Server the dedicated bound
+    applies.  A ``False`` here does not mean infeasible — use the exact
+    analysis of :mod:`repro.analysis.server_analysis` for a verdict.
+    """
+    u = total_utilization(tasks)
+    if server is None:
+        return u <= liu_layland_bound(len(tasks)) + 1e-12
+    if policy == "polling":
+        u_total = u + server.utilization
+        return u_total <= liu_layland_bound(len(tasks) + 1) + 1e-12
+    if policy == "deferrable":
+        return u <= deferrable_server_bound(
+            server.utilization, len(tasks)
+        ) + 1e-12
+    raise ValueError(f"unknown policy {policy!r}")
+
+
+def hyperperiod(tasks: list[PeriodicTaskSpec],
+                resolution: float = 1e-6) -> float:
+    """LCM of the task periods, computed over integer multiples of
+    ``resolution`` (periods must be representable at that grain)."""
+    if not tasks:
+        raise ValueError("task set must not be empty")
+    scaled = []
+    for t in tasks:
+        q = t.period / resolution
+        if abs(q - round(q)) > 1e-6:
+            raise ValueError(
+                f"period {t.period} of {t.name!r} is not a multiple of "
+                f"the resolution {resolution}"
+            )
+        scaled.append(round(q))
+    return reduce(math.lcm, scaled) * resolution

@@ -1,0 +1,54 @@
+"""The Task Server Framework — the paper's contribution (Sections 3-4).
+
+Six classes extend the (emulated) RTSJ with aperiodic task servers:
+
+* :class:`ServableAsyncEvent` / :class:`ServableAsyncEventHandler` —
+  servable events and their server-scheduled handlers;
+* :class:`TaskServer` — the abstract server (Schedulable + scheduler of
+  handlers);
+* :class:`PollingTaskServer` / :class:`DeferrableTaskServer` — the two
+  adapted policies;
+* :class:`TaskServerParameters` — construction parameters.
+
+Section 7's machinery is here too: the
+:class:`~repro.core.queues.InstanceBucketQueue` list-of-lists, the
+response-time equations and the on-line admission controllers.
+"""
+
+from .events import HandlerRelease, ServableAsyncEvent, ServableAsyncEventHandler
+from .parameters import TaskServerParameters
+from .queues import BucketPlacement, InstanceBucketQueue, PendingQueue
+from .server import TaskServer
+from .polling import PollingTaskServer
+from .deferrable import DeferrableTaskServer
+from .response_time import (
+    cape,
+    ideal_ps_finish_time,
+    ideal_ps_response_time,
+    implementation_ps_response_time,
+)
+from .admission import (
+    AdmissionDecision,
+    BucketAdmissionController,
+    IdealPSAdmissionController,
+)
+
+__all__ = [
+    "HandlerRelease",
+    "ServableAsyncEvent",
+    "ServableAsyncEventHandler",
+    "TaskServerParameters",
+    "BucketPlacement",
+    "InstanceBucketQueue",
+    "PendingQueue",
+    "TaskServer",
+    "PollingTaskServer",
+    "DeferrableTaskServer",
+    "cape",
+    "ideal_ps_finish_time",
+    "ideal_ps_response_time",
+    "implementation_ps_response_time",
+    "AdmissionDecision",
+    "BucketAdmissionController",
+    "IdealPSAdmissionController",
+]

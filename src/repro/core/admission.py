@@ -1,0 +1,150 @@
+"""On-line admission control for aperiodic events (paper Sections 2 & 7).
+
+The paper separates the off-line feasibility of the periodic tasks (and
+the server) from the *on-line* feasibility of each aperiodic arrival: at
+the arrival instant, with the server at the highest priority, the event's
+response time can be computed and its execution "possibly cancelled" if
+a deadline would be missed.  The constant-time variant relies on the
+Section 7 bucket queue.
+
+Two controllers are provided:
+
+* :class:`BucketAdmissionController` — wraps a bucket-mode
+  :class:`~repro.core.polling.PollingTaskServer`; O(1) per decision
+  (equation (5));
+* :class:`IdealPSAdmissionController` — the analytic test of
+  equations (1)-(4) over an explicit backlog, for the standard policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rtsj.time_types import RelativeTime
+from ..rtsj.vm import NS_PER_UNIT
+from .events import ServableAsyncEvent, ServableAsyncEventHandler
+from .polling import PollingTaskServer
+from .response_time import ideal_ps_response_time
+
+__all__ = [
+    "AdmissionDecision",
+    "BucketAdmissionController",
+    "IdealPSAdmissionController",
+]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission test."""
+
+    accepted: bool
+    predicted_response_time: float
+    relative_deadline: float
+
+    @property
+    def margin(self) -> float:
+        """Slack between deadline and predicted response (negative when
+        rejected)."""
+        return self.relative_deadline - self.predicted_response_time
+
+
+class BucketAdmissionController:
+    """O(1) admission against a bucket-mode Polling task server."""
+
+    def __init__(self, server: PollingTaskServer) -> None:
+        if server.queue_kind != "bucket":
+            raise ValueError(
+                "admission control requires a bucket-queue PollingTaskServer"
+            )
+        self.server = server
+        self.decisions: list[AdmissionDecision] = []
+
+    def test(self, cost: RelativeTime,
+             relative_deadline: RelativeTime) -> AdmissionDecision:
+        """Would an event of ``cost`` fired *now* meet the deadline?"""
+        predicted_ns = self.server.predict_response_time_ns(cost.total_nanos)
+        decision = AdmissionDecision(
+            accepted=predicted_ns <= relative_deadline.total_nanos,
+            predicted_response_time=predicted_ns / NS_PER_UNIT,
+            relative_deadline=relative_deadline.total_nanos / NS_PER_UNIT,
+        )
+        self.decisions.append(decision)
+        return decision
+
+    def fire_if_admitted(
+        self,
+        event: ServableAsyncEvent,
+        handler: ServableAsyncEventHandler,
+        relative_deadline: RelativeTime,
+    ) -> AdmissionDecision:
+        """Admission-gated firing: fire ``event`` only when ``handler``'s
+        predicted response time meets the deadline."""
+        decision = self.test(handler.cost, relative_deadline)
+        if decision.accepted:
+            event.fire()
+        return decision
+
+    @property
+    def acceptance_ratio(self) -> float:
+        """Fraction of tested events admitted so far."""
+        if not self.decisions:
+            return 1.0
+        return sum(d.accepted for d in self.decisions) / len(self.decisions)
+
+
+class IdealPSAdmissionController:
+    """Analytic admission for the standard (resumable) Polling Server.
+
+    Maintains an explicit deadline-ordered backlog of admitted events;
+    suited to simulator-side studies and to validating the equations
+    against :class:`~repro.sim.servers.polling.IdealPollingServer` runs.
+    """
+
+    def __init__(self, capacity: float, period: float,
+                 start: float = 0.0) -> None:
+        if capacity <= 0 or period <= 0 or capacity > period:
+            raise ValueError("need 0 < capacity <= period")
+        self.capacity = capacity
+        self.period = period
+        self.start = start
+        #: admitted backlog as (cost, absolute_deadline) pairs
+        self.backlog: list[tuple[float, float]] = []
+        self.decisions: list[AdmissionDecision] = []
+
+    def server_capacity_at(self, t: float, consumed_in_instance: float) -> float:
+        """Remaining capacity ``cs(t)`` given how much of the current
+        instance's budget has been consumed."""
+        if consumed_in_instance < 0 or consumed_in_instance > self.capacity:
+            raise ValueError("consumed_in_instance out of range")
+        return self.capacity - consumed_in_instance
+
+    def test(self, now: float, cost: float, relative_deadline: float,
+             cs_t: float) -> AdmissionDecision:
+        """Admission test at time ``now``; admitted events join the
+        backlog (their demand counts against later arrivals)."""
+        deadline = now + relative_deadline
+        predicted = ideal_ps_response_time(
+            release=now,
+            pending=self.backlog,
+            cost=cost,
+            deadline=deadline,
+            cs_t=cs_t,
+            capacity=self.capacity,
+            period=self.period,
+            start=self.start,
+        )
+        decision = AdmissionDecision(
+            accepted=predicted <= relative_deadline,
+            predicted_response_time=predicted,
+            relative_deadline=relative_deadline,
+        )
+        self.decisions.append(decision)
+        if decision.accepted:
+            self.backlog.append((cost, deadline))
+            self.backlog.sort(key=lambda cd: cd[1])
+        return decision
+
+    def expire(self, now: float) -> None:
+        """Drop backlog entries whose deadline has passed (their demand
+        no longer delays newcomers)."""
+        self.backlog = [(c, d) for c, d in self.backlog if d > now]

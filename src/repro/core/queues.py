@@ -1,0 +1,209 @@
+"""Pending-event queues for task servers.
+
+Two structures from the paper:
+
+* :class:`PendingQueue` — the simple FIFO list of Section 4.1, with the
+  implementation's *cost-aware skip*: ``choose_first_fitting`` returns the
+  first handler whose declared cost fits the remaining capacity, so a
+  cheap later event can overtake an expensive earlier one (the behaviour
+  the paper credits for the improved heterogeneous response times in
+  Table 3).
+
+* :class:`InstanceBucketQueue` — the Section 7 "list of lists": handlers
+  are grouped into buckets, each bucket holding only what one server
+  instance can serve, alongside a running cumulative cost per bucket.
+  Registration returns the bucket index and the cumulative cost of the
+  handlers ahead, which is exactly the ``(Ia, Cpa)`` pair of equation (5)
+  — making the on-line response-time computation O(1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Generic, Iterator, TypeVar
+
+__all__ = ["CostedItem", "PendingQueue", "InstanceBucketQueue", "BucketPlacement"]
+
+
+class CostedItem:
+    """Anything with an integer declared cost (duck-typed protocol)."""
+
+    cost_ns: int
+
+
+T = TypeVar("T", bound=CostedItem)
+
+
+class PendingQueue(Generic[T]):
+    """FIFO queue with cost-aware first-fit selection."""
+
+    def __init__(self) -> None:
+        self._items: deque[T] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def add(self, item: T) -> None:
+        """Append in release order."""
+        self._items.append(item)
+
+    def peek(self) -> T | None:
+        """The head item (strict FIFO view), or ``None``."""
+        return self._items[0] if self._items else None
+
+    def choose_first_fitting(self, limit_ns: int) -> T | None:
+        """First item with ``cost_ns <= limit_ns``, without removing it.
+
+        This implements the paper's ``chooseNextEvent()``: "the first
+        handler in the list which has a cost lower than the remaining
+        capacity", which deliberately lets later cheap events overtake
+        earlier expensive ones.
+        """
+        for item in self._items:
+            if item.cost_ns <= limit_ns:
+                return item
+        return None
+
+    def remove(self, item: T) -> None:
+        """Remove a specific item (raises ``ValueError`` if absent)."""
+        self._items.remove(item)
+
+    def pop_first_fitting(self, limit_ns: int) -> T | None:
+        """Remove and return the first fitting item."""
+        item = self.choose_first_fitting(limit_ns)
+        if item is not None:
+            self._items.remove(item)
+        return item
+
+
+@dataclass(frozen=True)
+class BucketPlacement:
+    """Where a handler landed in an :class:`InstanceBucketQueue`.
+
+    ``instance_offset`` counts buckets from the one currently being
+    served (0 = current/next instance); ``cumulative_before_ns`` is the
+    total declared cost of handlers ahead of it in the same bucket —
+    the ``Ia`` and ``Cpa`` of the paper's equation (5).
+    """
+
+    instance_offset: int
+    cumulative_before_ns: int
+
+
+@dataclass
+class _Bucket(Generic[T]):
+    items: list[T] = field(default_factory=list)
+    #: declared cost of the items currently queued (falls as items pop)
+    total_ns: int = 0
+    #: declared cost ever packed into this bucket (never decremented):
+    #: the instance's committed service time, which is what packing and
+    #: the (Ia, Cpa) placement must count — an item popped for service
+    #: still consumes its share of the instance
+    claimed_ns: int = 0
+
+
+class InstanceBucketQueue(Generic[T]):
+    """The Section 7 list-of-lists structure.
+
+    Handlers are packed first-fit-in-last-bucket: a handler opens a new
+    bucket whenever adding it would push the current last bucket past the
+    server capacity.  Service consumes strictly in bucket order, which is
+    the price of predictability: unlike :class:`PendingQueue` there is no
+    cost-aware overtaking, so the (Ia, Cpa) placement computed at
+    registration time stays valid.
+    """
+
+    def __init__(self, capacity_ns: int) -> None:
+        if capacity_ns <= 0:
+            raise ValueError(f"capacity_ns must be > 0, got {capacity_ns}")
+        self.capacity_ns = capacity_ns
+        self._buckets: deque[_Bucket[T]] = deque()
+        #: index (in absolute served-instance count) of the head bucket
+        self._head_instance = 0
+
+    def __len__(self) -> int:
+        return sum(len(b.items) for b in self._buckets)
+
+    @property
+    def empty(self) -> bool:
+        return not self._buckets
+
+    @property
+    def bucket_count(self) -> int:
+        return len(self._buckets)
+
+    @property
+    def head_instance(self) -> int:
+        """Absolute index of the head bucket (count of buckets fully
+        served so far); identifies "which instance's worth of work" is
+        at the front of the queue."""
+        return self._head_instance
+
+    def add(self, item: T) -> BucketPlacement:
+        """Register a handler; O(1); returns its (Ia, Cpa) placement.
+
+        Raises ``ValueError`` when the item alone exceeds the server
+        capacity (it could never be served; the paper requires handler
+        costs at most the capacity).
+        """
+        if item.cost_ns > self.capacity_ns:
+            raise ValueError(
+                f"handler cost {item.cost_ns} exceeds server capacity "
+                f"{self.capacity_ns}"
+            )
+        if (
+            not self._buckets
+            or self._buckets[-1].claimed_ns + item.cost_ns > self.capacity_ns
+        ):
+            self._buckets.append(_Bucket())
+        bucket = self._buckets[-1]
+        placement = BucketPlacement(
+            instance_offset=len(self._buckets) - 1,
+            cumulative_before_ns=bucket.claimed_ns,
+        )
+        bucket.items.append(item)
+        bucket.total_ns += item.cost_ns
+        bucket.claimed_ns += item.cost_ns
+        return placement
+
+    def peek_current(self) -> T | None:
+        """Next handler in strict bucket order, or ``None``."""
+        return self._buckets[0].items[0] if self._buckets else None
+
+    def pop_current(self) -> T:
+        """Remove and return the next handler; advances to the following
+        bucket when the current one empties."""
+        if not self._buckets:
+            raise IndexError("pop from an empty InstanceBucketQueue")
+        bucket = self._buckets[0]
+        item = bucket.items.pop(0)
+        bucket.total_ns -= item.cost_ns
+        if not bucket.items:
+            self._buckets.popleft()
+            self._head_instance += 1
+        return item
+
+    def advance_instance(self) -> None:
+        """Mark the start of a new server instance: the head bucket closes
+        even if some of it was not served (its leftovers merge into the
+        next bucket's front)."""
+        if not self._buckets:
+            self._head_instance += 1
+            return
+        head = self._buckets[0]
+        if head.items:
+            return  # unfinished bucket keeps its claim on the new instance
+        self._buckets.popleft()
+        self._head_instance += 1
+
+    def head_bucket_items(self) -> list[T]:
+        """Handlers of the bucket currently claiming the next instance."""
+        return list(self._buckets[0].items) if self._buckets else []

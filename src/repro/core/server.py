@@ -1,0 +1,232 @@
+"""``TaskServer`` — the framework's abstract server (paper Section 3).
+
+A task server "implements ``Schedulable`` and extends ``Scheduler``": it
+is itself a schedulable object (a periodic budget at a priority, which
+``addToFeasibility`` can include in the analysis) *and* a scheduler of
+the :class:`~repro.core.events.ServableAsyncEventHandler` releases routed
+to it by ``ServableAsyncEvent.fire()``.
+
+Concrete policies (:class:`~repro.core.polling.PollingTaskServer`,
+:class:`~repro.core.deferrable.DeferrableTaskServer`) decide how releases
+are chosen and what ``Timed`` budget each one gets; the shared
+:meth:`_serve_release` helper here performs the actual guarded execution
+and bookkeeping.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Generator, TYPE_CHECKING
+
+from ..rtsj.instructions import Compute, Instruction
+from ..rtsj.interruptible import (
+    AsynchronouslyInterruptedException,
+    Interruptible,
+    Timed,
+)
+from ..rtsj.thread import RealtimeThread, Schedulable
+from ..rtsj.time_types import RelativeTime
+from ..rtsj.vm import NS_PER_UNIT, RTSJVirtualMachine
+from ..sim.metrics import RunMetrics, measure_run
+from ..sim.task import AperiodicJob, JobState
+from ..sim.trace import TraceEventKind
+from .events import HandlerRelease, ServableAsyncEventHandler
+from .parameters import TaskServerParameters
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+__all__ = ["TaskServer"]
+
+
+class _ReleaseInterruptible(Interruptible):
+    """Adapts one handler release to the ``Timed`` protocol."""
+
+    def __init__(self, release: HandlerRelease, inflation_ns: int) -> None:
+        self.release = release
+        self.inflation_ns = inflation_ns
+        self.interrupted = False
+
+    def run(self, timed: Timed) -> Generator[Instruction, Any, None]:
+        yield from self.release.handler.make_work(self.inflation_ns)
+
+    def interrupt_action(self, exc: AsynchronouslyInterruptedException) -> None:
+        self.interrupted = True
+
+
+class TaskServer(Schedulable, ABC):
+    """Abstract aperiodic task server over the emulated RTSJ runtime."""
+
+    def __init__(self, params: TaskServerParameters, name: str) -> None:
+        super().__init__(scheduling=params.scheduling, release=params)
+        self.params = params
+        self.name = name
+        self.vm: RTSJVirtualMachine | None = None
+        self.horizon_ns: int | None = None
+        self.handlers: list[ServableAsyncEventHandler] = []
+        #: handlers declared costlier than the capacity (never serveable
+        #: by a PS; serveable by a DS only through the refill bridge)
+        self.oversized_handlers: list[ServableAsyncEventHandler] = []
+        #: every release routed to this server, in arrival order
+        self.releases: list[HandlerRelease] = []
+        #: (time tu, capacity tu) breakpoints of the budget account —
+        #: the capacity curve the paper's figures chart
+        self.capacity_history: list[tuple[float, float]] = []
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, vm: RTSJVirtualMachine, horizon_ns: int) -> None:
+        """Bind to a VM and install the policy's threads and timers."""
+        if self.vm is not None:
+            raise RuntimeError(f"server {self.name!r} already attached")
+        if horizon_ns <= 0:
+            raise ValueError(f"horizon_ns must be > 0, got {horizon_ns}")
+        self.vm = vm
+        self.horizon_ns = horizon_ns
+        self._install(vm, horizon_ns)
+
+    @abstractmethod
+    def _install(self, vm: RTSJVirtualMachine, horizon_ns: int) -> None:
+        """Create the policy's backing thread(s) and timers."""
+
+    def register_handler(self, handler: ServableAsyncEventHandler) -> None:
+        """Associate a handler with this server (called by the SAEH
+        constructor; a handler has exactly one server).
+
+        The paper requires designers to split event treatments into
+        handlers no costlier than the server capacity; an oversized
+        handler is *accepted* here but — like in the Java implementation
+        — ``chooseNextEvent`` will simply never pick it (a Polling Server
+        can never fit it; a Deferrable Server may still serve it through
+        the end-of-period bridge if it fits twice the capacity).  The
+        ``oversized_handlers`` list records them for diagnosis.
+        """
+        if handler not in self.handlers:
+            self.handlers.append(handler)
+            if handler.cost_ns > self.params.capacity_ns:
+                self.oversized_handlers.append(handler)
+
+    # -- the framework entry point ------------------------------------------------
+
+    def servable_event_released(self, handler: ServableAsyncEventHandler) -> None:
+        """Called by ``ServableAsyncEvent.fire()`` for each bound SAEH."""
+        if handler not in self.handlers:
+            raise ValueError(
+                f"handler {handler.name!r} is not associated with server "
+                f"{self.name!r}"
+            )
+        vm = self._require_vm()
+        vm.add_isr_time(vm.overhead.release_ns)
+        release = HandlerRelease(handler, vm.now_ns)
+        self.releases.append(release)
+        vm.trace.add_event(
+            vm.now_ns / NS_PER_UNIT, TraceEventKind.RELEASE, release.job.name
+        )
+        self._enqueue(release)
+
+    @abstractmethod
+    def _enqueue(self, release: HandlerRelease) -> None:
+        """Policy hook: queue the release (and wake the server if needed)."""
+
+    # -- feasibility ------------------------------------------------------------------
+
+    def add_to_feasibility(self) -> None:
+        """RTSJ-style registration with the base scheduler's analysis set."""
+        self._require_vm().scheduler.add_to_feasibility(self)
+
+    def interference_ns(self, window_ns: int) -> int:
+        """Worst-case interference this server inflicts on lower-priority
+        work over a window — the ``getInterference()`` method the paper
+        argues every schedulable should expose (Section 3)."""
+        raise NotImplementedError
+
+    # -- serving machinery ----------------------------------------------------------------
+
+    def _serve_release(
+        self,
+        thread: RealtimeThread,
+        release: HandlerRelease,
+        budget_ns: int,
+    ) -> Generator[Instruction, Any, tuple[bool, int]]:
+        """Run one release under a ``Timed`` budget; returns (ok, elapsed).
+
+        ``elapsed`` is the wall-clock time spent inside the interruptible
+        section — the quantity the paper's implementation measures to
+        decrease the server capacity.  The dispatch overhead is charged
+        to the server thread *outside* the section, exactly as
+        ``chooseNextEvent`` and the ``Timed`` setup execute outside
+        ``run()`` in the Java implementation.
+        """
+        vm = self._require_vm()
+        if vm.overhead.dispatch_ns:
+            yield Compute(vm.overhead.dispatch_ns)
+        job = release.job
+        start_ns = vm.now_ns
+        if job.start_time is None:
+            job.start_time = start_ns / NS_PER_UNIT
+            vm.trace.add_event(
+                start_ns / NS_PER_UNIT, TraceEventKind.START, job.name
+            )
+        self._on_serve_start(start_ns, release)
+        thread.activity_label = job.name
+        interruptible = _ReleaseInterruptible(
+            release, vm.overhead.handler_inflation_ns
+        )
+        timed = Timed(RelativeTime.from_nanos(budget_ns), now_ns=start_ns)
+        try:
+            ok = yield from timed.do_interruptible(interruptible)
+        finally:
+            thread.activity_label = None
+        end_ns = vm.now_ns
+        self._on_serve_end(end_ns)
+        elapsed = end_ns - start_ns
+        if ok:
+            job.state = JobState.COMPLETED
+            job.finish_time = end_ns / NS_PER_UNIT
+            vm.trace.add_event(
+                end_ns / NS_PER_UNIT, TraceEventKind.COMPLETION, job.name
+            )
+        else:
+            job.state = JobState.ABORTED
+            job.interrupted = True
+            job.finish_time = end_ns / NS_PER_UNIT
+            vm.trace.add_event(
+                end_ns / NS_PER_UNIT, TraceEventKind.INTERRUPT, job.name,
+                f"budget={budget_ns / NS_PER_UNIT:g}tu",
+            )
+        return ok, elapsed
+
+    def _on_serve_start(self, now_ns: int, release: HandlerRelease) -> None:
+        """Policy hook: the interruptible section is about to run."""
+
+    def _on_serve_end(self, now_ns: int) -> None:
+        """Policy hook: the interruptible section just finished."""
+
+    # -- results --------------------------------------------------------------------------
+
+    @property
+    def jobs(self) -> list[AperiodicJob]:
+        """The job record of every release (metric input)."""
+        return [r.job for r in self.releases]
+
+    def run_metrics(self) -> RunMetrics:
+        """This server's run measured the paper's way (Section 6.1)."""
+        return measure_run(self.jobs)
+
+    def record_capacity(self, now_ns: int, capacity_ns: int) -> None:
+        """Append a capacity breakpoint (times converted to tu)."""
+        point = (now_ns / NS_PER_UNIT, capacity_ns / NS_PER_UNIT)
+        if not self.capacity_history or self.capacity_history[-1] != point:
+            self.capacity_history.append(point)
+
+    def _require_vm(self) -> RTSJVirtualMachine:
+        if self.vm is None:
+            raise RuntimeError(f"server {self.name!r} is not attached to a VM")
+        return self.vm
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name} "
+            f"C={self.params.capacity_ns / NS_PER_UNIT:g} "
+            f"T={self.params.period_ns / NS_PER_UNIT:g}>"
+        )

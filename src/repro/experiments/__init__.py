@@ -1,0 +1,65 @@
+"""Experiment harness: every table and figure of the paper's evaluation."""
+
+from .campaign import (
+    ARMS,
+    CampaignResult,
+    SystemResult,
+    execute_system,
+    run_campaign,
+    simulate_system,
+)
+from .scenarios import (
+    SCENARIOS,
+    TABLE1_SERVER,
+    TABLE1_TASKS,
+    ScenarioOutcome,
+    ScenarioSpec,
+    run_scenario_execution,
+    run_scenario_ideal_simulation,
+)
+from .tables import (
+    PAPER_TABLES,
+    TABLE_ARMS,
+    format_comparison,
+    format_table,
+    shape_checks,
+)
+from .report import generate_report, markdown_report
+from .sweeps import SweepPoint, sweep_server_configuration
+from .figures import (
+    EXPECTED_TIMELINES,
+    figure_text,
+    render_all_figures,
+    render_figure,
+    timeline_of,
+)
+
+__all__ = [
+    "ARMS",
+    "CampaignResult",
+    "SystemResult",
+    "execute_system",
+    "run_campaign",
+    "simulate_system",
+    "SCENARIOS",
+    "TABLE1_SERVER",
+    "TABLE1_TASKS",
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "run_scenario_execution",
+    "run_scenario_ideal_simulation",
+    "PAPER_TABLES",
+    "TABLE_ARMS",
+    "format_comparison",
+    "format_table",
+    "shape_checks",
+    "EXPECTED_TIMELINES",
+    "figure_text",
+    "render_all_figures",
+    "render_figure",
+    "timeline_of",
+    "generate_report",
+    "markdown_report",
+    "SweepPoint",
+    "sweep_server_configuration",
+]

@@ -1,0 +1,101 @@
+"""Regeneration of the paper's Figures 2-4 (scenario temporal diagrams).
+
+Renders each scenario's execution trace as the ASCII chart RTSS would
+display and, optionally, as a standalone SVG file.  The expected segment
+timelines (the paper's diagrams, read off the figures) are embedded so
+tests and the runner can assert the reproduction is exact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..sim.gantt import ascii_capacity, ascii_gantt, svg_gantt
+from ..sim.trace import ExecutionTrace
+from .scenarios import SCENARIOS, ScenarioOutcome, ScenarioSpec, run_scenario_execution
+
+__all__ = [
+    "EXPECTED_TIMELINES",
+    "figure_text",
+    "render_figure",
+    "render_all_figures",
+    "timeline_of",
+]
+
+#: expected [start, end) processor segments per entity, read off the
+#: paper's Figures 2-4 (exec arm, zero overheads, horizon 18)
+EXPECTED_TIMELINES: dict[str, dict[str, list[tuple[float, float]]]] = {
+    "scenario1": {
+        "PS": [(0, 2), (6, 8)],
+        "t1": [(2, 4), (8, 10), (12, 14)],
+        "t2": [(4, 5), (10, 11), (14, 15)],
+    },
+    "scenario2": {
+        "PS": [(6, 8), (12, 14)],
+        "t1": [(0, 2), (8, 10), (14, 16)],
+        "t2": [(2, 3), (10, 11), (16, 17)],
+    },
+    "scenario3": {
+        # h1 runs 6-8; h2 starts at 8 (declared cost 1 fits the remaining
+        # capacity) and is interrupted at 9 (two segments: one per handler)
+        "PS": [(6, 8), (8, 9)],
+        "t1": [(0, 2), (9, 11), (12, 14)],
+        "t2": [(2, 3), (11, 12), (14, 15)],
+    },
+}
+
+
+def timeline_of(trace: ExecutionTrace, entity: str) -> list[tuple[float, float]]:
+    """The [start, end) segments of one entity, merged and rounded to
+    three decimals for comparison against the expected diagrams."""
+    return [
+        (round(s.start, 3), round(s.end, 3))
+        for s in trace.segments_of(entity)
+    ]
+
+
+def figure_text(spec: ScenarioSpec, outcome: ScenarioOutcome) -> str:
+    """One figure as text: title, ASCII diagram, handler fates."""
+    lines = [
+        f"Figure {spec.figure}. {spec.name}: e1 fired at {spec.e1_fire:g}, "
+        f"e2 at {spec.e2_fire:g}"
+        + (
+            f" (h2 declared {spec.h2_declared:g}, runs {spec.h2_actual:g})"
+            if spec.h2_declared != spec.h2_actual
+            else ""
+        ),
+        ascii_gantt(
+            outcome.trace, until=spec.horizon,
+            entities=["PS", "t1", "t2"],
+        ),
+        ascii_capacity(
+            outcome.capacity_history, until=spec.horizon, label="PS budget"
+        ),
+    ]
+    for job in outcome.jobs:
+        fate = (
+            "interrupted" if job.interrupted
+            else job.state.value
+        )
+        finish = f" at {job.finish_time:g}" if job.finish_time is not None else ""
+        lines.append(f"  {job.name}: {fate}{finish}")
+    return "\n".join(lines)
+
+
+def render_figure(spec: ScenarioSpec,
+                  svg_dir: Path | None = None) -> str:
+    """Run one scenario and render it; optionally write an SVG file."""
+    outcome = run_scenario_execution(spec)
+    if svg_dir is not None:
+        svg_dir.mkdir(parents=True, exist_ok=True)
+        path = svg_dir / f"figure{spec.figure}_{spec.name}.svg"
+        path.write_text(
+            svg_gantt(outcome.trace, until=spec.horizon,
+                      entities=["PS", "t1", "t2"])
+        )
+    return figure_text(spec, outcome)
+
+
+def render_all_figures(svg_dir: Path | None = None) -> str:
+    """Figures 2-4 back to back."""
+    return "\n\n".join(render_figure(spec, svg_dir) for spec in SCENARIOS)

@@ -1,0 +1,94 @@
+"""Self-contained markdown report of the whole reproduction.
+
+Generates an EXPERIMENTS.md-style document from a live campaign run:
+per-table paper-vs-measured comparisons with dispersion, the shape-check
+outcomes, and the three scenario diagrams.  Used by the runner's
+``report`` target and suitable for CI artifacts.
+"""
+
+from __future__ import annotations
+
+from ..sim.metrics import SetMetrics
+from .campaign import CampaignResult, run_campaign
+from .figures import render_all_figures
+from .tables import PAPER_TABLES, TABLE_ARMS, shape_checks
+
+__all__ = ["markdown_report", "generate_report"]
+
+_TITLES = {
+    2: "Table 2 — Polling Server simulations",
+    3: "Table 3 — Polling Server executions",
+    4: "Table 4 — Deferrable Server simulations",
+    5: "Table 5 — Deferrable Server executions",
+}
+
+_COLUMNS = ((1, 0.0), (2, 0.0), (3, 0.0), (1, 2.0), (2, 2.0), (3, 2.0))
+
+
+def _table_section(number: int,
+                   measured: dict[tuple[float, float], SetMetrics]) -> str:
+    paper = PAPER_TABLES[number]
+    lines = [
+        f"## {_TITLES[number]}",
+        "",
+        "| set | AART paper | AART measured (±95%) | AIR p/m | ASR p/m |",
+        "|---|---|---|---|---|",
+    ]
+    for key in _COLUMNS:
+        p = paper[key]
+        m = measured[key]
+        half = m.aart_confidence_halfwidth()
+        lines.append(
+            f"| ({int(key[0])},{int(key[1])}) "
+            f"| {p[0]:.2f} | {m.aart:.2f} ± {half:.2f} "
+            f"| {p[1]:.2f} / {m.air:.2f} "
+            f"| {p[2]:.2f} / {m.asr:.2f} |"
+        )
+    return "\n".join(lines)
+
+
+def markdown_report(campaign: CampaignResult | None = None) -> str:
+    """Build the full report; runs the campaign when none is supplied."""
+    if campaign is None:
+        campaign = run_campaign()
+    sections = [
+        "# Reproduction report — Masson & Midonnet (2007)",
+        "",
+        "Regenerated live from `repro.experiments`; see EXPERIMENTS.md "
+        "for the committed reference numbers and the delta discussion.",
+    ]
+    for number in sorted(_TITLES):
+        sections.append("")
+        sections.append(_table_section(number, campaign.table(TABLE_ARMS[number])))
+
+    sections.append("")
+    sections.append("## Shape checks")
+    sections.append("")
+    failures = 0
+    for check in shape_checks(campaign.tables):
+        mark = "x" if check.holds else " "
+        if not check.holds:
+            failures += 1
+        sections.append(f"- [{mark}] {check.description}")
+    sections.append("")
+    sections.append(
+        "All shape checks hold." if failures == 0
+        else f"**{failures} shape check(s) FAILED.**"
+    )
+
+    sections.append("")
+    sections.append("## Figures 2–4 (scenario diagrams)")
+    sections.append("")
+    sections.append("```")
+    sections.append(render_all_figures())
+    sections.append("```")
+    return "\n".join(sections) + "\n"
+
+
+def generate_report(path, campaign: CampaignResult | None = None) -> str:
+    """Write the report to ``path``; returns the markdown text."""
+    text = markdown_report(campaign)
+    from pathlib import Path
+
+    Path(path).write_text(text)
+    return text

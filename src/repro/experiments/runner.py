@@ -1,0 +1,104 @@
+"""Command-line entry point regenerating every table and figure.
+
+Usage::
+
+    python -m repro.experiments.runner            # everything
+    python -m repro.experiments.runner table3     # one table
+    python -m repro.experiments.runner figures    # scenario diagrams
+    python -m repro.experiments.runner checks     # shape assertions
+    repro-experiments --svg-dir out/ figures      # also write SVGs
+
+Exit status is non-zero if any shape check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..rtsj import OverheadModel
+from .campaign import run_campaign
+from .figures import render_all_figures
+from .tables import TABLE_ARMS, format_comparison, format_table, shape_checks
+
+__all__ = ["main"]
+
+_TARGETS = ("all", "table2", "table3", "table4", "table5", "figures",
+            "checks", "report")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument(
+        "target", nargs="?", default="all", choices=_TARGETS,
+        help="what to regenerate (default: all)",
+    )
+    parser.add_argument(
+        "--svg-dir", type=Path, default=None,
+        help="also write the figures as SVG files into this directory",
+    )
+    parser.add_argument(
+        "--no-overhead", action="store_true",
+        help="run the execution arms with the overhead model disabled "
+             "(the ablation of DESIGN.md)",
+    )
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="print paper-vs-measured instead of the plain table",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="for the 'report' target: write the markdown there "
+             "(default: print to stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.target == "report":
+        from .report import generate_report, markdown_report
+
+        if args.output is not None:
+            generate_report(args.output)
+            print(f"report written to {args.output}")
+        else:
+            print(markdown_report())
+        return 0
+
+    failures = 0
+    wants_tables = args.target in ("all", "table2", "table3", "table4",
+                                   "table5", "checks")
+    overhead = OverheadModel.zero() if args.no_overhead else None
+
+    if wants_tables:
+        campaign = run_campaign(overhead=overhead)
+        table_numbers = (
+            (2, 3, 4, 5) if args.target in ("all", "checks")
+            else (int(args.target[-1]),)
+        )
+        if args.target != "checks":
+            for number in table_numbers:
+                measured = campaign.table(TABLE_ARMS[number])
+                if args.compare:
+                    print(format_comparison(number, measured))
+                else:
+                    print(format_table(number, measured))
+                print()
+        if args.target in ("all", "checks"):
+            print("Shape checks (paper conclusions):")
+            for check in shape_checks(campaign.tables):
+                status = "ok  " if check.holds else "FAIL"
+                print(f"  [{status}] {check.description}")
+                if not check.holds:
+                    failures += 1
+            print()
+
+    if args.target in ("all", "figures"):
+        print(render_all_figures(svg_dir=args.svg_dir))
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

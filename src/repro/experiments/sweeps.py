@@ -1,0 +1,83 @@
+"""Parameter sweeps over the campaign's generative model.
+
+Utilities for studying how the evaluation's conclusions move with the
+server configuration — used by the granularity ablation
+(``benchmarks/bench_ablation_server_granularity.py``) and available to
+downstream users exploring their own design space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..rtsj.overhead import OverheadModel
+from ..sim.metrics import SetMetrics, aggregate
+from ..workload.generator import RandomSystemGenerator
+from ..workload.spec import GenerationParameters
+from .campaign import execute_system, simulate_system
+
+__all__ = ["SweepPoint", "sweep_server_configuration"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration's outcome under both arms."""
+
+    capacity: float
+    period: float
+    sim: SetMetrics
+    exec_: SetMetrics
+
+    @property
+    def utilization(self) -> float:
+        return self.capacity / self.period
+
+
+def sweep_server_configuration(
+    base: GenerationParameters,
+    configurations: list[tuple[float, float]],
+    policy: str = "polling",
+    overhead: OverheadModel | None = None,
+) -> list[SweepPoint]:
+    """Run the base workload model under several (capacity, period)
+    server configurations, through both evaluation arms.
+
+    Note that changing the server period also changes the arrival
+    process (the density is *per server period*); to sweep the server
+    against a fixed arrival process, pre-scale ``task_density`` so that
+    ``density / period`` is constant — this function does exactly that,
+    holding the base configuration's arrival *rate* fixed.
+    """
+    if not configurations:
+        raise ValueError("need at least one (capacity, period) configuration")
+    base_rate = base.task_density / base.server_period
+    base_horizon = base.horizon
+    points = []
+    for capacity, period in configurations:
+        # hold the arrival rate and the observation window fixed while
+        # the server's granularity changes
+        horizon_periods = max(1, round(base_horizon / period))
+        params = replace(
+            base,
+            server_capacity=capacity,
+            server_period=period,
+            task_density=base_rate * period,
+            horizon_periods=horizon_periods,
+        )
+        systems = RandomSystemGenerator(params).generate()
+        sim_runs = [
+            simulate_system(system, policy).metrics for system in systems
+        ]
+        exec_runs = [
+            execute_system(system, policy, overhead=overhead).metrics
+            for system in systems
+        ]
+        points.append(
+            SweepPoint(
+                capacity=capacity,
+                period=period,
+                sim=aggregate(sim_runs),
+                exec_=aggregate(exec_runs),
+            )
+        )
+    return points

@@ -1,0 +1,75 @@
+"""Emulated RTSJ substrate: a deterministic virtual-time runtime.
+
+This package substitutes for the paper's testbed (the TimeSys RTSJ
+Reference Implementation on RT-Linux).  It provides the ``javax.realtime``
+functionality the Task Server Framework of :mod:`repro.core` touches:
+high-resolution time, parameter objects, realtime threads under a
+preemptive fixed-priority scheduler, asynchronous events and handlers,
+timers firing in interrupt context, ``Timed``/``Interruptible``
+asynchronous transfer of control, and processing-group budget accounting
+— all driven by the :class:`RTSJVirtualMachine` with a configurable
+runtime-overhead model.
+"""
+
+from .time_types import NANOS_PER_MILLI, AbsoluteTime, HighResolutionTime, RelativeTime
+from .params import (
+    AperiodicParameters,
+    PeriodicParameters,
+    PriorityParameters,
+    ProcessingGroupParameters,
+    ReleaseParameters,
+    SchedulingParameters,
+    SporadicParameters,
+)
+from .instructions import AwaitRelease, Compute, Instruction, Sleep, WaitForNextPeriod
+from .interruptible import AsynchronouslyInterruptedException, Interruptible, Timed
+from .overhead import OverheadModel
+from .thread import (
+    MAX_RT_PRIORITY,
+    MIN_RT_PRIORITY,
+    RealtimeThread,
+    Schedulable,
+    ThreadState,
+)
+from .scheduler import PriorityScheduler
+from .vm import NS_PER_UNIT, RTSJVirtualMachine
+from .async_event import AsyncEvent, AsyncEventHandler
+from .timer import OneShotTimer, PeriodicTimer
+from .clock import Clock, RealtimeClock
+
+__all__ = [
+    "NANOS_PER_MILLI",
+    "AbsoluteTime",
+    "HighResolutionTime",
+    "RelativeTime",
+    "AperiodicParameters",
+    "PeriodicParameters",
+    "PriorityParameters",
+    "ProcessingGroupParameters",
+    "ReleaseParameters",
+    "SchedulingParameters",
+    "SporadicParameters",
+    "AwaitRelease",
+    "Compute",
+    "Instruction",
+    "Sleep",
+    "WaitForNextPeriod",
+    "AsynchronouslyInterruptedException",
+    "Interruptible",
+    "Timed",
+    "OverheadModel",
+    "MAX_RT_PRIORITY",
+    "MIN_RT_PRIORITY",
+    "RealtimeThread",
+    "Schedulable",
+    "ThreadState",
+    "PriorityScheduler",
+    "NS_PER_UNIT",
+    "RTSJVirtualMachine",
+    "AsyncEvent",
+    "AsyncEventHandler",
+    "OneShotTimer",
+    "PeriodicTimer",
+    "Clock",
+    "RealtimeClock",
+]

@@ -1,0 +1,119 @@
+"""``AsyncEvent`` / ``AsyncEventHandler`` on the emulated VM.
+
+The RTSJ models an asynchronous happening as an :class:`AsyncEvent`; each
+``fire()`` releases every attached :class:`AsyncEventHandler`.  Handlers
+are schedulable: here each handler is backed by a dedicated VM thread
+that blocks on :class:`~repro.rtsj.instructions.AwaitRelease` and runs the
+handler logic once per banked firing, at the handler's priority — the
+fire-count semantics of the specification.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, TYPE_CHECKING
+
+from .instructions import AwaitRelease, Instruction
+from .params import ReleaseParameters, SchedulingParameters
+from .thread import RealtimeThread, Schedulable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .vm import RTSJVirtualMachine
+
+__all__ = ["AsyncEvent", "AsyncEventHandler"]
+
+HandlerLogic = Callable[["AsyncEventHandler"], Generator[Instruction, Any, Any]]
+
+
+class AsyncEventHandler(Schedulable):
+    """Code released by the firing of one or more async events.
+
+    Subclass and override :meth:`handle_async_event`, or pass ``logic``
+    (a callable returning a generator of VM instructions).
+    """
+
+    def __init__(
+        self,
+        logic: HandlerLogic | None = None,
+        scheduling: SchedulingParameters | None = None,
+        release: ReleaseParameters | None = None,
+        name: str = "aeh",
+    ) -> None:
+        super().__init__(scheduling, release)
+        self.logic = logic
+        self.name = name
+        self.fire_count_total = 0
+        self._thread: RealtimeThread | None = None
+
+    def handle_async_event(self) -> Generator[Instruction, Any, Any]:
+        """The released logic; one invocation per consumed firing."""
+        if self.logic is None:
+            return
+            yield  # pragma: no cover - makes this a generator function
+        yield from self.logic(self)
+
+    # -- VM wiring -----------------------------------------------------------
+
+    def attach(self, vm: "RTSJVirtualMachine") -> None:
+        """Create and start the backing server thread."""
+        if self._thread is not None:
+            raise RuntimeError(f"handler {self.name!r} already attached")
+
+        def loop(thread: RealtimeThread) -> Generator[Instruction, Any, None]:
+            while True:
+                yield AwaitRelease()
+                yield from self.handle_async_event()
+
+        self._thread = RealtimeThread(
+            loop,
+            scheduling=self.scheduling,
+            release=self.release,
+            name=self.name,
+        )
+        vm.add_thread(self._thread)
+
+    @property
+    def thread(self) -> RealtimeThread:
+        """The backing thread (raises if not attached)."""
+        if self._thread is None:
+            raise RuntimeError(f"handler {self.name!r} is not attached to a VM")
+        return self._thread
+
+    @property
+    def attached(self) -> bool:
+        return self._thread is not None
+
+    def release_handler(self) -> None:
+        """Deliver one firing (RTSJ increments the handler's fireCount)."""
+        self.fire_count_total += 1
+        thread = self.thread
+        assert thread.vm is not None
+        thread.vm.release_thread(thread)
+
+
+class AsyncEvent:
+    """An asynchronous happening; firing releases the attached handlers."""
+
+    def __init__(self, name: str = "event") -> None:
+        self.name = name
+        self._handlers: list[AsyncEventHandler] = []
+        self.fire_count = 0
+
+    def add_handler(self, handler: AsyncEventHandler) -> None:
+        """Attach a handler (idempotent, as in the RTSJ)."""
+        if handler not in self._handlers:
+            self._handlers.append(handler)
+
+    def remove_handler(self, handler: AsyncEventHandler) -> None:
+        """Detach a handler if attached."""
+        if handler in self._handlers:
+            self._handlers.remove(handler)
+
+    @property
+    def handlers(self) -> list[AsyncEventHandler]:
+        return list(self._handlers)
+
+    def fire(self) -> None:
+        """Release every attached handler once."""
+        self.fire_count += 1
+        for handler in self._handlers:
+            handler.release_handler()

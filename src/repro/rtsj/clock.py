@@ -1,0 +1,33 @@
+"""The real-time clock of the emulated VM (``javax.realtime.Clock``)."""
+
+from __future__ import annotations
+
+from .time_types import AbsoluteTime, RelativeTime
+from .vm import RTSJVirtualMachine
+
+__all__ = ["Clock", "RealtimeClock"]
+
+
+class Clock:
+    """Abstract clock interface."""
+
+    def get_time(self) -> AbsoluteTime:
+        """The current instant."""
+        raise NotImplementedError
+
+    def get_resolution(self) -> RelativeTime:
+        """The smallest distinguishable time increment."""
+        raise NotImplementedError
+
+
+class RealtimeClock(Clock):
+    """The VM's monotonic virtual clock (1 ns resolution)."""
+
+    def __init__(self, vm: RTSJVirtualMachine) -> None:
+        self.vm = vm
+
+    def get_time(self) -> AbsoluteTime:
+        return AbsoluteTime.from_nanos(self.vm.now_ns)
+
+    def get_resolution(self) -> RelativeTime:
+        return RelativeTime.from_nanos(1)

@@ -1,0 +1,89 @@
+"""The virtual-machine instruction set yielded by thread logic.
+
+A :class:`~repro.rtsj.thread.RealtimeThread`'s logic is a Python
+generator.  Each ``yield`` hands the VM one of the instruction objects
+below; the VM resumes the generator when the instruction is satisfied.
+Everything executed *between* two yields is instantaneous in virtual time
+(explicit :class:`Compute` instructions model every consumed cycle,
+including modelled runtime overheads).
+"""
+
+from __future__ import annotations
+
+__all__ = ["Instruction", "Compute", "WaitForNextPeriod", "AwaitRelease", "Sleep"]
+
+
+class Instruction:
+    """Base class for VM instructions."""
+
+    __slots__ = ()
+
+
+class Compute(Instruction):
+    """Burn ``duration_ns`` of CPU time.
+
+    ``deadline_ns`` (absolute, optional) is the wall-clock interrupt point
+    installed by :class:`~repro.rtsj.interruptible.Timed`: if it arrives
+    before the computation finishes, the VM throws
+    ``AsynchronouslyInterruptedException`` into the generator at this
+    yield point.
+    """
+
+    __slots__ = ("duration_ns", "deadline_ns", "deadline_owner", "remaining_ns")
+
+    def __init__(self, duration_ns: int, deadline_ns: int | None = None,
+                 deadline_owner: object | None = None) -> None:
+        if not isinstance(duration_ns, int):
+            raise TypeError("duration_ns must be an integer nanosecond count")
+        if duration_ns < 0:
+            raise ValueError(f"duration_ns must be >= 0, got {duration_ns}")
+        self.duration_ns = duration_ns
+        self.deadline_ns = deadline_ns
+        #: the Timed whose deadline this is — gives the delivered
+        #: AsynchronouslyInterruptedException its RTSJ-style identity so
+        #: nested interruptible sections can tell whose budget expired
+        self.deadline_owner = deadline_owner
+        self.remaining_ns = duration_ns
+
+    def with_deadline(self, deadline_ns: int,
+                      owner: object | None = None) -> "Compute":
+        """A copy whose interrupt point is the earlier of the two.
+
+        On a tie the existing (inner) owner is kept: the innermost
+        expired section aborts and its enclosing sections continue.
+        """
+        if self.deadline_ns is not None and self.deadline_ns <= deadline_ns:
+            deadline_ns = self.deadline_ns
+            owner = self.deadline_owner
+        return Compute(self.duration_ns, deadline_ns, owner)
+
+    def __repr__(self) -> str:
+        return (
+            f"Compute({self.duration_ns}ns"
+            + (f", deadline={self.deadline_ns}" if self.deadline_ns is not None else "")
+            + ")"
+        )
+
+
+class WaitForNextPeriod(Instruction):
+    """Block until the thread's next periodic release."""
+
+    __slots__ = ()
+
+
+class AwaitRelease(Instruction):
+    """Block until the owning handler's pending-fire count is positive,
+    then consume one firing (async event handler threads only)."""
+
+    __slots__ = ()
+
+
+class Sleep(Instruction):
+    """Block until an absolute virtual time (no CPU consumed)."""
+
+    __slots__ = ("until_ns",)
+
+    def __init__(self, until_ns: int) -> None:
+        if not isinstance(until_ns, int):
+            raise TypeError("until_ns must be an integer nanosecond count")
+        self.until_ns = until_ns

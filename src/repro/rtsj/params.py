@@ -1,0 +1,141 @@
+"""RTSJ parameter objects.
+
+Functional subset of the ``javax.realtime`` parameter classes the paper's
+framework touches: scheduling parameters (priorities), release parameters
+(cost/deadline and the periodic/aperiodic/sporadic refinements) and
+processing group parameters (whose shortcomings motivate the paper,
+cf. Section 3).
+"""
+
+from __future__ import annotations
+
+from .time_types import AbsoluteTime, RelativeTime
+
+__all__ = [
+    "SchedulingParameters",
+    "PriorityParameters",
+    "ReleaseParameters",
+    "PeriodicParameters",
+    "AperiodicParameters",
+    "SporadicParameters",
+    "ProcessingGroupParameters",
+]
+
+
+class SchedulingParameters:
+    """Base marker class (``javax.realtime.SchedulingParameters``)."""
+
+
+class PriorityParameters(SchedulingParameters):
+    """A fixed execution eligibility for the priority scheduler."""
+
+    def __init__(self, priority: int) -> None:
+        if not isinstance(priority, int):
+            raise TypeError("priority must be an integer")
+        self._priority = priority
+
+    @property
+    def priority(self) -> int:
+        return self._priority
+
+    def __repr__(self) -> str:
+        return f"PriorityParameters({self._priority})"
+
+
+class ReleaseParameters:
+    """Cost and deadline of each release of a schedulable object."""
+
+    def __init__(
+        self,
+        cost: RelativeTime | None = None,
+        deadline: RelativeTime | None = None,
+    ) -> None:
+        if cost is not None and cost.is_negative():
+            raise ValueError("cost must be non-negative")
+        if deadline is not None and deadline.total_nanos <= 0:
+            raise ValueError("deadline must be positive")
+        self.cost = cost
+        self.deadline = deadline
+
+
+class PeriodicParameters(ReleaseParameters):
+    """Release parameters of a periodic schedulable object."""
+
+    def __init__(
+        self,
+        start: AbsoluteTime | None,
+        period: RelativeTime,
+        cost: RelativeTime | None = None,
+        deadline: RelativeTime | None = None,
+    ) -> None:
+        super().__init__(cost, deadline)
+        if period.total_nanos <= 0:
+            raise ValueError("period must be positive")
+        self.start = start if start is not None else AbsoluteTime(0, 0)
+        self.period = period
+
+    @property
+    def effective_deadline(self) -> RelativeTime:
+        """Deadline, defaulting to the period as in the RTSJ."""
+        return self.deadline if self.deadline is not None else self.period
+
+
+class AperiodicParameters(ReleaseParameters):
+    """Release parameters of an aperiodic schedulable object."""
+
+
+class SporadicParameters(AperiodicParameters):
+    """Aperiodic parameters with a minimum inter-arrival time."""
+
+    def __init__(
+        self,
+        min_interarrival: RelativeTime,
+        cost: RelativeTime | None = None,
+        deadline: RelativeTime | None = None,
+    ) -> None:
+        super().__init__(cost, deadline)
+        if min_interarrival.total_nanos <= 0:
+            raise ValueError("min_interarrival must be positive")
+        self.min_interarrival = min_interarrival
+
+
+class ProcessingGroupParameters:
+    """A shared periodic budget for a group of schedulable objects.
+
+    The RTSJ makes cost *enforcement* optional; with it disabled (the
+    reference-implementation behaviour the paper criticises) the group
+    budget is accounted but never acted upon, so the parameters "can have
+    no effect at all".  The emulated VM honours ``enforced`` so both
+    behaviours can be demonstrated (see ``examples/pgp_limitations.py``).
+    """
+
+    def __init__(
+        self,
+        start: AbsoluteTime | None,
+        period: RelativeTime,
+        cost: RelativeTime,
+        enforced: bool = False,
+    ) -> None:
+        if period.total_nanos <= 0:
+            raise ValueError("period must be positive")
+        if cost.total_nanos <= 0:
+            raise ValueError("cost must be positive")
+        if cost.total_nanos > period.total_nanos:
+            raise ValueError("group cost cannot exceed the period")
+        self.start = start if start is not None else AbsoluteTime(0, 0)
+        self.period = period
+        self.cost = cost
+        self.enforced = enforced
+        #: remaining budget in the current period, maintained by the VM
+        self.budget_ns: int = cost.total_nanos
+        #: cumulative overrun time observed (diagnostic)
+        self.overrun_ns: int = 0
+
+    def replenish(self) -> None:
+        """Restore the full budget (called by the VM each period)."""
+        self.budget_ns = self.cost.total_nanos
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the current period's budget is fully consumed."""
+        return self.budget_ns <= 0

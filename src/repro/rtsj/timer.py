@@ -1,0 +1,120 @@
+"""RTSJ timers on the emulated VM.
+
+A timer is an :class:`~repro.rtsj.async_event.AsyncEvent` that fires
+itself at programmed virtual times.  Firing happens in interrupt context:
+the VM charges the overhead model's ``timer_fire_ns`` above every thread
+priority — these are exactly "the timers charged to fire the asynchronous
+events" whose interference the paper identifies as a cause of its
+interrupted-aperiodics ratio (Section 7).
+"""
+
+from __future__ import annotations
+
+from .async_event import AsyncEvent
+from .time_types import AbsoluteTime, RelativeTime
+from .vm import RTSJVirtualMachine
+
+__all__ = ["OneShotTimer", "PeriodicTimer"]
+
+
+class _Timer(AsyncEvent):
+    """Shared start/stop machinery."""
+
+    def __init__(self, vm: RTSJVirtualMachine, name: str) -> None:
+        super().__init__(name=name)
+        self.vm = vm
+        self._started = False
+        self._enabled = False
+
+    def start(self) -> None:
+        """Arm the timer (idempotent re-arms are rejected as in the RTSJ)."""
+        if self._started:
+            raise RuntimeError(f"timer {self.name!r} already started")
+        self._started = True
+        self._enabled = True
+        self._schedule_first()
+
+    def stop(self) -> None:
+        """Disarm: pending firings are discarded at their due time."""
+        self._enabled = False
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def _schedule_first(self) -> None:
+        raise NotImplementedError
+
+
+class OneShotTimer(_Timer):
+    """Fires its event once at an absolute virtual time."""
+
+    def __init__(self, vm: RTSJVirtualMachine, at: AbsoluteTime,
+                 name: str = "oneshot") -> None:
+        super().__init__(vm, name)
+        self.at = at
+        #: generation counter: reschedule() invalidates in-flight firings
+        self._generation = 0
+
+    def _schedule_first(self) -> None:
+        self._schedule(self.at.total_nanos)
+
+    def _schedule(self, at_ns: int) -> None:
+        fire_at = max(at_ns, self.vm.now_ns)
+        generation = self._generation
+        self.vm.schedule_timer_event(
+            fire_at, lambda now, g=generation: self._fire_if_enabled(now, g)
+        )
+
+    def _fire_if_enabled(self, now: int, generation: int) -> None:
+        if self._enabled and generation == self._generation:
+            self._enabled = False
+            self.fire()
+
+    def reschedule(self, at: AbsoluteTime) -> None:
+        """Move the firing to a new instant (RTSJ ``Timer.reschedule``).
+
+        Allowed before the timer fires; the superseded firing is
+        discarded.  Rescheduling a fired or stopped timer re-arms it.
+        """
+        self.at = at
+        self._generation += 1
+        self._enabled = True
+        self._started = True
+        self._schedule(at.total_nanos)
+
+
+class PeriodicTimer(_Timer):
+    """Fires its event at ``start`` and every ``interval`` thereafter."""
+
+    def __init__(
+        self,
+        vm: RTSJVirtualMachine,
+        start: AbsoluteTime,
+        interval: RelativeTime,
+        name: str = "ptimer",
+    ) -> None:
+        super().__init__(vm, name)
+        if interval.total_nanos <= 0:
+            raise ValueError("timer interval must be positive")
+        self.start_at = start
+        self.interval = interval
+        self._next_ns = start.total_nanos
+
+    def _schedule_first(self) -> None:
+        self._next_ns = max(self.start_at.total_nanos, self.vm.now_ns)
+        self.vm.schedule_timer_event(self._next_ns, self._tick)
+
+    def _tick(self, now: int) -> None:
+        if not self._enabled:
+            return
+        self.fire()
+        # chain-schedule the next occurrence; the VM's horizon bounds the
+        # chain at run() time, so no explicit cut-off is needed here
+        self._next_ns += self.interval.total_nanos
+        self.vm.schedule_timer_event(self._next_ns, self._tick)
+
+    @property
+    def next_fire_ns(self) -> int:
+        """Virtual time of the next programmed firing."""
+        return self._next_ns

@@ -1,0 +1,336 @@
+"""The emulated RTSJ virtual machine.
+
+A deterministic virtual-time machine substituting for the paper's
+testbed (TimeSys RI on RT-Linux).  It executes
+:class:`~repro.rtsj.thread.RealtimeThread` generator logic under the
+:class:`~repro.rtsj.scheduler.PriorityScheduler`, delivers timer events
+through modelled interrupt-service windows that preempt every thread,
+enforces ``Timed`` budgets as wall-clock deadlines, and accounts
+(optionally enforces) processing-group budgets.
+
+Time is an integer nanosecond counter.  Traces are emitted in *time
+units* (1 tu = 1 ms) on the shared :class:`repro.sim.trace.ExecutionTrace`
+format, so the simulator's Gantt renderer and metrics work unchanged on
+execution runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable
+
+from ..sim.trace import ExecutionTrace, TraceEventKind
+from .instructions import AwaitRelease, Compute, Sleep, WaitForNextPeriod
+from .interruptible import AsynchronouslyInterruptedException
+from .overhead import OverheadModel
+from .params import PeriodicParameters, ProcessingGroupParameters
+from .scheduler import PriorityScheduler
+from .thread import RealtimeThread, ThreadState
+
+__all__ = ["RTSJVirtualMachine", "NS_PER_UNIT"]
+
+#: nanoseconds per trace/metric time unit (1 tu = 1 ms)
+NS_PER_UNIT = 1_000_000
+
+
+class RTSJVirtualMachine:
+    """Deterministic virtual-time RTSJ runtime."""
+
+    def __init__(
+        self,
+        overhead: OverheadModel | None = None,
+        trace: ExecutionTrace | None = None,
+    ) -> None:
+        self.overhead = overhead if overhead is not None else OverheadModel()
+        self.trace = trace if trace is not None else ExecutionTrace()
+        self.scheduler = PriorityScheduler()
+        self.now_ns = 0
+        self._events: list[tuple[int, int, int, Callable[[int], None]]] = []
+        self._seq = 0
+        self._threads: list[RealtimeThread] = []
+        self._busy_until_ns = 0
+        self._running: RealtimeThread | None = None
+        self._pgps: list[ProcessingGroupParameters] = []
+        self._ran = False
+
+    # -- construction API --------------------------------------------------------
+
+    def schedule_event(self, time_ns: int, callback: Callable[[int], None],
+                       order: int = 0) -> None:
+        """Run ``callback(time_ns)`` at the given virtual time (zero cost)."""
+        if time_ns < self.now_ns:
+            raise ValueError(
+                f"cannot schedule at {time_ns} before now={self.now_ns}"
+            )
+        heapq.heappush(self._events, (time_ns, order, self._seq, callback))
+        self._seq += 1
+
+    def schedule_timer_event(self, time_ns: int,
+                             action: Callable[[int], None]) -> None:
+        """A timer firing: charges the ISR cost, then runs ``action``."""
+        def fire(now: int) -> None:
+            self.add_isr_time(self.overhead.timer_fire_ns)
+            self.trace.add_event(
+                now / NS_PER_UNIT, TraceEventKind.TIMER_FIRE, "timer"
+            )
+            action(now)
+
+        self.schedule_event(time_ns, fire, order=2)
+
+    def add_isr_time(self, cost_ns: int) -> None:
+        """Extend the system-busy (interrupt) window by ``cost_ns``."""
+        if cost_ns <= 0:
+            return
+        self._busy_until_ns = max(self._busy_until_ns, self.now_ns) + cost_ns
+
+    def add_thread(self, thread: RealtimeThread) -> None:
+        """Register and start a thread (ready at its release start)."""
+        self._threads.append(thread)
+        thread.start(self)
+
+    def schedule_thread_start(self, thread: RealtimeThread,
+                              at_ns: int) -> None:
+        """Internal: called by ``RealtimeThread.start``."""
+        at_ns = max(at_ns, self.now_ns)
+        self.schedule_event(at_ns, lambda now, t=thread: self._begin(t), order=3)
+
+    def register_pgp(self, pgp: ProcessingGroupParameters,
+                     horizon_ns: int) -> None:
+        """Track a processing group: schedule its periodic replenishments."""
+        if pgp in self._pgps:
+            return
+        self._pgps.append(pgp)
+        period = pgp.period.total_nanos
+        t = pgp.start.total_nanos
+        while t < horizon_ns:
+            if t >= self.now_ns:
+                self.schedule_event(
+                    t, lambda now, g=pgp: self._replenish_pgp(now, g), order=1
+                )
+            t += period
+
+    # -- thread release plumbing ---------------------------------------------------
+
+    def release_thread(self, thread: RealtimeThread) -> None:
+        """Deliver one release to a thread blocked in ``AwaitRelease`` (or
+        bank it in the thread's pending count)."""
+        thread.pending_releases += 1
+        if (
+            thread.state is ThreadState.BLOCKED
+            and isinstance(thread.instruction, AwaitRelease)
+        ):
+            self._consume_release(thread)
+
+    def _consume_release(self, thread: RealtimeThread) -> None:
+        thread.pending_releases -= 1
+        self._make_dispatchable(thread)
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self, until_ns: int) -> ExecutionTrace:
+        """Advance virtual time to ``until_ns``; returns the trace."""
+        if until_ns <= 0:
+            raise ValueError(f"until_ns must be > 0, got {until_ns}")
+        if self._ran:
+            raise RuntimeError("a VM can only be run once")
+        self._ran = True
+
+        while self.now_ns < until_ns:
+            self._drain_events()
+            # interrupt windows block every thread
+            if self._busy_until_ns > self.now_ns:
+                stop = min(
+                    self._busy_until_ns,
+                    self._next_event_time() or math.inf,
+                    until_ns,
+                )
+                stop = int(stop)
+                self.trace.add_segment(
+                    self.now_ns / NS_PER_UNIT, stop / NS_PER_UNIT, "ISR"
+                )
+                self.now_ns = stop
+                continue
+            thread = self._pick()
+            if thread is None:
+                nxt = self._next_event_time()
+                if nxt is None or nxt > until_ns:
+                    break
+                self.now_ns = max(self.now_ns, nxt)
+                continue
+            if self._busy_until_ns > self.now_ns:
+                # picking charged a context switch: serve the interrupt
+                # window first (handled at the top of the loop)
+                continue
+            self._execute_slice(thread, until_ns)
+
+        self.now_ns = min(self.now_ns, until_ns)
+        self.trace.validate()
+        return self.trace
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _drain_events(self) -> None:
+        while self._events and self._events[0][0] <= self.now_ns:
+            _, _, _, callback = heapq.heappop(self._events)
+            callback(self.now_ns)
+
+    def _next_event_time(self) -> int | None:
+        return self._events[0][0] if self._events else None
+
+    def _begin(self, thread: RealtimeThread) -> None:
+        """The thread's release instant: it becomes dispatchable; its
+        logic prologue runs only when it first receives the processor."""
+        self._make_dispatchable(thread)
+
+    def _make_dispatchable(self, thread: RealtimeThread) -> None:
+        """Park the thread on a zero-length compute: the kernel advances
+        its generator at the next dispatch, so code between yields runs
+        when the thread actually holds the processor — never while a
+        higher-priority thread is running."""
+        thread.set_resume_marker()
+        thread.state = ThreadState.READY
+        self.scheduler.make_ready(thread)
+
+    def _replenish_pgp(self, now: int,
+                       pgp: ProcessingGroupParameters) -> None:
+        pgp.replenish()
+        # group members throttled by enforcement become eligible again;
+        # the ready queue already holds them, eligibility is re-checked
+        # at dispatch
+
+    def _pick(self) -> RealtimeThread | None:
+        def dispatchable(t: RealtimeThread) -> bool:
+            return isinstance(t.instruction, Compute) and self._eligible(t)
+
+        best = self.scheduler.pick(dispatchable)
+        if best is None:
+            self._running = None
+            return None
+        current = self._running
+        if (
+            current is not None
+            and current is not best
+            and dispatchable(current)
+            and current.ready()
+            and not self.scheduler.should_preempt(best, current)
+        ):
+            best = current
+        if best is not current and self.overhead.context_switch_ns:
+            self.add_isr_time(self.overhead.context_switch_ns)
+        self._running = best
+        return best
+
+    def _eligible(self, thread: RealtimeThread) -> bool:
+        pgp = thread.pgp
+        if pgp is None or not pgp.enforced:
+            return True
+        return not pgp.exhausted
+
+    def _execute_slice(self, thread: RealtimeThread, until_ns: int) -> None:
+        instr = thread.instruction
+        assert isinstance(instr, Compute)
+        # a Timed deadline that already passed (e.g. covered by an ISR
+        # window) interrupts before any further execution
+        if instr.deadline_ns is not None and instr.deadline_ns <= self.now_ns:
+            self._interrupt(thread)
+            return
+        stop_candidates = [self.now_ns + instr.remaining_ns, until_ns]
+        if instr.deadline_ns is not None:
+            stop_candidates.append(instr.deadline_ns)
+        nxt = self._next_event_time()
+        if nxt is not None:
+            stop_candidates.append(nxt)
+        pgp = thread.pgp
+        if pgp is not None and pgp.enforced:
+            stop_candidates.append(self.now_ns + max(pgp.budget_ns, 0))
+        stop = min(stop_candidates)
+        if stop > self.now_ns:
+            elapsed = stop - self.now_ns
+            instr.remaining_ns -= elapsed
+            if pgp is not None:
+                pgp.budget_ns -= elapsed
+                if pgp.budget_ns < 0:
+                    # the portion of this slice past the budget boundary
+                    pgp.overrun_ns += min(elapsed, -pgp.budget_ns)
+            self.trace.add_segment(
+                self.now_ns / NS_PER_UNIT,
+                stop / NS_PER_UNIT,
+                thread.name,
+                thread.activity_label,
+            )
+            self.now_ns = stop
+        if instr.remaining_ns <= 0:
+            thread.advance()
+            self._handle_instruction(thread)
+        elif instr.deadline_ns is not None and instr.deadline_ns <= self.now_ns:
+            self._interrupt(thread)
+        # otherwise: preempted by an event/pgp boundary; loop re-picks
+
+    def _interrupt(self, thread: RealtimeThread) -> None:
+        instr = thread.instruction
+        owner = instr.deadline_owner if isinstance(instr, Compute) else None
+        thread.advance(exc=AsynchronouslyInterruptedException(owner))
+        self._handle_instruction(thread)
+
+    def _handle_instruction(self, thread: RealtimeThread) -> None:
+        """Process non-compute instructions until the thread blocks,
+        terminates, or parks on a Compute."""
+        while True:
+            instr = thread.instruction
+            if thread.state is ThreadState.TERMINATED or instr is None:
+                self.scheduler.remove(thread)
+                thread.state = ThreadState.TERMINATED
+                return
+            if isinstance(instr, Compute):
+                if instr.remaining_ns <= 0:
+                    # zero-length compute: complete immediately
+                    thread.advance()
+                    continue
+                thread.state = ThreadState.READY
+                self.scheduler.make_ready(thread)
+                return
+            if isinstance(instr, WaitForNextPeriod):
+                release = thread.release
+                if not isinstance(release, PeriodicParameters):
+                    raise RuntimeError(
+                        f"thread {thread.name!r} yielded WaitForNextPeriod "
+                        "without PeriodicParameters"
+                    )
+                period = release.period.total_nanos
+                thread.next_release_ns += period
+                while thread.next_release_ns < self.now_ns:
+                    # overrun past a whole period: skip to the first
+                    # release not in the past (a release due exactly now
+                    # is still taken, as in RTSJ waitForNextPeriod)
+                    thread.next_release_ns += period
+                thread.state = ThreadState.BLOCKED
+                self.scheduler.remove(thread)
+                self.schedule_event(
+                    thread.next_release_ns,
+                    lambda now, t=thread: self._wake(t),
+                    order=3,
+                )
+                return
+            if isinstance(instr, Sleep):
+                thread.state = ThreadState.BLOCKED
+                self.scheduler.remove(thread)
+                wake_at = max(instr.until_ns, self.now_ns)
+                self.schedule_event(
+                    wake_at, lambda now, t=thread: self._wake(t), order=3
+                )
+                return
+            if isinstance(instr, AwaitRelease):
+                if thread.pending_releases > 0:
+                    thread.pending_releases -= 1
+                    thread.advance()
+                    continue
+                thread.state = ThreadState.BLOCKED
+                self.scheduler.remove(thread)
+                return
+            raise TypeError(f"unknown instruction {instr!r}")
+
+    def _wake(self, thread: RealtimeThread) -> None:
+        if thread.state is ThreadState.TERMINATED:
+            return
+        self._make_dispatchable(thread)

@@ -1,0 +1,379 @@
+"""RTSS discrete-event kernel.
+
+The simulator models a single preemptive processor shared by *entities*
+(periodic tasks, task servers, standalone jobs).  A pluggable
+:class:`SchedulingPolicy` selects which ready entity holds the processor;
+the kernel advances virtual time from decision point to decision point:
+
+* the next scheduled timed callback (a release, a replenishment, ...), or
+* the running entity exhausting its *budget* (job completion, server
+  capacity exhaustion).
+
+All state changes happen through timed callbacks and budget-exhaustion
+hooks, which keeps the kernel itself policy-agnostic and fully
+deterministic: ties are broken by an explicit ``order`` then by insertion
+sequence.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from .task import Job, JobState, PeriodicJob, PeriodicTask
+from .trace import ExecutionTrace, TraceEventKind
+from ..workload.spec import PeriodicTaskSpec
+
+__all__ = [
+    "EPS",
+    "EventQueue",
+    "Entity",
+    "SchedulingPolicy",
+    "PeriodicTaskEntity",
+    "Simulation",
+]
+
+#: tolerance for floating-point time comparison
+EPS = 1e-9
+
+
+class EventQueue:
+    """A deterministic time-ordered callback queue.
+
+    Callbacks scheduled for the same instant run in ascending ``order``,
+    then in insertion sequence.  ``order`` lets callers pin down semantics
+    such as "budget accounting before replenishment before releases".
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Callable[[float], None]]] = []
+        self._seq = 0
+
+    def schedule(self, time: float, callback: Callable[[float], None],
+                 order: int = 0) -> None:
+        """Schedule ``callback(time)`` to run at ``time``."""
+        if time < -EPS:
+            raise ValueError(f"cannot schedule in negative time: {time}")
+        heapq.heappush(self._heap, (time, order, self._seq, callback))
+        self._seq += 1
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest pending callback, or ``None`` if empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop_due(self, now: float) -> Callable[[float], None] | None:
+        """Pop the earliest callback if it is due at ``now`` (within EPS)."""
+        if self._heap and self._heap[0][0] <= now + EPS:
+            return heapq.heappop(self._heap)[3]
+        return None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class Entity(ABC):
+    """Anything that can compete for the processor."""
+
+    #: larger numbers mean higher priority (fixed-priority policies)
+    priority: int = 0
+    name: str = "entity"
+
+    @abstractmethod
+    def ready(self, now: float) -> bool:
+        """True when the entity wants the processor at ``now``."""
+
+    @abstractmethod
+    def budget(self, now: float) -> float:
+        """Longest contiguous slice the entity can run before an internal
+        state change (completion, capacity exhaustion)."""
+
+    @abstractmethod
+    def consume(self, start: float, duration: float, sim: "Simulation") -> None:
+        """Charge ``duration`` of processor time beginning at ``start``."""
+
+    @abstractmethod
+    def on_budget_exhausted(self, now: float, sim: "Simulation") -> None:
+        """Called when the entity ran its full declared budget."""
+
+    def current_job_label(self) -> str | None:
+        """Label of the activation being run (for the trace), if any."""
+        return None
+
+    def current_deadline(self, now: float) -> float:
+        """Absolute deadline of the head activation (EDF policies)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose deadlines"
+        )
+
+    def on_preempted(self, now: float, sim: "Simulation") -> None:
+        """Hook: the entity lost the processor while still ready."""
+
+    def on_dispatched(self, now: float, sim: "Simulation") -> None:
+        """Hook: the entity just received the processor."""
+
+
+class SchedulingPolicy(ABC):
+    """Chooses among ready entities and decides preemption."""
+
+    name: str = "policy"
+
+    @abstractmethod
+    def select(self, now: float, ready: list[Entity]) -> Entity | None:
+        """Pick the entity to run (``ready`` is in registration order)."""
+
+    @abstractmethod
+    def preempts(self, candidate: Entity, running: Entity, now: float) -> bool:
+        """True if ``candidate`` must displace ``running``."""
+
+
+class PeriodicTaskEntity(Entity):
+    """Adapter presenting a periodic task's pending jobs to the kernel.
+
+    Jobs are served in release order; under a schedulable configuration at
+    most one job is pending at a time, but backlogged activations queue up
+    rather than being lost, and each missed deadline is recorded.
+    """
+
+    def __init__(self, task: PeriodicTask) -> None:
+        self.task = task
+        self.name = task.name
+        self.priority = task.priority
+        self._queue: list[PeriodicJob] = []
+
+    def ready(self, now: float) -> bool:
+        return bool(self._queue)
+
+    def budget(self, now: float) -> float:
+        return self._queue[0].remaining if self._queue else 0.0
+
+    def current_job_label(self) -> str | None:
+        return self._queue[0].name if self._queue else None
+
+    def current_deadline(self, now: float) -> float:
+        if not self._queue:
+            raise ValueError(f"{self.name} has no pending job")
+        deadline = self._queue[0].deadline
+        assert deadline is not None  # periodic jobs always carry deadlines
+        return deadline
+
+    def consume(self, start: float, duration: float, sim: "Simulation") -> None:
+        job = self._queue[0]
+        if job.start_time is None:
+            job.start_time = start
+            sim.trace.add_event(start, TraceEventKind.START, job.name)
+        job.consume(duration)
+
+    def on_budget_exhausted(self, now: float, sim: "Simulation") -> None:
+        job = self._queue.pop(0)
+        job.state = JobState.COMPLETED
+        job.finish_time = now
+        sim.trace.add_event(now, TraceEventKind.COMPLETION, job.name)
+
+    def release(self, now: float, job: PeriodicJob, sim: "Simulation") -> None:
+        """Timed callback: a new activation arrives."""
+        job.state = JobState.PENDING
+        self._queue.append(job)
+        sim.trace.add_event(now, TraceEventKind.RELEASE, job.name)
+
+
+class Simulation:
+    """A single-processor simulation run.
+
+    Typical use::
+
+        sim = Simulation(FixedPriorityPolicy())
+        sim.add_periodic_task(PeriodicTaskSpec("t1", cost=2, period=6, priority=5))
+        server = IdealPollingServer(ServerSpec(4, 6, priority=10))
+        sim.attach_server(server)
+        sim.submit_aperiodic(AperiodicJob("h1", release=0, cost=2))
+        sim.run(until=60)
+    """
+
+    def __init__(self, policy: SchedulingPolicy,
+                 trace: ExecutionTrace | None = None,
+                 on_deadline_miss: str = "continue") -> None:
+        if on_deadline_miss not in ("continue", "abort"):
+            raise ValueError(
+                "on_deadline_miss must be 'continue' (soft: late jobs keep "
+                f"running) or 'abort' (firm: drop them), got {on_deadline_miss!r}"
+            )
+        self.policy = policy
+        self.on_deadline_miss = on_deadline_miss
+        self.trace = trace if trace is not None else ExecutionTrace()
+        self.queue = EventQueue()
+        self.entities: list[Entity] = []
+        self.now = 0.0
+        self._running: Entity | None = None
+        self._ran = False
+        self.periodic_tasks: list[PeriodicTask] = []
+        self.aperiodic_jobs: list[Job] = []
+        self._pending_periodic: list[
+            tuple[PeriodicTask, PeriodicTaskEntity, float | None]
+        ] = []
+        #: callbacks invoked as fn(start, end, entity) after every
+        #: executed processor slice (used by exchange-based servers)
+        self.segment_observers: list[Callable[[float, float, Entity], None]] = []
+
+    # -- construction ------------------------------------------------------
+
+    def register_entity(self, entity: Entity) -> None:
+        """Add a processor competitor (registration order breaks ties)."""
+        if self._ran:
+            raise RuntimeError("cannot register entities after run()")
+        self.entities.append(entity)
+
+    def add_periodic_task(self, spec: PeriodicTaskSpec,
+                          horizon: float | None = None) -> PeriodicTask:
+        """Register a periodic task; releases are pre-scheduled up to the
+        horizon given here or to :meth:`run`'s ``until``."""
+        task = PeriodicTask(spec)
+        entity = PeriodicTaskEntity(task)
+        self.register_entity(entity)
+        self.periodic_tasks.append(task)
+        self._pending_periodic.append((task, entity, horizon))
+        return task
+
+    def submit_aperiodic(self, job: Job,
+                         handler: Callable[[float, Job], None]) -> None:
+        """Schedule ``handler(now, job)`` at the job's release time."""
+        self.aperiodic_jobs.append(job)
+        self.queue.schedule(
+            job.release, lambda now, j=job: handler(now, j), order=5
+        )
+
+    def schedule_at(self, time: float, callback: Callable[[float], None],
+                    order: int = 0) -> None:
+        """Schedule an arbitrary timed callback."""
+        self.queue.schedule(time, callback, order)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, until: float) -> ExecutionTrace:
+        """Advance virtual time to ``until`` and return the trace."""
+        if until <= 0:
+            raise ValueError(f"until must be > 0, got {until}")
+        if self._ran:
+            raise RuntimeError("a Simulation can only be run once")
+        self._ran = True
+        self._schedule_periodic_releases(until)
+
+        while self.now < until - EPS:
+            self._drain_due_events()
+            runner = self._pick(self.now)
+            next_evt = self.queue.peek_time()
+            if runner is None:
+                # processor idle: jump to the next event, or finish
+                if next_evt is None or next_evt > until + EPS:
+                    break
+                self.now = max(self.now, next_evt)
+                continue
+            budget = runner.budget(self.now)
+            if budget <= EPS:
+                # degenerate budget: treat as immediately exhausted
+                runner.on_budget_exhausted(self.now, self)
+                continue
+            end = self.now + budget
+            slice_end = min(
+                end,
+                until,
+                next_evt if next_evt is not None else math.inf,
+            )
+            if slice_end > self.now + EPS:
+                runner.consume(self.now, slice_end - self.now, self)
+                self.trace.add_segment(
+                    self.now, slice_end, runner.name,
+                    runner.current_job_label(),
+                )
+                for observer in self.segment_observers:
+                    observer(self.now, slice_end, runner)
+                self.now = slice_end
+            if abs(self.now - end) <= EPS:
+                runner.on_budget_exhausted(self.now, self)
+            # loop: events due now are drained at the top, then reselection
+
+        # clip the clock to the horizon for reporting purposes
+        self.now = min(max(self.now, until), until)
+        self.trace.validate()
+        return self.trace
+
+    # -- internals ----------------------------------------------------------
+
+    def _drain_due_events(self) -> None:
+        while True:
+            cb = self.queue.pop_due(self.now)
+            if cb is None:
+                return
+            cb(self.now)
+
+    def _pick(self, now: float) -> Entity | None:
+        ready = [e for e in self.entities if e.ready(now)]
+        if not ready:
+            self._switch(None, now)
+            return None
+        candidate = self.policy.select(now, ready)
+        current = self._running
+        if (
+            current is not None
+            and current.ready(now)
+            and candidate is not current
+            and not self.policy.preempts(candidate, current, now)
+        ):
+            candidate = current
+        self._switch(candidate, now)
+        return candidate
+
+    def _switch(self, entity: Entity | None, now: float) -> None:
+        if entity is self._running:
+            return
+        if self._running is not None and self._running.ready(now):
+            self._running.on_preempted(now, self)
+            label = self._running.current_job_label() or self._running.name
+            self.trace.add_event(now, TraceEventKind.PREEMPTION, label)
+        self._running = entity
+        if entity is not None:
+            entity.on_dispatched(now, self)
+
+    def _schedule_periodic_releases(self, until: float) -> None:
+        for task, entity, horizon in self._pending_periodic:
+            limit = horizon if horizon is not None else until
+            instance = 0
+            while True:
+                release = task.spec.offset + instance * task.spec.period
+                if release >= limit - EPS:
+                    break
+                job = task.release_job(instance)
+                self.queue.schedule(
+                    release,
+                    lambda now, e=entity, j=job: e.release(now, j, self),
+                    order=4,
+                )
+                deadline = job.deadline
+                assert deadline is not None
+                self.queue.schedule(
+                    deadline,
+                    lambda now, j=job: self._check_deadline(now, j),
+                    order=9,
+                )
+                instance += 1
+
+    def _check_deadline(self, now: float, job: Job) -> None:
+        if job.done:
+            return
+        self.trace.add_event(now, TraceEventKind.DEADLINE_MISS, job.name)
+        if self.on_deadline_miss == "abort" and isinstance(job, PeriodicJob):
+            # firm semantics: the expired activation is abandoned so it
+            # cannot push later activations past their own deadlines
+            job.state = JobState.ABORTED
+            job.finish_time = now
+            self.trace.add_event(
+                now, TraceEventKind.ABORT, job.name, "deadline expired"
+            )
+            for entity in self.entities:
+                if (
+                    isinstance(entity, PeriodicTaskEntity)
+                    and job in entity._queue  # noqa: SLF001
+                ):
+                    entity._queue.remove(job)  # noqa: SLF001
+                    break

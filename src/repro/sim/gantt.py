@@ -1,0 +1,212 @@
+"""Temporal diagrams: the figures RTSS displays (paper Figures 2-4).
+
+Renders an :class:`~repro.sim.trace.ExecutionTrace` either as an ASCII
+chart (one row per entity, one column per time quantum) or as a small
+standalone SVG.  Both renderers are deterministic so their output can be
+asserted in tests and diffed across runs.
+"""
+
+from __future__ import annotations
+
+from .trace import ExecutionTrace, Segment, TraceEventKind
+
+__all__ = ["ascii_gantt", "ascii_capacity", "svg_gantt"]
+
+
+def _entities_in_order(trace: ExecutionTrace,
+                       entities: list[str] | None) -> list[str]:
+    if entities is not None:
+        return entities
+    seen: list[str] = []
+    for seg in trace.segments:
+        if seg.entity not in seen:
+            seen.append(seg.entity)
+    return seen
+
+
+def ascii_gantt(
+    trace: ExecutionTrace,
+    until: float | None = None,
+    quantum: float = 1.0,
+    entities: list[str] | None = None,
+    width_label: int = 12,
+) -> str:
+    """Render the trace as fixed-width text.
+
+    Each row is an entity; each column covers ``quantum`` time units.
+    A cell shows ``#`` when the entity ran for the full quantum, ``+``
+    when it ran for part of it, and ``.`` when it did not run.  A final
+    axis row marks every fifth quantum.
+
+    >>> # doctest-style sketch (see tests for real assertions):
+    >>> # PS           |####..####..|
+    >>> # t1           |....##....##|
+    """
+    if quantum <= 0:
+        raise ValueError(f"quantum must be > 0, got {quantum}")
+    horizon = until if until is not None else trace.makespan
+    ncols = max(1, round(horizon / quantum))
+    names = _entities_in_order(trace, entities)
+    rows: list[str] = []
+    for name in names:
+        segs = trace.segments_of(name)
+        cells = []
+        for c in range(ncols):
+            lo, hi = c * quantum, (c + 1) * quantum
+            covered = _coverage(segs, lo, hi)
+            if covered >= (hi - lo) - 1e-9:
+                cells.append("#")
+            elif covered > 1e-9:
+                cells.append("+")
+            else:
+                cells.append(".")
+        rows.append(f"{name:<{width_label}}|{''.join(cells)}|")
+    axis = [" "] * ncols
+    for c in range(0, ncols, 5):
+        mark = str(round(c * quantum))
+        for i, ch in enumerate(mark):
+            if c + i < ncols:
+                axis[c + i] = ch
+    rows.append(f"{'':<{width_label}} {''.join(axis)}")
+    return "\n".join(rows)
+
+
+def _coverage(segments: list[Segment], lo: float, hi: float) -> float:
+    return sum(
+        max(0.0, min(s.end, hi) - max(s.start, lo)) for s in segments
+    )
+
+
+def ascii_capacity(
+    history: list[tuple[float, float]],
+    until: float,
+    quantum: float = 1.0,
+    label: str = "capacity",
+    width_label: int = 12,
+) -> str:
+    """Render a (time, capacity) staircase as a row of digits.
+
+    Each cell shows the capacity at the *start* of its quantum, rounded
+    down to an integer digit (values above 9 render as ``#``) — the
+    budget curve the paper's figures draw under the schedule.
+    """
+    if quantum <= 0:
+        raise ValueError(f"quantum must be > 0, got {quantum}")
+    ncols = max(1, round(until / quantum))
+    cells = []
+    for c in range(ncols):
+        t = c * quantum
+        value = 0.0
+        for time, capacity in history:
+            if time > t + 1e-9:
+                break
+            value = capacity
+        digit = int(value)
+        cells.append(str(digit) if 0 <= digit <= 9 else "#")
+    return f"{label:<{width_label}}|{''.join(cells)}|"
+
+
+_SVG_COLOURS = [
+    "#4878d0", "#ee854a", "#6acc64", "#d65f5f",
+    "#956cb4", "#8c613c", "#dc7ec0", "#797979",
+]
+
+#: point events drawn on the SVG timeline: kind -> (glyph, colour)
+_MARKERS = {
+    TraceEventKind.RELEASE: ("▲", "#2a2a2a"),
+    TraceEventKind.COMPLETION: ("▼", "#2a7a2a"),
+    TraceEventKind.INTERRUPT: ("✕", "#c0392b"),
+    TraceEventKind.DEADLINE_MISS: ("!", "#c0392b"),
+}
+
+
+def svg_gantt(
+    trace: ExecutionTrace,
+    until: float | None = None,
+    entities: list[str] | None = None,
+    px_per_unit: float = 24.0,
+    row_height: int = 28,
+    label_width: int = 120,
+    show_markers: bool = True,
+) -> str:
+    """Render the trace as a standalone SVG document (a string).
+
+    ``show_markers`` draws the point events (releases ▲, completions ▼,
+    interrupts ✕, deadline misses !) above the row of the entity whose
+    segments carry the event's subject as a job label.
+    """
+    horizon = until if until is not None else trace.makespan
+    names = _entities_in_order(trace, entities)
+    width = label_width + int(horizon * px_per_unit) + 20
+    height = row_height * (len(names) + 1) + 30
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+
+    def x(t: float) -> float:
+        return label_width + t * px_per_unit
+
+    for row, name in enumerate(names):
+        y = 10 + row * row_height
+        colour = _SVG_COLOURS[row % len(_SVG_COLOURS)]
+        parts.append(
+            f'<text x="4" y="{y + row_height * 0.6:.1f}">{_esc(name)}</text>'
+        )
+        for seg in trace.segments_of(name):
+            parts.append(
+                f'<rect x="{x(seg.start):.1f}" y="{y:.1f}" '
+                f'width="{seg.duration * px_per_unit:.1f}" '
+                f'height="{row_height - 8}" fill="{colour}">'
+                f"<title>{_esc(seg.job or name)} "
+                f"[{seg.start:g}, {seg.end:g})</title></rect>"
+            )
+    if show_markers:
+        # map each job label to the row of the entity that executed it
+        job_row: dict[str, int] = {}
+        for row, name in enumerate(names):
+            for seg in trace.segments_of(name):
+                if seg.job is not None:
+                    job_row.setdefault(seg.job, row)
+            job_row.setdefault(name, row)
+        for event in trace.events:
+            marker = _MARKERS.get(event.kind)
+            if marker is None or event.time > horizon + 1e-9:
+                continue
+            row = job_row.get(event.subject)
+            if row is None:
+                continue
+            glyph, colour = marker
+            y = 10 + row * row_height
+            parts.append(
+                f'<text x="{x(event.time) - 4:.1f}" y="{y - 2:.1f}" '
+                f'fill="{colour}" font-size="10">{glyph}'
+                f"<title>{_esc(event.kind.value)}: {_esc(event.subject)} "
+                f"at {event.time:g}</title></text>"
+            )
+    # time axis with unit ticks
+    axis_y = 10 + len(names) * row_height + 8
+    parts.append(
+        f'<line x1="{x(0):.1f}" y1="{axis_y}" x2="{x(horizon):.1f}" '
+        f'y2="{axis_y}" stroke="black"/>'
+    )
+    t = 0.0
+    while t <= horizon + 1e-9:
+        parts.append(
+            f'<line x1="{x(t):.1f}" y1="{axis_y - 3}" x2="{x(t):.1f}" '
+            f'y2="{axis_y + 3}" stroke="black"/>'
+        )
+        if round(t) % 5 == 0:
+            parts.append(
+                f'<text x="{x(t) - 3:.1f}" y="{axis_y + 16}">{round(t)}</text>'
+            )
+        t += 1.0
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _esc(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )

@@ -1,0 +1,12 @@
+"""Scheduling policies implemented by RTSS (paper Section 5)."""
+
+from .fp import FixedPriorityPolicy
+from .edf import EarliestDeadlineFirstPolicy
+from .dover import DOverScheduler, DOverResult
+
+__all__ = [
+    "FixedPriorityPolicy",
+    "EarliestDeadlineFirstPolicy",
+    "DOverScheduler",
+    "DOverResult",
+]

@@ -1,0 +1,33 @@
+"""Earliest-Deadline-First scheduling.
+
+Entities expose the absolute deadline of their head activation through
+:meth:`repro.sim.engine.Entity.current_deadline`.  Ties are broken by
+registration order, and a running entity is not displaced by an
+equal-deadline competitor (avoiding gratuitous context switches).
+"""
+
+from __future__ import annotations
+
+from ..engine import EPS, Entity, SchedulingPolicy
+
+__all__ = ["EarliestDeadlineFirstPolicy"]
+
+
+class EarliestDeadlineFirstPolicy(SchedulingPolicy):
+    """Preemptive EDF over the head deadlines of ready entities."""
+
+    name = "edf"
+
+    def select(self, now: float, ready: list[Entity]) -> Entity | None:
+        if not ready:
+            return None
+        best = ready[0]
+        best_d = best.current_deadline(now)
+        for entity in ready[1:]:
+            d = entity.current_deadline(now)
+            if d < best_d - EPS:
+                best, best_d = entity, d
+        return best
+
+    def preempts(self, candidate: Entity, running: Entity, now: float) -> bool:
+        return candidate.current_deadline(now) < running.current_deadline(now) - EPS

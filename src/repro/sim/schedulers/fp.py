@@ -1,0 +1,31 @@
+"""Preemptive fixed-priority scheduling (the paper's base assumption).
+
+Larger ``priority`` integers denote more urgent entities.  Among equal
+priorities the entity registered first wins and a running entity is never
+displaced by an equal-priority competitor (FIFO-within-priority, the
+behaviour mandated for the RTSJ ``PriorityScheduler``).
+"""
+
+from __future__ import annotations
+
+from ..engine import Entity, SchedulingPolicy
+
+__all__ = ["FixedPriorityPolicy"]
+
+
+class FixedPriorityPolicy(SchedulingPolicy):
+    """Preemptive fixed priority, FIFO within a priority level."""
+
+    name = "fixed-priority"
+
+    def select(self, now: float, ready: list[Entity]) -> Entity | None:
+        if not ready:
+            return None
+        best = ready[0]
+        for entity in ready[1:]:
+            if entity.priority > best.priority:
+                best = entity
+        return best
+
+    def preempts(self, candidate: Entity, running: Entity, now: float) -> bool:
+        return candidate.priority > running.priority

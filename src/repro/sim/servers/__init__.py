@@ -1,0 +1,21 @@
+"""Ideal (literature) aperiodic task server policies for RTSS."""
+
+from .base import AperiodicServer
+from .background import BackgroundServer
+from .deferrable import IdealDeferrableServer
+from .polling import IdealPollingServer
+from .priority_exchange import PriorityExchangeServer
+from .slack_stealing import SlackStealingServer
+from .sporadic import SporadicServer
+from .total_bandwidth import TotalBandwidthServer
+
+__all__ = [
+    "AperiodicServer",
+    "BackgroundServer",
+    "IdealDeferrableServer",
+    "IdealPollingServer",
+    "PriorityExchangeServer",
+    "SlackStealingServer",
+    "SporadicServer",
+    "TotalBandwidthServer",
+]

@@ -1,0 +1,40 @@
+"""Background servicing: the trivial baseline of paper Section 2.
+
+All aperiodic work runs at a priority below every periodic task —
+"very simple to implement, [but] does not offer satisfying response
+times for non-periodic tasks, especially if the periodic traffic is
+important".  It has no capacity account at all; it simply soaks up idle
+time.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..engine import Simulation
+from ..trace import TraceEventKind
+from .base import AperiodicServer
+
+__all__ = ["BackgroundServer"]
+
+
+class BackgroundServer(AperiodicServer):
+    """Serve aperiodics whenever the processor would otherwise idle."""
+
+    def _schedule_housekeeping(self, sim: Simulation, horizon: float) -> None:
+        # no replenishments: an unlimited, priority-starved budget
+        self.capacity = math.inf
+
+    def ready(self, now: float) -> bool:
+        return bool(self.pending)
+
+    def budget(self, now: float) -> float:
+        return self.pending[0].remaining if self.pending else 0.0
+
+    def consume(self, start: float, duration: float, sim: Simulation) -> None:
+        # skip the capacity charge of the base class
+        job = self.pending[0]
+        if job.start_time is None:
+            job.start_time = start
+            sim.trace.add_event(start, TraceEventKind.START, job.name)
+        job.consume(duration)

@@ -1,0 +1,158 @@
+"""Common machinery for aperiodic task servers (ideal, literature form).
+
+A server is an :class:`~repro.sim.engine.Entity` competing for the
+processor at a fixed priority, holding a FIFO queue of pending
+:class:`~repro.sim.task.AperiodicJob` and a capacity account whose
+management distinguishes the policies (paper Section 2).
+
+Unlike the RTSJ implementations of ``repro.core``, the servers here have
+the exact literature semantics: handlers are *resumable* (a job partially
+served in one server instance continues in the next) and there is no
+runtime overhead.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from collections import deque
+
+from ..engine import EPS, Entity, Simulation
+from ..task import AperiodicJob, JobState
+from ..trace import TraceEventKind
+from ...workload.spec import ServerSpec
+
+__all__ = ["AperiodicServer"]
+
+
+class AperiodicServer(Entity):
+    """Base class: FIFO pending queue + capacity account."""
+
+    def __init__(self, spec: ServerSpec, name: str | None = None) -> None:
+        self.spec = spec
+        self.name = name if name is not None else type(self).__name__
+        self.priority = spec.priority
+        self.pending: deque[AperiodicJob] = deque()
+        self.capacity: float = 0.0
+        self.completed: list[AperiodicJob] = []
+        self.submitted: list[AperiodicJob] = []
+        #: (time, capacity) breakpoints — the capacity curve the paper's
+        #: figures chart alongside the schedule
+        self.capacity_history: list[tuple[float, float]] = []
+        self._sim: Simulation | None = None
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach(self, sim: Simulation, horizon: float) -> None:
+        """Register with a simulation and schedule periodic bookkeeping."""
+        self._sim = sim
+        sim.register_entity(self)
+        self._schedule_housekeeping(sim, horizon)
+        self.record_capacity(0.0)
+
+    def record_capacity(self, now: float) -> None:
+        """Append a (time, capacity) breakpoint (deduplicated)."""
+        point = (now, self.capacity)
+        if not self.capacity_history or self.capacity_history[-1] != point:
+            self.capacity_history.append(point)
+
+    def capacity_at(self, t: float) -> float:
+        """Last recorded capacity at or before ``t`` (staircase view)."""
+        value = 0.0
+        for time, capacity in self.capacity_history:
+            if time > t + 1e-12:
+                break
+            value = capacity
+        return value
+
+    @abstractmethod
+    def _schedule_housekeeping(self, sim: Simulation, horizon: float) -> None:
+        """Schedule activations / replenishments up to ``horizon``."""
+
+    def submit(self, now: float, job: AperiodicJob) -> None:
+        """Arrival hook: pass as handler to ``Simulation.submit_aperiodic``."""
+        if self._sim is None:
+            raise RuntimeError(
+                f"server {self.name!r} is not attached to a simulation"
+            )
+        self.submitted.append(job)
+        self.pending.append(job)
+        self._sim.trace.add_event(now, TraceEventKind.RELEASE, job.name)
+        self._on_arrival(now, job)
+
+    def _on_arrival(self, now: float, job: AperiodicJob) -> None:
+        """Policy hook: a job just joined the pending queue."""
+
+    # -- Entity protocol ------------------------------------------------------
+
+    def ready(self, now: float) -> bool:
+        return bool(self.pending) and self.capacity > EPS
+
+    def budget(self, now: float) -> float:
+        if not self.pending:
+            return 0.0
+        return min(self.pending[0].remaining, self.capacity)
+
+    def current_job_label(self) -> str | None:
+        return self.pending[0].name if self.pending else None
+
+    def consume(self, start: float, duration: float, sim: Simulation) -> None:
+        job = self.pending[0]
+        if job.start_time is None:
+            job.start_time = start
+            sim.trace.add_event(start, TraceEventKind.START, job.name)
+        job.consume(duration)
+        self.capacity = max(0.0, self.capacity - duration)
+        self.record_capacity(start + duration)
+
+    def on_budget_exhausted(self, now: float, sim: Simulation) -> None:
+        job = self.pending[0]
+        if job.remaining <= EPS:
+            self.pending.popleft()
+            job.state = JobState.COMPLETED
+            job.finish_time = now
+            self.completed.append(job)
+            sim.trace.add_event(now, TraceEventKind.COMPLETION, job.name)
+        if self.capacity <= EPS:
+            sim.trace.add_event(
+                now, TraceEventKind.CAPACITY_EXHAUSTED, self.name
+            )
+            self._on_capacity_exhausted(now)
+        elif not self.pending:
+            self._on_idle(now)
+
+    def _on_capacity_exhausted(self, now: float) -> None:
+        """Policy hook: the capacity account just hit zero."""
+
+    def _on_idle(self, now: float) -> None:
+        """Policy hook: the queue drained while capacity remains."""
+
+    # -- bookkeeping helpers ---------------------------------------------------
+
+    def _replenish(self, now: float, amount: float, cap: float | None = None) -> None:
+        limit = cap if cap is not None else self.spec.capacity
+        self.capacity = min(limit, self.capacity + amount)
+        self.record_capacity(now)
+        assert self._sim is not None
+        self._sim.trace.add_event(
+            now, TraceEventKind.REPLENISH, self.name,
+            f"capacity={self.capacity:g}",
+        )
+
+    # -- metrics ---------------------------------------------------------------
+
+    @property
+    def served_ratio(self) -> float:
+        """Fraction of submitted jobs completed (ASR numerator/denominator)."""
+        if not self.submitted:
+            return 1.0
+        return len(self.completed) / len(self.submitted)
+
+    @property
+    def response_times(self) -> list[float]:
+        """Response times of all completed jobs, in completion order."""
+        out: list[float] = []
+        for job in self.completed:
+            rt = job.response_time
+            assert rt is not None
+            out.append(rt)
+        return out

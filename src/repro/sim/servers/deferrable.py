@@ -1,0 +1,38 @@
+"""Ideal Deferrable Server (Strosnider, Lehoczky & Sha 1995; paper S2.2).
+
+The server preserves its capacity while idle and serves an aperiodic job
+the instant it arrives (at the server's priority) as long as capacity
+remains; the capacity is restored to its full value at every period
+boundary.  This "deferred" bandwidth is what buys the DS its better
+average response times at the cost of a modified periodic-task
+feasibility analysis (implemented in
+:mod:`repro.analysis.server_analysis`).
+"""
+
+from __future__ import annotations
+
+from ..engine import EPS, Simulation
+from .base import AperiodicServer
+
+__all__ = ["IdealDeferrableServer"]
+
+
+class IdealDeferrableServer(AperiodicServer):
+    """Literature Deferrable Server semantics (resumable, zero overhead)."""
+
+    def _schedule_housekeeping(self, sim: Simulation, horizon: float) -> None:
+        self.capacity = self.spec.capacity
+        period = self.spec.period
+        k = 1
+        while k * period < horizon - EPS:
+            sim.schedule_at(
+                k * period,
+                lambda now: self._replenish_full(now),
+                order=6,
+            )
+            k += 1
+
+    def _replenish_full(self, now: float) -> None:
+        # full (not incremental) restoration, the classic DS rule
+        self.capacity = 0.0
+        self._replenish(now, self.spec.capacity)

@@ -1,0 +1,55 @@
+"""Ideal Polling Server (Lehoczky, Sha & Strosnider 1987; paper S2.1).
+
+The server is activated every period with its full capacity.  If
+aperiodic jobs are pending it serves them within the capacity limit;
+as soon as it suspends — either because the queue drained or because the
+capacity ran out — any remaining capacity is *lost* until the next
+activation.  Jobs are resumable: a job cut short by capacity exhaustion
+continues in the next server instance (the behaviour the paper's RTSJ
+implementation cannot offer, cf. Figure 3's discussion).
+"""
+
+from __future__ import annotations
+
+from ..engine import EPS, Simulation
+from ..trace import TraceEventKind
+from .base import AperiodicServer
+
+__all__ = ["IdealPollingServer"]
+
+
+class IdealPollingServer(AperiodicServer):
+    """Literature Polling Server semantics (resumable, zero overhead)."""
+
+    def _schedule_housekeeping(self, sim: Simulation, horizon: float) -> None:
+        period = self.spec.period
+        k = 0
+        while k * period < horizon - EPS:
+            # order=6: activations run after same-instant arrivals (order=5)
+            # so a job released exactly at an activation is seen by it,
+            # matching the paper's Scenario 1 (e2 fired at t=6 is served
+            # by the instance starting at t=6).
+            sim.schedule_at(k * period, self._activate, order=6)
+            k += 1
+
+    def _activate(self, now: float) -> None:
+        if self.pending:
+            self.capacity = self.spec.capacity
+            assert self._sim is not None
+            self._sim.trace.add_event(
+                now, TraceEventKind.REPLENISH, self.name,
+                f"capacity={self.capacity:g}",
+            )
+        else:
+            # polling: an idle activation forfeits the whole budget
+            self.capacity = 0.0
+        self.record_capacity(now)
+
+    def _on_idle(self, now: float) -> None:
+        # the queue drained mid-instance: the leftover budget is lost
+        self.capacity = 0.0
+        self.record_capacity(now)
+        assert self._sim is not None
+        self._sim.trace.add_event(
+            now, TraceEventKind.SERVER_SUSPEND, self.name, "queue empty"
+        )

@@ -1,0 +1,147 @@
+"""Priority Exchange server (Lehoczky, Sha & Strosnider 1987; paper S2).
+
+The PE server is replenished to full capacity every period at its own
+(high) priority.  When no aperiodic work is pending, instead of being
+discarded (Polling Server) the capacity is *exchanged* with the periodic
+task that executes in its place: the budget trickles down to that task's
+priority level and is preserved there, to be consumed later by aperiodic
+jobs at that lower level.  Capacity exchanged with *idle time* is lost.
+
+Implementation notes
+--------------------
+The server keeps a ledger ``{priority_level: capacity}``.  It observes
+every processor slice (through the simulation's segment observers):
+
+* a periodic task of priority ``p`` running while ledger capacity exists
+  at any level above ``p`` converts that capacity (up to the slice
+  length, highest levels first) down to level ``p``;
+* idle time drains the highest available capacity (this is implicit:
+  no observer fires for idle slices, and aperiodic service checks
+  eligibility against the current ready set, so stale high-level
+  capacity simply ages until overwritten at the next replenishment).
+
+An aperiodic job may consume ledger capacity at a level strictly above
+the highest-priority ready periodic task (running "in place of" lower
+tasks would violate their exchanged guarantees).  This is the standard
+textbook presentation of PE (Buttazzo, *Hard Real-Time Computing
+Systems*, ch. 5); the full bookkeeping of per-task exchange pairs is
+simplified into the aggregate per-level ledger, which preserves the
+policy's observable behaviour for the workloads exercised here.
+"""
+
+from __future__ import annotations
+
+from ..engine import EPS, Entity, PeriodicTaskEntity, Simulation
+from ..trace import TraceEventKind
+from .base import AperiodicServer
+
+__all__ = ["PriorityExchangeServer"]
+
+
+class PriorityExchangeServer(AperiodicServer):
+    """PE policy with an aggregate per-priority capacity ledger."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: capacity held at each priority level (server level included)
+        self.ledger: dict[int, float] = {}
+
+    def _schedule_housekeeping(self, sim: Simulation, horizon: float) -> None:
+        sim.segment_observers.append(self._observe_segment)
+        period = self.spec.period
+        k = 0
+        while k * period < horizon - EPS:
+            sim.schedule_at(k * period, self._replenish_period, order=6)
+            k += 1
+
+    def _replenish_period(self, now: float) -> None:
+        # a fresh budget lands at the server's own priority; budgets from
+        # earlier periods keep whatever level they were exchanged down to
+        self.ledger[self.priority] = self.spec.capacity
+        self._sync_capacity()
+        assert self._sim is not None
+        self._sim.trace.add_event(
+            now, TraceEventKind.REPLENISH, self.name,
+            f"ledger={self._ledger_repr()}",
+        )
+
+    # -- exchange ---------------------------------------------------------------
+
+    def _observe_segment(self, start: float, end: float, entity: Entity) -> None:
+        if entity is self or not isinstance(entity, PeriodicTaskEntity):
+            return
+        # a periodic task ran: capacity above its level exchanges down
+        amount = end - start
+        p = entity.priority
+        for level in sorted(
+            (lv for lv in self.ledger if lv > p), reverse=True
+        ):
+            if amount <= EPS:
+                break
+            take = min(self.ledger[level], amount)
+            if take <= EPS:
+                continue
+            self.ledger[level] -= take
+            self.ledger[p] = self.ledger.get(p, 0.0) + take
+            amount -= take
+        self._prune()
+        self._sync_capacity()
+
+    # -- eligibility --------------------------------------------------------------
+
+    def _usable_level(self, now: float) -> int | None:
+        """Highest ledger level with capacity that outranks every ready
+        periodic task (capacity at or below a ready task's priority is
+        reserved for that task's exchanged guarantee)."""
+        assert self._sim is not None
+        floor = max(
+            (
+                e.priority
+                for e in self._sim.entities
+                if isinstance(e, PeriodicTaskEntity) and e.ready(now)
+            ),
+            default=None,
+        )
+        usable = [
+            lv for lv, cap in self.ledger.items()
+            if cap > EPS and (floor is None or lv > floor)
+        ]
+        return max(usable) if usable else None
+
+    def ready(self, now: float) -> bool:
+        return bool(self.pending) and self._usable_level(now) is not None
+
+    def budget(self, now: float) -> float:
+        if not self.pending:
+            return 0.0
+        level = self._usable_level(now)
+        if level is None:
+            return 0.0
+        return min(self.pending[0].remaining, self.ledger[level])
+
+    def consume(self, start: float, duration: float, sim: Simulation) -> None:
+        level = self._usable_level(start)
+        assert level is not None, "PE server ran without usable capacity"
+        job = self.pending[0]
+        if job.start_time is None:
+            job.start_time = start
+            sim.trace.add_event(start, TraceEventKind.START, job.name)
+        job.consume(duration)
+        self.ledger[level] -= duration
+        self._prune()
+        self._sync_capacity()
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _sync_capacity(self) -> None:
+        self.capacity = sum(self.ledger.values())
+
+    def _prune(self) -> None:
+        for level in list(self.ledger):
+            if self.ledger[level] <= EPS:
+                del self.ledger[level]
+
+    def _ledger_repr(self) -> str:
+        return ",".join(
+            f"{lv}:{cap:g}" for lv, cap in sorted(self.ledger.items())
+        )

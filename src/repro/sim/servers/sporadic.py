@@ -1,0 +1,78 @@
+"""Sporadic Server (Sprunt, Sha & Lehoczky 1989; cited in paper S2).
+
+The Sporadic Server preserves capacity like the Deferrable Server but
+replenishes it in a way that makes the server indistinguishable from a
+periodic task for feasibility purposes: capacity consumed from time
+``t_A`` onward (the instant the server becomes *active*) is returned one
+full period after ``t_A``, in the amount actually consumed.
+
+This implementation follows the classic high-priority formulation: the
+server is active whenever it is eligible to execute (pending work and
+positive capacity).  Each activation opens a replenishment record
+``(t_A + T_s, consumed)`` that is closed when the server stops being
+eligible, at which point the replenishment is scheduled.
+"""
+
+from __future__ import annotations
+
+from ..engine import EPS, Simulation
+from ..task import AperiodicJob
+from .base import AperiodicServer
+
+__all__ = ["SporadicServer"]
+
+
+class SporadicServer(AperiodicServer):
+    """SS policy: capacity returned T_s after the start of each active span."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._active_since: float | None = None
+        self._consumed_in_span: float = 0.0
+
+    def _schedule_housekeeping(self, sim: Simulation, horizon: float) -> None:
+        self.capacity = self.spec.capacity
+        self._horizon = horizon
+
+    # -- active-span tracking --------------------------------------------------
+
+    def _on_arrival(self, now: float, job: AperiodicJob) -> None:
+        self._maybe_open_span(now)
+
+    def _maybe_open_span(self, now: float) -> None:
+        if self._active_since is None and self.ready(now):
+            self._active_since = now
+            self._consumed_in_span = 0.0
+
+    def consume(self, start: float, duration: float, sim: Simulation) -> None:
+        # the span may open on dispatch rather than arrival (e.g. capacity
+        # was replenished while jobs waited)
+        self._maybe_open_span(start)
+        super().consume(start, duration, sim)
+        self._consumed_in_span += duration
+
+    def on_budget_exhausted(self, now: float, sim: Simulation) -> None:
+        super().on_budget_exhausted(now, sim)
+        if not self.ready(now):
+            self._close_span(now)
+
+    def _close_span(self, now: float) -> None:
+        if self._active_since is None:
+            return
+        amount = self._consumed_in_span
+        replenish_at = self._active_since + self.spec.period
+        self._active_since = None
+        self._consumed_in_span = 0.0
+        if amount <= EPS:
+            return
+        assert self._sim is not None
+        if replenish_at < self._horizon - EPS:
+            self._sim.schedule_at(
+                replenish_at,
+                lambda t, a=amount: self._replenish_and_wake(t, a),
+                order=6,
+            )
+
+    def _replenish_and_wake(self, now: float, amount: float) -> None:
+        self._replenish(now, amount)
+        self._maybe_open_span(now)

@@ -1,0 +1,126 @@
+"""Total Bandwidth Server (Spuri & Buttazzo; deadline-environment servers
+surveyed by the paper's citation [5], Ghazalie & Baker 1995).
+
+RTSS schedules with EDF as well as fixed priorities (paper Section 5);
+the TBS is the natural aperiodic server for the EDF side.  It holds no
+capacity account at all: the *k*-th aperiodic job receives the deadline
+
+    d_k = max(r_k, d_{k-1}) + C_k / U_s
+
+where ``U_s`` is the server's reserved bandwidth, and is then submitted
+to the EDF scheduler as an ordinary job.  As long as the periodic EDF
+load plus ``U_s`` does not exceed 1, every deadline is met.
+
+Unlike the fixed-priority servers of this package, the TBS is *not* an
+:class:`~repro.sim.engine.Entity` wrapper around a queue — each job
+becomes its own EDF competitor the moment its deadline is stamped.
+"""
+
+from __future__ import annotations
+
+from ..engine import Entity, Simulation
+from ..task import AperiodicJob, JobState
+from ..trace import TraceEventKind
+
+__all__ = ["TotalBandwidthServer"]
+
+
+class _TBSJobEntity(Entity):
+    """One deadline-stamped aperiodic job competing under EDF."""
+
+    def __init__(self, job: AperiodicJob, priority: int) -> None:
+        self.job = job
+        self.name = job.name
+        self.priority = priority
+        self._pending = True
+
+    def ready(self, now: float) -> bool:
+        return self._pending and not self.job.done
+
+    def budget(self, now: float) -> float:
+        return self.job.remaining
+
+    def current_job_label(self) -> str | None:
+        return self.job.name
+
+    def current_deadline(self, now: float) -> float:
+        assert self.job.deadline is not None
+        return self.job.deadline
+
+    def consume(self, start: float, duration: float, sim: Simulation) -> None:
+        if self.job.start_time is None:
+            self.job.start_time = start
+            sim.trace.add_event(start, TraceEventKind.START, self.job.name)
+        self.job.consume(duration)
+
+    def on_budget_exhausted(self, now: float, sim: Simulation) -> None:
+        self._pending = False
+        self.job.state = JobState.COMPLETED
+        self.job.finish_time = now
+        sim.trace.add_event(now, TraceEventKind.COMPLETION, self.job.name)
+
+
+class TotalBandwidthServer:
+    """Deadline-assignment server for EDF simulations.
+
+    Parameters
+    ----------
+    utilization:
+        The bandwidth ``U_s`` reserved for aperiodic traffic, in (0, 1).
+
+    Use with an EDF simulation::
+
+        sim = Simulation(EarliestDeadlineFirstPolicy())
+        tbs = TotalBandwidthServer(utilization=0.25)
+        tbs.attach(sim, horizon=100.0)
+        sim.submit_aperiodic(job, tbs.submit)
+    """
+
+    def __init__(self, utilization: float, name: str = "TBS") -> None:
+        if not 0 < utilization < 1:
+            raise ValueError(
+                f"utilization must be in (0, 1), got {utilization}"
+            )
+        self.utilization = utilization
+        self.name = name
+        self.submitted: list[AperiodicJob] = []
+        self._last_deadline = 0.0
+        self._sim: Simulation | None = None
+
+    def attach(self, sim: Simulation, horizon: float) -> None:
+        """Bind to a simulation (no periodic bookkeeping needed)."""
+        self._sim = sim
+
+    def submit(self, now: float, job: AperiodicJob) -> None:
+        """Arrival hook: stamp the TBS deadline and enter the EDF race."""
+        sim = self._sim
+        if sim is None:
+            raise RuntimeError(
+                f"server {self.name!r} is not attached to a simulation"
+            )
+        # the deadline is stamped from the *declared* worst-case cost, as
+        # in the literature (the actual demand may be smaller)
+        deadline = (
+            max(now, self._last_deadline)
+            + job.declared_cost / self.utilization
+        )
+        self._last_deadline = deadline
+        job.deadline = deadline
+        self.submitted.append(job)
+        sim.trace.add_event(
+            now, TraceEventKind.RELEASE, job.name, f"tbs-deadline={deadline:g}"
+        )
+        entity = _TBSJobEntity(job, priority=0)
+        # late registration is safe: the entity list is only frozen for
+        # periodic pre-scheduling, which the TBS does not use
+        sim.entities.append(entity)
+
+    @property
+    def completed(self) -> list[AperiodicJob]:
+        return [j for j in self.submitted if j.state is JobState.COMPLETED]
+
+    @property
+    def served_ratio(self) -> float:
+        if not self.submitted:
+            return 1.0
+        return len(self.completed) / len(self.submitted)

@@ -1,0 +1,147 @@
+"""Execution traces: the temporal diagrams RTSS displays.
+
+A trace is a list of processor *segments* (who ran, from when to when)
+plus a list of point *events* (releases, completions, interruptions,
+capacity replenishments...).  Both the simulator arm and the emulated-RTSJ
+execution arm emit this format, so the Gantt renderer and the metrics
+module work identically on either.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["TraceEventKind", "TraceEvent", "Segment", "ExecutionTrace"]
+
+_EPS = 1e-9
+
+
+class TraceEventKind(enum.Enum):
+    """Point events recorded on the timeline."""
+
+    RELEASE = "release"
+    START = "start"
+    COMPLETION = "completion"
+    PREEMPTION = "preemption"
+    RESUME = "resume"
+    DEADLINE_MISS = "deadline_miss"
+    INTERRUPT = "interrupt"          # Timed budget overrun (exec arm)
+    ABORT = "abort"                  # D-OVER abandonment
+    REPLENISH = "replenish"          # server capacity refill
+    CAPACITY_EXHAUSTED = "capacity_exhausted"
+    SERVER_SUSPEND = "server_suspend"
+    TIMER_FIRE = "timer_fire"
+    OVERHEAD = "overhead"            # runtime overhead charged (exec arm)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One point event: (time, kind, subject, free-form detail)."""
+
+    time: float
+    kind: TraceEventKind
+    subject: str
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.time < -_EPS:
+            raise ValueError(f"event time must be >= 0, got {self.time}")
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A half-open processor interval [start, end) executed by ``entity``.
+
+    ``job`` identifies the particular activation when relevant (e.g. which
+    aperiodic handler the server was running during the interval).
+    """
+
+    start: float
+    end: float
+    entity: str
+    job: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.end < self.start - _EPS:
+            raise ValueError(f"segment ends before it starts: {self}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class ExecutionTrace:
+    """Accumulates segments and events during a run."""
+
+    def __init__(self) -> None:
+        self.segments: list[Segment] = []
+        self.events: list[TraceEvent] = []
+
+    def add_segment(self, start: float, end: float, entity: str,
+                    job: str | None = None) -> None:
+        """Record a processor interval; zero-length intervals are dropped,
+        and an interval contiguous with the previous one for the same
+        entity/job is merged into it."""
+        if end - start <= _EPS:
+            return
+        if self.segments:
+            last = self.segments[-1]
+            if (
+                last.entity == entity
+                and last.job == job
+                and abs(last.end - start) <= _EPS
+            ):
+                self.segments[-1] = Segment(last.start, end, entity, job)
+                return
+        self.segments.append(Segment(start, end, entity, job))
+
+    def add_event(self, time: float, kind: TraceEventKind, subject: str,
+                  detail: str = "") -> None:
+        """Record a point event."""
+        self.events.append(TraceEvent(time, kind, subject, detail))
+
+    # -- queries -----------------------------------------------------------
+
+    def segments_of(self, entity: str) -> list[Segment]:
+        """All segments executed by ``entity``, in time order."""
+        return [s for s in self.segments if s.entity == entity]
+
+    def segments_of_job(self, job: str) -> list[Segment]:
+        """All segments attributed to a particular job."""
+        return [s for s in self.segments if s.job == job]
+
+    def events_of(self, kind: TraceEventKind,
+                  subject: str | None = None) -> list[TraceEvent]:
+        """All events of ``kind`` (optionally filtered by subject)."""
+        return [
+            e for e in self.events
+            if e.kind is kind and (subject is None or e.subject == subject)
+        ]
+
+    def busy_time(self, entity: str | None = None) -> float:
+        """Total processor time consumed (by one entity, or overall)."""
+        return sum(
+            s.duration for s in self.segments
+            if entity is None or s.entity == entity
+        )
+
+    @property
+    def makespan(self) -> float:
+        """Latest time touched by any segment or event."""
+        seg_end = max((s.end for s in self.segments), default=0.0)
+        evt_end = max((e.time for e in self.events), default=0.0)
+        return max(seg_end, evt_end)
+
+    def validate(self) -> None:
+        """Check the single-processor invariant: segments never overlap."""
+        ordered = sorted(self.segments, key=lambda s: (s.start, s.end))
+        for a, b in zip(ordered, ordered[1:]):
+            if b.start < a.end - _EPS:
+                raise AssertionError(f"overlapping segments: {a} / {b}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ExecutionTrace {len(self.segments)} segments, "
+            f"{len(self.events)} events, makespan={self.makespan:.3f}>"
+        )

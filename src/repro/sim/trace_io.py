@@ -1,0 +1,104 @@
+"""Trace serialization: save and reload execution traces as JSON.
+
+RTSS "can simulate the execution of a real-time system and display a
+temporal diagram" — this module adds the persistence layer a downstream
+user needs: traces round-trip through a stable JSON schema, so runs can
+be archived, diffed across versions, and re-rendered without re-running.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .trace import ExecutionTrace, Segment, TraceEvent, TraceEventKind
+
+__all__ = ["trace_to_dict", "trace_from_dict", "save_trace", "load_trace",
+           "diff_traces"]
+
+_SCHEMA_VERSION = 1
+
+
+def trace_to_dict(trace: ExecutionTrace) -> dict:
+    """A JSON-serialisable representation of a trace."""
+    return {
+        "schema": _SCHEMA_VERSION,
+        "segments": [
+            {"start": s.start, "end": s.end, "entity": s.entity,
+             "job": s.job}
+            for s in trace.segments
+        ],
+        "events": [
+            {"time": e.time, "kind": e.kind.value, "subject": e.subject,
+             "detail": e.detail}
+            for e in trace.events
+        ],
+    }
+
+
+def trace_from_dict(data: dict) -> ExecutionTrace:
+    """Rebuild a trace from :func:`trace_to_dict` output."""
+    schema = data.get("schema")
+    if schema != _SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported trace schema {schema!r} "
+            f"(this build reads version {_SCHEMA_VERSION})"
+        )
+    trace = ExecutionTrace()
+    trace.segments = [
+        Segment(s["start"], s["end"], s["entity"], s.get("job"))
+        for s in data["segments"]
+    ]
+    trace.events = [
+        TraceEvent(
+            e["time"], TraceEventKind(e["kind"]), e["subject"],
+            e.get("detail", ""),
+        )
+        for e in data["events"]
+    ]
+    trace.validate()
+    return trace
+
+
+def save_trace(trace: ExecutionTrace, path: str | Path) -> None:
+    """Write a trace to a JSON file."""
+    Path(path).write_text(json.dumps(trace_to_dict(trace), indent=1))
+
+
+def load_trace(path: str | Path) -> ExecutionTrace:
+    """Read a trace from a JSON file."""
+    return trace_from_dict(json.loads(Path(path).read_text()))
+
+
+def diff_traces(a: ExecutionTrace, b: ExecutionTrace,
+                tolerance: float = 1e-9) -> list[str]:
+    """Human-readable differences between two traces (empty if equal).
+
+    Compares segments positionally and events positionally; intended for
+    regression comparisons of runs that should be identical.
+    """
+    problems: list[str] = []
+    if len(a.segments) != len(b.segments):
+        problems.append(
+            f"segment count differs: {len(a.segments)} vs {len(b.segments)}"
+        )
+    for i, (sa, sb) in enumerate(zip(a.segments, b.segments)):
+        if (
+            abs(sa.start - sb.start) > tolerance
+            or abs(sa.end - sb.end) > tolerance
+            or sa.entity != sb.entity
+            or sa.job != sb.job
+        ):
+            problems.append(f"segment {i}: {sa} vs {sb}")
+    if len(a.events) != len(b.events):
+        problems.append(
+            f"event count differs: {len(a.events)} vs {len(b.events)}"
+        )
+    for i, (ea, eb) in enumerate(zip(a.events, b.events)):
+        if (
+            abs(ea.time - eb.time) > tolerance
+            or ea.kind is not eb.kind
+            or ea.subject != eb.subject
+        ):
+            problems.append(f"event {i}: {ea} vs {eb}")
+    return problems

@@ -1,0 +1,30 @@
+"""Random real-time system generation (paper Section 6.1)."""
+
+from .rng import PortableRandom
+from .spec import (
+    AperiodicEventSpec,
+    GeneratedSystem,
+    GenerationParameters,
+    PeriodicTaskSpec,
+    ServerSpec,
+)
+from .generator import PAPER_SETS, RandomSystemGenerator, generate_campaign_sets
+from .uunifast import generate_periodic_taskset, uunifast
+from .arrival_curves import AffineArrivalCurve, curve_of_system, fit_affine_curve
+
+__all__ = [
+    "PortableRandom",
+    "AperiodicEventSpec",
+    "GeneratedSystem",
+    "GenerationParameters",
+    "PeriodicTaskSpec",
+    "ServerSpec",
+    "RandomSystemGenerator",
+    "generate_campaign_sets",
+    "PAPER_SETS",
+    "generate_periodic_taskset",
+    "uunifast",
+    "AffineArrivalCurve",
+    "curve_of_system",
+    "fit_affine_curve",
+]

@@ -1,0 +1,85 @@
+"""Empirical arrival curves: connect generated workloads to the bounds.
+
+Extracts the tightest affine arrival curve ``alpha(t) = burst + rate*t``
+that upper-bounds an event trace's demand in every window, so a
+generated system (or a recorded trace of releases) can be fed straight
+into the delay bounds of :mod:`repro.analysis.resource_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .spec import GeneratedSystem
+
+__all__ = ["AffineArrivalCurve", "fit_affine_curve", "curve_of_system"]
+
+
+@dataclass(frozen=True)
+class AffineArrivalCurve:
+    """``alpha(t) = burst + rate * t`` for ``t > 0`` (0 at ``t = 0``)."""
+
+    burst: float
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.burst < 0 or self.rate < 0:
+            raise ValueError("burst and rate must be non-negative")
+
+    def bound(self, window: float) -> float:
+        """Maximum demand admissible in any window of that length."""
+        if window <= 0:
+            return 0.0
+        return self.burst + self.rate * window
+
+    def admits(self, events: list[tuple[float, float]],
+               tolerance: float = 1e-9) -> bool:
+        """True when every window of the (release, cost) trace respects
+        the curve."""
+        events = sorted(events)
+        for i in range(len(events)):
+            demand = 0.0
+            for j in range(i, len(events)):
+                demand += events[j][1]
+                window = events[j][0] - events[i][0]
+                if demand > self.burst + self.rate * window + tolerance:
+                    return False
+        return True
+
+
+def fit_affine_curve(events: list[tuple[float, float]],
+                     rate: float | None = None) -> AffineArrivalCurve:
+    """The tightest affine curve over a finite (release, cost) trace.
+
+    With ``rate`` given, computes the minimal burst for that rate:
+    ``b = max over windows of (demand - rate * window)``.  Without it,
+    uses the trace's long-run rate (total demand / span) — the smallest
+    rate for which a finite burst exists on the observed windows.
+
+    O(n^2) over the events; intended for analysis-time use.
+    """
+    if not events:
+        return AffineArrivalCurve(burst=0.0, rate=rate if rate else 0.0)
+    events = sorted(events)
+    if rate is None:
+        span = events[-1][0] - events[0][0]
+        total = sum(c for _t, c in events)
+        rate = total / span if span > 0 else 0.0
+    if rate < 0:
+        raise ValueError(f"rate must be non-negative, got {rate}")
+    burst = 0.0
+    for i in range(len(events)):
+        demand = 0.0
+        for j in range(i, len(events)):
+            demand += events[j][1]
+            window = events[j][0] - events[i][0]
+            burst = max(burst, demand - rate * window)
+    return AffineArrivalCurve(burst=burst, rate=rate)
+
+
+def curve_of_system(system: GeneratedSystem,
+                    rate: float | None = None) -> AffineArrivalCurve:
+    """The empirical curve of a generated system's aperiodic trace."""
+    return fit_affine_curve(
+        [(e.release, e.cost) for e in system.events], rate=rate
+    )

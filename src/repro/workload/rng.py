@@ -1,0 +1,138 @@
+"""Deterministic, portable pseudo-random number generation.
+
+The paper's generator takes an explicit ``seed`` "in order to generate the
+same systems on multiple platforms" (Section 6.1).  We honour the same
+requirement: this module implements a small, fully specified PRNG whose
+stream is identical on every platform and Python version, independent of
+``random`` module internals or NumPy generator changes.
+
+The core is the 64-bit variant of Knuth's MMIX linear congruential
+generator, with a splitmix64 finaliser to decorrelate the low bits.
+Gaussian variates are produced with the Box-Muller transform (the polar
+form is rejected because its rejection loop makes the consumed-stream
+length data dependent, which complicates reasoning about reproducibility).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["PortableRandom"]
+
+_MMIX_A = 6364136223846793005
+_MMIX_C = 1442695040888963407
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(z: int) -> int:
+    """Finalise a 64-bit state word into a well-mixed output word."""
+    z = (z + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+class PortableRandom:
+    """A seedable PRNG with a platform-independent stream.
+
+    Parameters
+    ----------
+    seed:
+        Any integer.  Equal seeds yield equal streams forever.
+    """
+
+    def __init__(self, seed: int) -> None:
+        if not isinstance(seed, int):
+            raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+        self._state = _splitmix64(seed & _MASK64)
+        self._gauss_cache: float | None = None
+
+    def next_u64(self) -> int:
+        """Return the next raw 64-bit unsigned integer of the stream."""
+        self._state = (self._state * _MMIX_A + _MMIX_C) & _MASK64
+        return _splitmix64(self._state)
+
+    def random(self) -> float:
+        """Return a float uniformly distributed in [0, 1)."""
+        # 53 bits of mantissa, the standard double-precision construction.
+        return (self.next_u64() >> 11) * (1.0 / (1 << 53))
+
+    def uniform(self, low: float, high: float) -> float:
+        """Return a float uniformly distributed in [low, high)."""
+        if high < low:
+            raise ValueError(f"uniform() requires low <= high, got {low} > {high}")
+        return low + (high - low) * self.random()
+
+    def randint(self, low: int, high: int) -> int:
+        """Return an integer uniformly distributed in [low, high] (inclusive)."""
+        if high < low:
+            raise ValueError(f"randint() requires low <= high, got {low} > {high}")
+        span = high - low + 1
+        # Rejection sampling to avoid modulo bias.
+        limit = (1 << 64) - ((1 << 64) % span)
+        while True:
+            u = self.next_u64()
+            if u < limit:
+                return low + u % span
+
+    def gauss(self, mu: float = 0.0, sigma: float = 1.0) -> float:
+        """Return a Gaussian variate with mean ``mu`` and std-dev ``sigma``.
+
+        Uses the Box-Muller transform; variates are generated in pairs and
+        the second of each pair is cached, so a stream of ``gauss()`` calls
+        consumes exactly one pair of uniforms per two variates.
+        """
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        if self._gauss_cache is not None:
+            z = self._gauss_cache
+            self._gauss_cache = None
+            return mu + sigma * z
+        # u1 in (0, 1] so that log(u1) is finite.
+        u1 = 1.0 - self.random()
+        u2 = self.random()
+        r = math.sqrt(-2.0 * math.log(u1))
+        z0 = r * math.cos(2.0 * math.pi * u2)
+        z1 = r * math.sin(2.0 * math.pi * u2)
+        self._gauss_cache = z1
+        return mu + sigma * z0
+
+    def exponential(self, mean: float) -> float:
+        """Return an exponential variate with the given mean (rate 1/mean)."""
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        # 1 - random() is in (0, 1]; log of it is finite.
+        return -mean * math.log(1.0 - self.random())
+
+    def poisson(self, lam: float) -> int:
+        """Return a Poisson variate with rate ``lam`` (Knuth's algorithm).
+
+        Suitable for the small rates used by the workload generator
+        (the paper uses densities of 1-3 events per server period).
+        """
+        if lam < 0:
+            raise ValueError(f"lam must be non-negative, got {lam}")
+        if lam == 0:
+            return 0
+        threshold = math.exp(-lam)
+        k = 0
+        p = 1.0
+        while True:
+            p *= self.random()
+            if p <= threshold:
+                return k
+            k += 1
+
+    def shuffle(self, items: list) -> None:
+        """Shuffle ``items`` in place (Fisher-Yates)."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randint(0, i)
+            items[i], items[j] = items[j], items[i]
+
+    def fork(self) -> "PortableRandom":
+        """Return an independent child generator derived from this stream.
+
+        Used to give each generated system its own stream so that adding
+        or reordering draws within one system never perturbs the others.
+        """
+        return PortableRandom(self.next_u64())

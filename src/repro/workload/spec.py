@@ -1,0 +1,203 @@
+"""Descriptors for generated real-time systems.
+
+These are plain data carriers shared by the simulator arm (``repro.sim``)
+and the execution arm (``repro.core`` on the emulated RTSJ VM) of the
+evaluation, so that both arms consume byte-identical workloads.
+
+Time values are expressed in *time units* (tu); the paper equates one tu
+with one millisecond on its testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "AperiodicEventSpec",
+    "PeriodicTaskSpec",
+    "ServerSpec",
+    "GeneratedSystem",
+    "GenerationParameters",
+]
+
+
+@dataclass(frozen=True)
+class AperiodicEventSpec:
+    """One aperiodic event: a release time and a handler cost.
+
+    ``declared_cost`` is the cost the system designer registers with the
+    task server (used by admission and by ``chooseNextEvent``);
+    ``actual_cost`` is the execution time the handler really consumes.
+    The paper's Scenario 3 (Figure 4) exercises the case where the two
+    differ; the random campaign keeps them equal.
+    """
+
+    event_id: int
+    release: float
+    declared_cost: float
+    actual_cost: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.release < 0:
+            raise ValueError(f"release must be >= 0, got {self.release}")
+        if self.declared_cost <= 0:
+            raise ValueError(f"declared_cost must be > 0, got {self.declared_cost}")
+        if self.actual_cost is not None and self.actual_cost <= 0:
+            raise ValueError(f"actual_cost must be > 0, got {self.actual_cost}")
+
+    @property
+    def cost(self) -> float:
+        """The execution time the handler really consumes."""
+        return self.actual_cost if self.actual_cost is not None else self.declared_cost
+
+
+@dataclass(frozen=True)
+class PeriodicTaskSpec:
+    """A hard periodic task (cost, period, priority, optional deadline)."""
+
+    name: str
+    cost: float
+    period: float
+    priority: int
+    deadline: float | None = None
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cost <= 0:
+            raise ValueError(f"cost must be > 0, got {self.cost}")
+        if self.period <= 0:
+            raise ValueError(f"period must be > 0, got {self.period}")
+        if self.cost > self.period:
+            raise ValueError(
+                f"cost {self.cost} exceeds period {self.period} for task {self.name!r}"
+            )
+        if self.offset < 0:
+            raise ValueError(f"offset must be >= 0, got {self.offset}")
+
+    @property
+    def effective_deadline(self) -> float:
+        """Deadline, defaulting to the period (implicit-deadline model)."""
+        return self.deadline if self.deadline is not None else self.period
+
+    @property
+    def utilization(self) -> float:
+        """Processor share cost/period."""
+        return self.cost / self.period
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """A task server: capacity replenished every period, at a priority."""
+
+    capacity: float
+    period: float
+    priority: int
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {self.capacity}")
+        if self.period <= 0:
+            raise ValueError(f"period must be > 0, got {self.period}")
+        if self.capacity > self.period:
+            raise ValueError(
+                f"capacity {self.capacity} exceeds period {self.period}"
+            )
+
+    @property
+    def utilization(self) -> float:
+        """Processor share capacity/period."""
+        return self.capacity / self.period
+
+
+@dataclass(frozen=True)
+class GenerationParameters:
+    """The knobs of the paper's random system generator (Section 6.1).
+
+    The tuple notation of the paper — e.g. ``(1, 3, 0, 4, 6, 10, 1983)`` —
+    maps positionally onto the first seven fields below.
+    """
+
+    task_density: float
+    average_cost: float
+    std_deviation: float
+    server_capacity: float
+    server_period: float
+    nb_generation: int
+    seed: int
+    horizon_periods: int = 10
+    min_cost: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.task_density <= 0:
+            raise ValueError(f"task_density must be > 0, got {self.task_density}")
+        if self.average_cost <= 0:
+            raise ValueError(f"average_cost must be > 0, got {self.average_cost}")
+        if self.std_deviation < 0:
+            raise ValueError(
+                f"std_deviation must be >= 0, got {self.std_deviation}"
+            )
+        if self.nb_generation <= 0:
+            raise ValueError(f"nb_generation must be > 0, got {self.nb_generation}")
+        if self.horizon_periods <= 0:
+            raise ValueError(
+                f"horizon_periods must be > 0, got {self.horizon_periods}"
+            )
+        if self.min_cost <= 0:
+            raise ValueError(f"min_cost must be > 0, got {self.min_cost}")
+        # ServerSpec validation happens in server(); here we just sanity-check.
+        if self.server_capacity <= 0 or self.server_period <= 0:
+            raise ValueError("server capacity and period must be > 0")
+
+    @classmethod
+    def from_tuple(cls, tup: tuple, **kwargs) -> "GenerationParameters":
+        """Build from the paper's positional 7-tuple notation."""
+        if len(tup) != 7:
+            raise ValueError(f"expected a 7-tuple, got length {len(tup)}")
+        return cls(*tup, **kwargs)
+
+    def server(self, priority: int = 0) -> ServerSpec:
+        """The server every generated system runs with."""
+        return ServerSpec(
+            capacity=self.server_capacity,
+            period=self.server_period,
+            priority=priority,
+        )
+
+    @property
+    def horizon(self) -> float:
+        """Observation window length: ``horizon_periods`` server periods."""
+        return self.horizon_periods * self.server_period
+
+
+@dataclass(frozen=True)
+class GeneratedSystem:
+    """One generated system: a server plus a finite aperiodic arrival trace.
+
+    ``periodic_tasks`` is empty for the paper's campaign (the server runs
+    at the highest priority, so lower-priority periodic load cannot affect
+    the aperiodic metrics in the ideal model), but the field is carried so
+    the same descriptor drives richer scenarios.
+    """
+
+    system_id: int
+    server: ServerSpec
+    events: tuple[AperiodicEventSpec, ...]
+    horizon: float
+    periodic_tasks: tuple[PeriodicTaskSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {self.horizon}")
+        releases = [e.release for e in self.events]
+        if releases != sorted(releases):
+            raise ValueError("events must be sorted by release time")
+
+    @property
+    def event_count(self) -> int:
+        """Number of aperiodic events released within the horizon."""
+        return len(self.events)
+
+    @property
+    def total_demand(self) -> float:
+        """Sum of the actual costs of all events."""
+        return sum(e.cost for e in self.events)

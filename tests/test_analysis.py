@@ -1,0 +1,234 @@
+"""Unit tests for the feasibility-analysis package."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    DeferrableServerInterference,
+    PeriodicInterference,
+    SporadicInterference,
+    analyse_with_server,
+    deferrable_server_bound,
+    hyperperiod,
+    liu_layland_bound,
+    response_time_analysis,
+    response_time_with_interference,
+    rm_schedulable_by_utilization,
+    total_utilization,
+)
+from repro.workload.spec import PeriodicTaskSpec, ServerSpec
+
+
+def T(name, cost, period, priority, deadline=None):
+    return PeriodicTaskSpec(name, cost=cost, period=period,
+                            priority=priority, deadline=deadline)
+
+
+class TestRTA:
+    def test_textbook_example(self):
+        # Burns & Wellings-style set: R1=3, R2=3+6... classic iteration
+        tasks = [T("a", 3, 7, 3), T("b", 3, 12, 2), T("c", 5, 20, 1)]
+        result = response_time_analysis(tasks)
+        assert result.response_of("a").response_time == 3
+        assert result.response_of("b").response_time == 6
+        # c: 5 + ceil(R/7)*3 + ceil(R/12)*3 -> fixed point 20
+        assert result.response_of("c").response_time == 20
+        assert result.schedulable
+
+    def test_unschedulable_detected(self):
+        tasks = [T("a", 4, 6, 2), T("b", 4, 8, 1)]
+        result = response_time_analysis(tasks)
+        assert result.response_of("a").schedulable
+        assert not result.response_of("b").schedulable
+        assert result.response_of("b").response_time is None
+        assert not result.schedulable
+
+    def test_blocking_term(self):
+        tasks = [T("a", 2, 10, 2), T("b", 3, 20, 1)]
+        plain = response_time_analysis(tasks)
+        blocked = response_time_analysis(tasks, blocking={"a": 1.0})
+        assert blocked.response_of("a").response_time == pytest.approx(
+            plain.response_of("a").response_time + 1.0
+        )
+
+    def test_blocking_unknown_task_rejected(self):
+        with pytest.raises(ValueError):
+            response_time_analysis([T("a", 1, 10, 1)], blocking={"zz": 1.0})
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            response_time_analysis([T("a", 1, 10, 1), T("a", 1, 20, 2)])
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            response_time_analysis([])
+
+    def test_deadline_shorter_than_period(self):
+        tasks = [T("a", 3, 10, 2), T("b", 4, 20, 1, deadline=6.0)]
+        result = response_time_analysis(tasks)
+        # R_b = 7 > D_b = 6
+        assert not result.response_of("b").schedulable
+
+
+class TestInterferenceSources:
+    def test_periodic_staircase(self):
+        p = PeriodicInterference(cost=2, period=5, priority=1)
+        assert p.interference(0) == 0
+        assert p.interference(5) == 2
+        assert p.interference(5.001) == 4
+        assert p.interference(10) == 4
+
+    def test_deferrable_double_hit(self):
+        d = DeferrableServerInterference(capacity=2, period=5, priority=1)
+        assert d.interference(1) == 2        # the held budget hits at once
+        assert d.interference(2) == 2
+        assert d.interference(2.5) == 4      # plus the fresh budget
+        assert d.interference(7) == 4
+        assert d.interference(7.5) == 6
+
+    def test_ds_dominates_periodic(self):
+        p = PeriodicInterference(cost=2, period=5, priority=1)
+        d = DeferrableServerInterference(capacity=2, period=5, priority=1)
+        for w in (0.5, 1, 3, 5, 7, 11, 20):
+            assert d.interference(w) >= p.interference(w)
+
+    def test_sporadic(self):
+        s = SporadicInterference(cost=1, min_interarrival=4, priority=1)
+        assert s.interference(4) == 1
+        assert s.interference(4.5) == 2
+        with pytest.raises(ValueError):
+            SporadicInterference(cost=5, min_interarrival=4, priority=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicInterference(cost=6, period=5, priority=1)
+        with pytest.raises(ValueError):
+            DeferrableServerInterference(capacity=0, period=5, priority=1)
+
+    def test_generic_rta_ignores_lower_priority_sources(self):
+        sources = [
+            PeriodicInterference(cost=2, period=5, priority=9),
+            PeriodicInterference(cost=100, period=200, priority=1),
+        ]
+        rt = response_time_with_interference(
+            cost=1, deadline=10, priority=5, sources=sources
+        )
+        assert rt == 3
+
+    def test_generic_rta_deadline_miss_returns_none(self):
+        sources = [PeriodicInterference(cost=4, period=5, priority=9)]
+        assert response_time_with_interference(
+            cost=2, deadline=5, priority=1, sources=sources
+        ) is None
+
+
+class TestServerAwareAnalysis:
+    TASKS = [T("t1", 2, 6, 20), T("t2", 1, 6, 15)]
+    SERVER = ServerSpec(capacity=3.0, period=6.0, priority=30)
+
+    def test_table1_set_with_polling_server(self):
+        # the paper's Table 1 configuration is exactly schedulable:
+        # R(t1) = 3 + 2 = 5, R(t2) = 3 + 2 + 1 = 6 = deadline
+        result = analyse_with_server(self.TASKS, self.SERVER, "polling")
+        assert result.response_of("t1").response_time == pytest.approx(5.0)
+        assert result.response_of("t2").response_time == pytest.approx(6.0)
+        assert result.schedulable
+
+    def test_table1_set_with_deferrable_server(self):
+        # the DS double hit makes the same set infeasible: t2 can see
+        # 3 + 3 + 2 + 1 = 9 > 6 (this is why the DS "analysis must be
+        # modified" — the PS verdict does not transfer)
+        result = analyse_with_server(self.TASKS, self.SERVER, "deferrable")
+        assert not result.response_of("t2").schedulable
+        assert not result.schedulable
+
+    def test_smaller_ds_fits(self):
+        server = ServerSpec(capacity=1.5, period=6.0, priority=30)
+        result = analyse_with_server(self.TASKS, server, "deferrable")
+        assert result.schedulable
+
+    def test_identical_tasks_counted_once_each(self):
+        twins = [T("x", 1, 10, 5), T("y", 1, 10, 5)]
+        result = analyse_with_server(
+            twins, ServerSpec(1.0, 10.0, priority=9), "polling"
+        )
+        # each twin sees: server 1 + sibling 1 + own 1 = 3
+        assert result.response_of("x").response_time == pytest.approx(3.0)
+        assert result.response_of("y").response_time == pytest.approx(3.0)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            analyse_with_server(self.TASKS, self.SERVER, "sporadic")
+
+
+class TestUtilizationBounds:
+    def test_liu_layland_values(self):
+        assert liu_layland_bound(1) == pytest.approx(1.0)
+        assert liu_layland_bound(2) == pytest.approx(0.8284, abs=1e-4)
+        assert liu_layland_bound(100) == pytest.approx(0.6964, abs=1e-3)
+
+    def test_ds_bound_degenerates_to_liu_layland(self):
+        assert deferrable_server_bound(0.0, 3) == pytest.approx(
+            liu_layland_bound(3)
+        )
+
+    def test_ds_bound_decreases_with_server_share(self):
+        assert deferrable_server_bound(0.5, 3) < deferrable_server_bound(0.1, 3)
+
+    def test_rm_utilization_tests(self):
+        tasks = [T("a", 1, 10, 2), T("b", 1, 10, 1)]
+        server = ServerSpec(2.0, 10.0, priority=9)
+        assert rm_schedulable_by_utilization(tasks)
+        assert rm_schedulable_by_utilization(tasks, server, "polling")
+        assert rm_schedulable_by_utilization(tasks, server, "deferrable")
+        heavy = [T("a", 4, 10, 2), T("b", 4, 10, 1)]
+        assert not rm_schedulable_by_utilization(heavy, server, "deferrable")
+
+    def test_total_utilization(self):
+        assert total_utilization(
+            [T("a", 2, 10, 1), T("b", 5, 20, 2)]
+        ) == pytest.approx(0.45)
+
+    def test_hyperperiod(self):
+        tasks = [T("a", 1, 4, 1), T("b", 1, 6, 2), T("c", 1, 10, 3)]
+        assert hyperperiod(tasks) == pytest.approx(60.0)
+
+    def test_hyperperiod_fractional_periods(self):
+        tasks = [T("a", 0.1, 0.5, 1), T("b", 0.1, 0.75, 2)]
+        assert hyperperiod(tasks) == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            liu_layland_bound(0)
+        with pytest.raises(ValueError):
+            deferrable_server_bound(1.5, 2)
+        with pytest.raises(ValueError):
+            hyperperiod([])
+
+
+class TestJitterRTA:
+    def test_interferer_jitter_tightens_arrivals(self):
+        tasks = [T("hi", 2, 10, 2), T("lo", 5, 20, 1)]
+        plain = response_time_analysis(tasks)
+        # R_lo = 5 + 2 = 7 without jitter; hi's 4-unit jitter squeezes a
+        # second hi arrival into the window: 5 + 2*2 = 9
+        jittered = response_time_analysis(tasks, jitter={"hi": 4.0})
+        assert plain.response_of("lo").response_time == pytest.approx(7.0)
+        assert jittered.response_of("lo").response_time == pytest.approx(9.0)
+
+    def test_own_jitter_adds_to_response(self):
+        tasks = [T("a", 2, 10, 1)]
+        result = response_time_analysis(tasks, jitter={"a": 3.0})
+        assert result.response_of("a").response_time == pytest.approx(5.0)
+
+    def test_jitter_can_break_schedulability(self):
+        tasks = [T("hi", 2, 10, 2), T("lo", 5, 20, 1, deadline=8.0)]
+        assert response_time_analysis(tasks).schedulable
+        assert not response_time_analysis(tasks, jitter={"hi": 4.0}).schedulable
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError):
+            response_time_analysis([T("a", 1, 10, 1)], jitter={"zz": 1.0})
+        with pytest.raises(ValueError):
+            response_time_analysis([T("a", 1, 10, 1)], jitter={"a": -1.0})

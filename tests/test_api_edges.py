@@ -1,0 +1,107 @@
+"""Edge-of-API tests: explicit errors on misuse, base-class contracts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PollingTaskServer, TaskServer, TaskServerParameters
+from repro.rtsj import (
+    AbsoluteTime,
+    OverheadModel,
+    ProcessingGroupParameters,
+    RelativeTime,
+    RTSJVirtualMachine,
+)
+from repro.sim import (
+    AperiodicJob,
+    FixedPriorityPolicy,
+    IdealPollingServer,
+    Simulation,
+)
+from repro.workload.spec import PeriodicTaskSpec, ServerSpec
+from conftest import M
+
+
+class TestSimMisuse:
+    def test_submit_before_attach_raises(self):
+        server = IdealPollingServer(ServerSpec(3, 6, 10))
+        with pytest.raises(RuntimeError, match="not attached"):
+            server.submit(0.0, AperiodicJob("j", release=0, cost=1))
+
+    def test_register_entity_after_run_rejected(self):
+        sim = Simulation(FixedPriorityPolicy())
+        sim.add_periodic_task(PeriodicTaskSpec("t", cost=1, period=5, priority=1))
+        sim.run(until=5)
+        server = IdealPollingServer(ServerSpec(3, 6, 10))
+        with pytest.raises(RuntimeError, match="after run"):
+            server.attach(sim, horizon=10)
+
+    def test_fp_entity_has_no_deadline_accessor(self):
+        server = IdealPollingServer(ServerSpec(3, 6, 10))
+        with pytest.raises(NotImplementedError):
+            server.current_deadline(0.0)
+
+
+class TestFrameworkMisuse:
+    def _params(self):
+        return TaskServerParameters(
+            RelativeTime(3, 0), RelativeTime(6, 0), priority=30
+        )
+
+    def test_double_attach_rejected(self):
+        vm = RTSJVirtualMachine(overhead=OverheadModel.zero())
+        server = PollingTaskServer(self._params())
+        server.attach(vm, 10 * M)
+        with pytest.raises(RuntimeError, match="already attached"):
+            server.attach(vm, 10 * M)
+
+    def test_bad_horizon_rejected(self):
+        vm = RTSJVirtualMachine(overhead=OverheadModel.zero())
+        server = PollingTaskServer(self._params())
+        with pytest.raises(ValueError, match="horizon"):
+            server.attach(vm, 0)
+
+    def test_base_interference_is_abstract(self):
+        class Dummy(TaskServer):
+            def _install(self, vm, horizon_ns):
+                pass
+
+            def _enqueue(self, release):
+                pass
+
+        dummy = Dummy(self._params(), name="dummy")
+        with pytest.raises(NotImplementedError):
+            dummy.interference_ns(1000)
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            TaskServerParameters(RelativeTime(0, 0), RelativeTime(6, 0), 30)
+        with pytest.raises(ValueError):
+            TaskServerParameters(RelativeTime(7, 0), RelativeTime(6, 0), 30)
+
+    def test_params_from_spec_roundtrip(self):
+        params = TaskServerParameters.from_spec(
+            ServerSpec(capacity=3.5, period=6.0, priority=12), priority=30
+        )
+        assert params.capacity_ns == 3_500_000
+        assert params.period_ns == 6_000_000
+        assert params.priority == 30
+        assert params.utilization == pytest.approx(3.5 / 6.0)
+
+
+class TestVMMisuse:
+    def test_register_pgp_idempotent(self):
+        vm = RTSJVirtualMachine(overhead=OverheadModel.zero())
+        pgp = ProcessingGroupParameters(
+            AbsoluteTime(0, 0), RelativeTime(6, 0), RelativeTime(2, 0)
+        )
+        vm.register_pgp(pgp, 30 * M)
+        vm.register_pgp(pgp, 30 * M)  # second registration is a no-op
+        vm.run(13 * M)
+        # exactly one replenishment chain: the budget is full, not doubled
+        assert pgp.budget_ns == 2 * M
+
+    def test_until_zero_rejected(self):
+        vm = RTSJVirtualMachine(overhead=OverheadModel.zero())
+        with pytest.raises(ValueError):
+            vm.run(-5)

@@ -1,0 +1,160 @@
+"""Unit tests for on-line admission control (paper Sections 2 & 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BucketAdmissionController,
+    IdealPSAdmissionController,
+    PollingTaskServer,
+    ServableAsyncEvent,
+    ServableAsyncEventHandler,
+    TaskServerParameters,
+)
+from repro.rtsj import OverheadModel, RelativeTime, RTSJVirtualMachine
+from repro.sim.task import JobState
+from conftest import M
+
+
+def bucket_setup(capacity=4.0, period=6.0, horizon=60.0):
+    vm = RTSJVirtualMachine(overhead=OverheadModel.zero())
+    params = TaskServerParameters(
+        RelativeTime.from_units(capacity), RelativeTime.from_units(period),
+        priority=30,
+    )
+    server = PollingTaskServer(params, queue="bucket")
+    server.attach(vm, round(horizon * M))
+    return vm, server, BucketAdmissionController(server)
+
+
+class TestBucketAdmission:
+    def test_requires_bucket_queue(self):
+        vm = RTSJVirtualMachine(overhead=OverheadModel.zero())
+        params = TaskServerParameters(
+            RelativeTime(4, 0), RelativeTime(6, 0), priority=30
+        )
+        server = PollingTaskServer(params, queue="fifo")
+        server.attach(vm, 60 * M)
+        with pytest.raises(ValueError, match="bucket"):
+            BucketAdmissionController(server)
+
+    def test_accepts_when_deadline_met(self):
+        vm, server, ctrl = bucket_setup()
+        decisions = []
+        vm.schedule_event(
+            1 * M,
+            lambda now: decisions.append(
+                ctrl.test(RelativeTime(2, 0), RelativeTime(10, 0))
+            ),
+        )
+        vm.run(20 * M)
+        (d,) = decisions
+        # empty queue at t=1: served by the instance at 6, finish 8 -> 7
+        assert d.accepted
+        assert d.predicted_response_time == pytest.approx(7.0)
+        assert d.margin == pytest.approx(3.0)
+
+    def test_rejects_when_deadline_missed(self):
+        vm, server, ctrl = bucket_setup()
+        decisions = []
+        vm.schedule_event(
+            1 * M,
+            lambda now: decisions.append(
+                ctrl.test(RelativeTime(2, 0), RelativeTime(5, 0))
+            ),
+        )
+        vm.run(20 * M)
+        (d,) = decisions
+        assert not d.accepted
+        assert d.margin < 0
+
+    def test_fire_if_admitted_gates_the_event(self):
+        vm, server, ctrl = bucket_setup()
+        h_ok = ServableAsyncEventHandler(RelativeTime(2, 0), server, name="ok")
+        h_no = ServableAsyncEventHandler(RelativeTime(2, 0), server, name="no")
+        e_ok, e_no = ServableAsyncEvent("ok"), ServableAsyncEvent("no")
+        e_ok.add_servable_handler(h_ok)
+        e_no.add_servable_handler(h_no)
+        vm.schedule_event(
+            1 * M,
+            lambda now: ctrl.fire_if_admitted(e_ok, h_ok, RelativeTime(10, 0)),
+        )
+        vm.schedule_event(
+            1 * M,
+            lambda now: ctrl.fire_if_admitted(e_no, h_no, RelativeTime(3, 0)),
+        )
+        vm.run(30 * M)
+        assert len(server.releases) == 1
+        assert server.releases[0].handler is h_ok
+        assert server.jobs[0].state is JobState.COMPLETED
+        assert ctrl.acceptance_ratio == pytest.approx(0.5)
+
+    def test_admitted_predictions_hold_at_runtime(self):
+        vm, server, ctrl = bucket_setup()
+        fired = []
+
+        def admit(now, cost, deadline):
+            h = ServableAsyncEventHandler(
+                RelativeTime.from_units(cost), server,
+                name=f"h{len(fired)}",
+            )
+            e = ServableAsyncEvent(h.name)
+            e.add_servable_handler(h)
+            d = ctrl.fire_if_admitted(e, h, RelativeTime.from_units(deadline))
+            fired.append((h.name, d))
+
+        for t, cost, deadline in [(0.5, 2.0, 9.0), (1.0, 3.0, 16.0),
+                                  (2.0, 2.0, 20.0), (3.0, 4.0, 10.0)]:
+            vm.schedule_event(
+                round(t * M),
+                lambda now, c=cost, dl=deadline: admit(now, c, dl),
+            )
+        vm.run(60 * M)
+        accepted = {name: d for name, d in fired if d.accepted}
+        jobs = {j.name.split("@")[0]: j for j in server.jobs}
+        assert set(jobs) == set(accepted)
+        for name, decision in accepted.items():
+            job = jobs[name]
+            assert job.state is JobState.COMPLETED
+            assert job.response_time == pytest.approx(
+                decision.predicted_response_time
+            )
+            assert job.response_time <= decision.relative_deadline + 1e-9
+
+
+class TestIdealAdmission:
+    def test_accept_and_backlog_growth(self):
+        ctrl = IdealPSAdmissionController(capacity=4.0, period=6.0)
+        d1 = ctrl.test(now=0.0, cost=2.0, relative_deadline=10.0, cs_t=4.0)
+        assert d1.accepted
+        assert d1.predicted_response_time == pytest.approx(2.0)
+        # second event queues behind the first (deadline order)
+        d2 = ctrl.test(now=0.0, cost=3.0, relative_deadline=12.0, cs_t=4.0)
+        assert d2.accepted
+        assert d2.predicted_response_time == pytest.approx(7.0)
+
+    def test_reject_does_not_pollute_backlog(self):
+        ctrl = IdealPSAdmissionController(capacity=4.0, period=6.0)
+        d = ctrl.test(now=0.0, cost=4.0, relative_deadline=2.0, cs_t=0.0)
+        assert not d.accepted
+        assert ctrl.backlog == []
+
+    def test_expire_drops_past_deadlines(self):
+        ctrl = IdealPSAdmissionController(capacity=4.0, period=6.0)
+        ctrl.test(now=0.0, cost=2.0, relative_deadline=5.0, cs_t=4.0)
+        ctrl.test(now=0.0, cost=2.0, relative_deadline=50.0, cs_t=4.0)
+        ctrl.expire(now=10.0)
+        assert len(ctrl.backlog) == 1
+
+    def test_capacity_query_helper(self):
+        ctrl = IdealPSAdmissionController(capacity=4.0, period=6.0)
+        assert ctrl.server_capacity_at(1.0, consumed_in_instance=1.5) == 2.5
+        with pytest.raises(ValueError):
+            ctrl.server_capacity_at(0.0, consumed_in_instance=5.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            IdealPSAdmissionController(capacity=0.0, period=6.0)
+        with pytest.raises(ValueError):
+            IdealPSAdmissionController(capacity=7.0, period=6.0)

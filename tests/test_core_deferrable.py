@@ -1,0 +1,162 @@
+"""Unit tests for the framework DeferrableTaskServer (paper Section 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DeferrableTaskServer,
+    ServableAsyncEvent,
+    ServableAsyncEventHandler,
+    TaskServerParameters,
+)
+from repro.rtsj import OverheadModel, RelativeTime, RTSJVirtualMachine
+from repro.sim.task import JobState
+from conftest import M, segments_of
+
+
+def build(capacity=3.0, period=6.0, horizon=60.0, overhead=None):
+    vm = RTSJVirtualMachine(
+        overhead=overhead if overhead is not None else OverheadModel.zero()
+    )
+    params = TaskServerParameters(
+        RelativeTime.from_units(capacity),
+        RelativeTime.from_units(period),
+        priority=30,
+    )
+    server = DeferrableTaskServer(params)
+    server.attach(vm, round(horizon * M))
+    return vm, server
+
+
+def fire(vm, server, at, declared, actual=None, name=None):
+    handler = ServableAsyncEventHandler(
+        RelativeTime.from_units(declared),
+        server,
+        actual_cost=RelativeTime.from_units(actual) if actual else None,
+        name=name or f"h@{at:g}",
+    )
+    event = ServableAsyncEvent(f"e-{handler.name}")
+    event.add_servable_handler(handler)
+    vm.schedule_timer_event(round(at * M), lambda now, e=event: e.fire())
+    return handler
+
+
+class TestDeferrableBehaviour:
+    def test_immediate_service_on_arrival(self):
+        vm, server = build()
+        fire(vm, server, 2.5, 2.0)
+        vm.run(20 * M)
+        (job,) = server.jobs
+        assert job.start_time == 2.5
+        assert job.finish_time == 4.5
+
+    def test_capacity_exhaustion_defers_to_refill(self):
+        vm, server = build(capacity=3.0)
+        fire(vm, server, 0.0, 3.0, name="a")
+        fire(vm, server, 1.0, 2.0, name="b")
+        vm.run(20 * M)
+        a, b = server.jobs
+        assert a.finish_time == 3.0
+        assert b.start_time == 6.0  # woken by the refill timer
+        assert b.finish_time == 8.0
+
+    def test_end_of_period_bridge(self):
+        # remaining 1 at t=5, cost 2 crossing the refill at 6: budget is
+        # remaining + full capacity (the paper's rule); served 5-7
+        vm, server = build(capacity=3.0)
+        fire(vm, server, 0.0, 2.0, name="a")
+        fire(vm, server, 5.0, 2.0, name="b")
+        vm.run(20 * M)
+        a, b = server.jobs
+        assert a.finish_time == 2.0
+        assert b.start_time == 5.0
+        assert b.finish_time == 7.0
+
+    def test_bridge_requires_capacity_until_refill(self):
+        # capacity 0 at t=5: cannot bridge; waits for the refill
+        vm, server = build(capacity=3.0)
+        fire(vm, server, 0.0, 3.0, name="a")
+        fire(vm, server, 5.0, 2.0, name="b")
+        vm.run(20 * M)
+        _, b = server.jobs
+        assert b.start_time == 6.0
+
+    def test_bridge_serves_oversized_handler(self):
+        # a handler costlier than the capacity can still run by bridging
+        # (cost <= remaining + full)
+        vm, server = build(capacity=3.0)
+        h = fire(vm, server, 4.0, 4.0)
+        vm.run(20 * M)
+        (job,) = server.jobs
+        assert h in server.oversized_handlers
+        assert job.state is JobState.COMPLETED
+        assert job.start_time == 4.0
+        assert job.finish_time == 8.0
+
+    def test_cost_aware_scan_of_pending_queue(self):
+        vm, server = build(capacity=3.0)
+        fire(vm, server, 0.0, 3.0, name="a")    # burns all capacity
+        fire(vm, server, 1.0, 3.0, name="big")  # cannot fit until refill
+        fire(vm, server, 2.0, 1.0, name="small")
+        vm.run(30 * M)
+        jobs = {j.name.split("@")[0]: j for j in server.jobs}
+        # at the 6 refill: big (cost 3 = capacity) is first and fits;
+        # serving it (6-9) burns the whole budget, so small waits for the
+        # 12 refill (the bridge needs remaining capacity, and there is 0)
+        assert jobs["big"].start_time == 6.0
+        assert jobs["small"].start_time == 12.0
+
+    def test_interrupt_on_budget_overrun(self):
+        vm, server = build(capacity=3.0)
+        fire(vm, server, 0.0, 2.0, actual=4.0)
+        vm.run(20 * M)
+        (job,) = server.jobs
+        assert job.interrupted
+        assert job.finish_time == 3.0  # budget was the full capacity
+
+    def test_capacity_checkpoint_accounting(self):
+        vm, server = build(capacity=3.0)
+        fire(vm, server, 1.0, 2.0)
+        vm.run(5 * M)  # stop before any refill
+        assert server.capacity_ns == 1 * M
+
+    def test_ds_beats_ps_response_times(self):
+        from repro.core import PollingTaskServer
+
+        fires = [(1.0, 2.0), (8.5, 2.0), (14.2, 2.0)]
+        results = {}
+        for cls in (DeferrableTaskServer, PollingTaskServer):
+            vm = RTSJVirtualMachine(overhead=OverheadModel.zero())
+            params = TaskServerParameters(
+                RelativeTime.from_units(3.0), RelativeTime.from_units(6.0),
+                priority=30,
+            )
+            server = cls(params)
+            server.attach(vm, 30 * M)
+            for at, cost in fires:
+                fire(vm, server, at, cost)
+            vm.run(30 * M)
+            results[cls.__name__] = [j.response_time for j in server.jobs]
+        ds, ps = results["DeferrableTaskServer"], results["PollingTaskServer"]
+        assert all(d <= p for d, p in zip(ds, ps))
+        assert sum(ds) < sum(ps)
+
+    def test_interference_is_double_hit(self):
+        vm, server = build(capacity=3.0, period=6.0)
+        # window <= capacity: one hit
+        assert server.interference_ns(2 * M) == 3 * M
+        # window capacity + one period: two extra activations...
+        assert server.interference_ns(3 * M) == 3 * M
+        assert server.interference_ns(4 * M) == 6 * M
+        assert server.interference_ns(9 * M) == 6 * M
+        assert server.interference_ns(10 * M) == 9 * M
+
+    def test_run_metrics_shape(self):
+        vm, server = build()
+        fire(vm, server, 0.0, 2.0)
+        fire(vm, server, 58.0, 3.0)  # released near horizon, unserved
+        vm.run(60 * M)
+        m = server.run_metrics()
+        assert m.released == 2
+        assert m.served >= 1

@@ -1,0 +1,162 @@
+"""Unit tests for ServableAsyncEvent / ServableAsyncEventHandler wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    PollingTaskServer,
+    ServableAsyncEvent,
+    ServableAsyncEventHandler,
+    TaskServerParameters,
+)
+from repro.rtsj import (
+    AsyncEventHandler,
+    Compute,
+    OverheadModel,
+    PriorityParameters,
+    RelativeTime,
+    RTSJVirtualMachine,
+)
+from conftest import M
+
+
+def make_server(vm=None, capacity=4.0, period=6.0, horizon=60.0, **kwargs):
+    vm = vm or RTSJVirtualMachine(overhead=OverheadModel.zero())
+    params = TaskServerParameters(
+        RelativeTime.from_units(capacity), RelativeTime.from_units(period),
+        priority=30,
+    )
+    server = PollingTaskServer(params, **kwargs)
+    server.attach(vm, round(horizon * M))
+    return vm, server
+
+
+class TestBinding:
+    def test_handler_registers_with_its_server(self):
+        _, server = make_server()
+        h = ServableAsyncEventHandler(RelativeTime(2, 0), server, name="h")
+        assert h in server.handlers
+
+    def test_oversized_handler_accepted_but_flagged(self):
+        _, server = make_server(capacity=4.0)
+        h = ServableAsyncEventHandler(RelativeTime(5, 0), server, name="big")
+        assert h in server.oversized_handlers
+
+    def test_cost_validation(self):
+        _, server = make_server()
+        with pytest.raises(ValueError):
+            ServableAsyncEventHandler(RelativeTime(0, 0), server)
+        with pytest.raises(ValueError):
+            ServableAsyncEventHandler(
+                RelativeTime(1, 0), server, actual_cost=RelativeTime(0, 0)
+            )
+
+    def test_add_remove_servable_handler(self):
+        _, server = make_server()
+        h = ServableAsyncEventHandler(RelativeTime(1, 0), server)
+        e = ServableAsyncEvent("e")
+        e.add_servable_handler(h)
+        e.add_servable_handler(h)
+        assert e.servable_handlers == [h]
+        e.remove_servable_handler(h)
+        assert e.servable_handlers == []
+
+    def test_release_requires_attached_vm(self):
+        params = TaskServerParameters(
+            RelativeTime(4, 0), RelativeTime(6, 0), priority=30
+        )
+        server = PollingTaskServer(params)
+        h = ServableAsyncEventHandler(RelativeTime(1, 0), server)
+        with pytest.raises(RuntimeError, match="not attached"):
+            server.servable_event_released(h)
+
+    def test_foreign_handler_rejected(self):
+        vm = RTSJVirtualMachine(overhead=OverheadModel.zero())
+        _, server_a = make_server(vm=vm, name="A")
+        _, server_b = make_server(
+            vm=RTSJVirtualMachine(overhead=OverheadModel.zero()), name="B"
+        )
+        h = ServableAsyncEventHandler(RelativeTime(1, 0), server_b)
+        with pytest.raises(ValueError, match="not associated"):
+            server_a.servable_event_released(h)
+
+
+class TestFireRouting:
+    def test_fire_routes_each_servable_handler_to_its_server(self):
+        vm, server = make_server()
+        h1 = ServableAsyncEventHandler(RelativeTime(1, 0), server, name="h1")
+        h2 = ServableAsyncEventHandler(RelativeTime(1, 0), server, name="h2")
+        e = ServableAsyncEvent("e")
+        e.add_servable_handler(h1)
+        e.add_servable_handler(h2)
+        vm.schedule_timer_event(0, lambda now: e.fire())
+        vm.run(12 * M)
+        assert len(server.releases) == 2
+        assert {r.handler for r in server.releases} == {h1, h2}
+
+    def test_fire_also_releases_standard_handlers(self):
+        vm, server = make_server()
+        h = ServableAsyncEventHandler(RelativeTime(1, 0), server, name="h")
+        hits = []
+
+        def std_logic(handler):
+            hits.append(handler.thread.vm.now_ns / M)
+            yield Compute(0)
+
+        std = AsyncEventHandler(std_logic, PriorityParameters(25), name="std")
+        std.attach(vm)
+        e = ServableAsyncEvent("e")
+        e.add_servable_handler(h)
+        e.add_handler(std)  # the inherited AsyncEvent behaviour
+        vm.schedule_timer_event(2 * M, lambda now: e.fire())
+        vm.run(12 * M)
+        assert hits == [2.0]
+        assert len(server.releases) == 1
+
+    def test_one_handler_bound_to_many_events(self):
+        vm, server = make_server()
+        h = ServableAsyncEventHandler(RelativeTime(1, 0), server, name="h")
+        e1, e2 = ServableAsyncEvent("e1"), ServableAsyncEvent("e2")
+        e1.add_servable_handler(h)
+        e2.add_servable_handler(h)
+        vm.schedule_timer_event(0, lambda now: e1.fire())
+        vm.schedule_timer_event(1 * M, lambda now: e2.fire())
+        vm.run(12 * M)
+        assert len(server.releases) == 2
+
+    def test_release_records_carry_job_metadata(self):
+        vm, server = make_server()
+        h = ServableAsyncEventHandler(
+            RelativeTime(2, 0), server,
+            actual_cost=RelativeTime(3, 0), name="h",
+        )
+        e = ServableAsyncEvent("e")
+        e.add_servable_handler(h)
+        vm.schedule_timer_event(5 * M, lambda now: e.fire())
+        vm.run(30 * M)
+        (release,) = server.releases
+        assert release.job.release == pytest.approx(5.0)
+        assert release.job.declared_cost == pytest.approx(2.0)
+        assert release.job.cost == pytest.approx(3.0)
+        assert release.cost_ns == 2 * M
+
+    def test_custom_work_generator(self):
+        vm, server = make_server()
+        phases = []
+
+        def work():
+            phases.append("phase1")
+            yield Compute(1 * M)
+            phases.append("phase2")
+            yield Compute(1 * M)
+
+        h = ServableAsyncEventHandler(
+            RelativeTime(2, 0), server, work=work, name="h"
+        )
+        e = ServableAsyncEvent("e")
+        e.add_servable_handler(h)
+        vm.schedule_timer_event(0, lambda now: e.fire())
+        vm.run(12 * M)
+        assert phases == ["phase1", "phase2"]
+        assert server.jobs[0].state.value == "completed"

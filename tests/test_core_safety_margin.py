@@ -1,0 +1,131 @@
+"""Unit tests for the Section 7 anti-interruption safety margin."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DeferrableTaskServer,
+    PollingTaskServer,
+    ServableAsyncEvent,
+    ServableAsyncEventHandler,
+    TaskServerParameters,
+)
+from repro.rtsj import OverheadModel, RelativeTime, RTSJVirtualMachine
+from repro.sim.task import JobState
+from conftest import M
+
+
+def build(server_cls, margin, capacity=4.0, period=6.0, overhead=None):
+    vm = RTSJVirtualMachine(
+        overhead=overhead if overhead is not None else OverheadModel.zero()
+    )
+    params = TaskServerParameters(
+        RelativeTime.from_units(capacity), RelativeTime.from_units(period),
+        priority=30,
+    )
+    server = server_cls(
+        params, safety_margin=RelativeTime.from_units(margin)
+    )
+    server.attach(vm, 60 * M)
+    return vm, server
+
+
+def fire(vm, server, at, declared, actual=None, name=None):
+    handler = ServableAsyncEventHandler(
+        RelativeTime.from_units(declared), server,
+        actual_cost=RelativeTime.from_units(actual) if actual else None,
+        name=name or f"h@{at:g}",
+    )
+    event = ServableAsyncEvent(handler.name)
+    event.add_servable_handler(handler)
+    vm.schedule_timer_event(round(at * M), lambda now, e=event: e.fire())
+    return handler
+
+
+class TestPollingMargin:
+    def test_margin_defers_tight_fit(self):
+        # without a margin: h2 (cost 2) runs in the 2 tu left and is
+        # interrupted when it overruns; with a 0.5 margin it waits for
+        # the next instance and completes
+        for margin, expect_interrupt in ((0.0, True), (0.5, False)):
+            vm, server = build(PollingTaskServer, margin)
+            fire(vm, server, 0.0, 2.0, name="h1")
+            fire(vm, server, 0.0, 2.0, actual=2.3, name="h2")
+            vm.run(30 * M)
+            h2 = server.jobs[1]
+            assert h2.interrupted is expect_interrupt, margin
+            if not expect_interrupt:
+                assert h2.start_time == 6.0
+                assert h2.state is JobState.COMPLETED
+
+    def test_margin_does_not_block_roomy_fit(self):
+        vm, server = build(PollingTaskServer, 0.5)
+        fire(vm, server, 0.0, 2.0)
+        vm.run(12 * M)
+        assert server.jobs[0].finish_time == 2.0
+
+    def test_negative_margin_rejected(self):
+        params = TaskServerParameters(
+            RelativeTime(4, 0), RelativeTime(6, 0), priority=30
+        )
+        with pytest.raises(ValueError):
+            PollingTaskServer(
+                params, safety_margin=RelativeTime.from_nanos(-1)
+            )
+
+    def test_margin_at_capacity_blocks_everything(self):
+        vm, server = build(PollingTaskServer, 4.0)
+        fire(vm, server, 0.0, 2.0)
+        vm.run(30 * M)
+        assert server.jobs[0].state is JobState.PENDING
+
+
+class TestDeferrableMargin:
+    def test_margin_defers_tight_fit(self):
+        # without a margin: h1 (declared 2.5, actual 3.2) gets the full
+        # 3.0 budget at t=0.5 and is interrupted; with a 0.75 margin its
+        # effective cost (3.25) no longer fits, and the wake-up caused by
+        # the cheap t=10 arrival lands in the bridge window, where the
+        # boosted budget (remaining + full) lets it finish
+        for margin, expect_interrupt in ((0.0, True), (0.75, False)):
+            vm, server = build(DeferrableTaskServer, margin, capacity=3.0)
+            fire(vm, server, 0.5, 2.5, actual=3.2, name="h1")
+            fire(vm, server, 10.0, 0.5, name="h2")
+            vm.run(30 * M)
+            h1 = server.jobs[0]
+            assert h1.interrupted is expect_interrupt, margin
+            if expect_interrupt:
+                assert h1.start_time == 0.5
+            else:
+                assert h1.state is JobState.COMPLETED
+                assert h1.start_time == 10.0
+
+    def test_margin_defers_forever_without_wakeups(self):
+        # the DS service loop only re-evaluates on arrivals and refills;
+        # a handler pushed over the capacity by the margin is never
+        # reconsidered inside a bridge window unless something wakes the
+        # server there (a faithful consequence of the event-driven run()
+        # delegation the paper describes)
+        vm, server = build(DeferrableTaskServer, 1.0, capacity=3.0)
+        fire(vm, server, 1.0, 3.0, actual=3.5, name="h1")
+        vm.run(30 * M)
+        assert server.jobs[0].state is JobState.PENDING
+
+    def test_margin_interacts_with_bridge(self):
+        vm, server = build(DeferrableTaskServer, 0.5, capacity=3.0)
+        fire(vm, server, 0.0, 2.0, name="a")     # leaves 1 at t=2
+        fire(vm, server, 5.0, 2.0, name="b")     # bridge: 2.5 vs 1+3
+        vm.run(30 * M)
+        b = server.jobs[1]
+        assert b.start_time == 5.0               # bridge still admits it
+        assert b.finish_time == 7.0
+
+    def test_negative_margin_rejected(self):
+        params = TaskServerParameters(
+            RelativeTime(3, 0), RelativeTime(6, 0), priority=30
+        )
+        with pytest.raises(ValueError):
+            DeferrableTaskServer(
+                params, safety_margin=RelativeTime.from_nanos(-1)
+            )

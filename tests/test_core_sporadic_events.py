@@ -1,0 +1,97 @@
+"""Unit tests for minimum-interarrival control on servable events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    PollingTaskServer,
+    ServableAsyncEvent,
+    ServableAsyncEventHandler,
+    TaskServerParameters,
+)
+from repro.rtsj import OverheadModel, RelativeTime, RTSJVirtualMachine
+from conftest import M
+
+
+def build(mit=None, violation="ignore"):
+    vm = RTSJVirtualMachine(overhead=OverheadModel.zero())
+    server = PollingTaskServer(
+        TaskServerParameters(
+            RelativeTime(4, 0), RelativeTime(6, 0), priority=30
+        )
+    )
+    server.attach(vm, 60 * M)
+    handler = ServableAsyncEventHandler(RelativeTime(1, 0), server, name="h")
+    event = ServableAsyncEvent(
+        "e",
+        min_interarrival=RelativeTime.from_units(mit) if mit else None,
+        mit_violation=violation,
+    )
+    event.add_servable_handler(handler)
+    return vm, server, event
+
+
+def fire_at(vm, event, times):
+    for t in times:
+        vm.schedule_timer_event(round(t * M), lambda now, e=event: e.fire())
+
+
+class TestMITIgnore:
+    def test_violating_fires_dropped(self):
+        vm, server, event = build(mit=5.0, violation="ignore")
+        fire_at(vm, event, [0.0, 2.0, 4.0, 6.0])
+        vm.run(30 * M)
+        # accepted at 0 (first) and 6 (>= 0+5); 2 and 4 dropped
+        assert len(server.releases) == 2
+        assert event.ignored_fire_count == 2
+        releases = [r.release_ns / M for r in server.releases]
+        assert releases == [0.0, 6.0]
+
+    def test_spaced_fires_all_accepted(self):
+        vm, server, event = build(mit=2.0, violation="ignore")
+        fire_at(vm, event, [0.0, 2.0, 4.5])
+        vm.run(30 * M)
+        assert len(server.releases) == 3
+        assert event.ignored_fire_count == 0
+
+
+class TestMITDelay:
+    def test_violating_fires_deferred(self):
+        vm, server, event = build(mit=5.0, violation="delay")
+        fire_at(vm, event, [0.0, 1.0])
+        vm.run(30 * M)
+        releases = [r.release_ns / M for r in server.releases]
+        assert releases == [0.0, 5.0]
+        assert event.ignored_fire_count == 0
+
+    def test_burst_spreads_at_mit_spacing(self):
+        vm, server, event = build(mit=3.0, violation="delay")
+        fire_at(vm, event, [0.0, 0.1, 0.2, 0.3])
+        vm.run(30 * M)
+        releases = [r.release_ns / M for r in server.releases]
+        assert releases == [0.0, 3.0, 6.0, 9.0]
+
+
+class TestMITValidation:
+    def test_bad_policy(self):
+        with pytest.raises(ValueError):
+            ServableAsyncEvent("e", min_interarrival=RelativeTime(1, 0),
+                               mit_violation="explode")
+
+    def test_bad_mit(self):
+        with pytest.raises(ValueError):
+            ServableAsyncEvent("e", min_interarrival=RelativeTime(0, 0))
+
+    def test_no_mit_is_passthrough(self):
+        vm, server, event = build()
+        fire_at(vm, event, [0.0, 0.1, 0.2])
+        vm.run(30 * M)
+        assert len(server.releases) == 3
+
+    def test_control_requires_attached_server(self):
+        event = ServableAsyncEvent(
+            "e", min_interarrival=RelativeTime(1, 0)
+        )
+        with pytest.raises(RuntimeError, match="attached"):
+            event.fire()

@@ -1,0 +1,69 @@
+"""Unit tests for the overhead-model calibration utility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.calibrate import (
+    DEFAULT_REFERENCE_SET,
+    calibrate_inflation,
+    measure_air,
+)
+from repro.rtsj import OverheadModel
+from repro.workload.spec import GenerationParameters
+
+SMALL_SET = GenerationParameters(
+    task_density=2.0, average_cost=3.0, std_deviation=2.0,
+    server_capacity=4.0, server_period=6.0, nb_generation=4, seed=1983,
+)
+
+
+class TestMeasureAir:
+    def test_zero_overhead_zero_air(self):
+        assert measure_air(OverheadModel.zero(), SMALL_SET) == 0.0
+
+    def test_air_grows_with_inflation(self):
+        low = measure_air(
+            OverheadModel(timer_fire_ns=0, release_ns=0, dispatch_ns=0,
+                          handler_inflation_ns=50_000),
+            SMALL_SET,
+        )
+        high = measure_air(
+            OverheadModel(timer_fire_ns=0, release_ns=0, dispatch_ns=0,
+                          handler_inflation_ns=800_000),
+            SMALL_SET,
+        )
+        assert high >= low
+        assert high > 0.0
+
+
+class TestCalibration:
+    def test_hits_reachable_target(self):
+        result = calibrate_inflation(
+            target_air=0.10, params=SMALL_SET, iterations=8
+        )
+        assert result.error <= 0.08
+        assert result.model.handler_inflation_ns >= 0
+        assert result.iterations <= 9
+
+    def test_target_zero_returns_floor(self):
+        result = calibrate_inflation(
+            target_air=0.0, params=SMALL_SET,
+            base=OverheadModel.zero(), iterations=3,
+        )
+        assert result.achieved_air == 0.0
+        assert result.model.handler_inflation_ns == 0
+        assert result.iterations == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_inflation(target_air=1.5)
+        with pytest.raises(ValueError):
+            calibrate_inflation(target_air=0.1, low_ns=10, high_ns=5)
+        with pytest.raises(ValueError):
+            calibrate_inflation(target_air=0.1, iterations=0)
+
+    def test_default_reference_is_the_paper_middle_set(self):
+        assert DEFAULT_REFERENCE_SET.task_density == 2.0
+        assert DEFAULT_REFERENCE_SET.std_deviation == 2.0
+        assert DEFAULT_REFERENCE_SET.seed == 1983

@@ -1,0 +1,82 @@
+"""Integration tests: the paper's scenarios reproduce Figures 2-4 exactly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    EXPECTED_TIMELINES,
+    SCENARIOS,
+    figure_text,
+    run_scenario_execution,
+    run_scenario_ideal_simulation,
+    timeline_of,
+)
+from repro.sim.task import JobState
+
+
+def scenario(name):
+    return next(s for s in SCENARIOS if s.name == name)
+
+
+class TestFigureTimelines:
+    @pytest.mark.parametrize("name", ["scenario1", "scenario2", "scenario3"])
+    def test_execution_matches_paper_figure(self, name):
+        outcome = run_scenario_execution(scenario(name))
+        expected = EXPECTED_TIMELINES[name]
+        for entity, segments in expected.items():
+            assert timeline_of(outcome.trace, entity) == [
+                (float(a), float(b)) for a, b in segments
+            ], f"{name}/{entity}"
+
+    def test_scenario1_handlers_served_at_once(self):
+        outcome = run_scenario_execution(scenario("scenario1"))
+        assert outcome.job("h1").finish_time == 2.0
+        assert outcome.job("h2").finish_time == 8.0
+        assert all(j.state is JobState.COMPLETED for j in outcome.jobs)
+
+    def test_scenario2_h2_deferred_not_split(self):
+        # the implementation cannot resume h2, so it waits for t=12
+        outcome = run_scenario_execution(scenario("scenario2"))
+        h2 = outcome.job("h2")
+        assert h2.start_time == 12.0
+        assert h2.finish_time == 14.0
+        assert not h2.interrupted
+
+    def test_scenario3_h2_interrupted_at_9(self):
+        outcome = run_scenario_execution(scenario("scenario3"))
+        h2 = outcome.job("h2")
+        assert h2.start_time == 8.0
+        assert h2.finish_time == 9.0
+        assert h2.interrupted
+        assert h2.state is JobState.ABORTED
+
+    def test_scenario2_ideal_policy_splits_h2(self):
+        # the paper's commentary: the real PS runs h2 at 8-9 and 12-13
+        outcome = run_scenario_ideal_simulation(scenario("scenario2"))
+        h2_segments = [
+            (s.start, s.end) for s in outcome.trace.segments if s.job == "h2"
+        ]
+        assert h2_segments == [(8.0, 9.0), (12.0, 13.0)]
+        assert outcome.job("h2").finish_time == 13.0
+
+    def test_scenario1_ideal_and_execution_agree(self):
+        # with full capacity available both behave identically
+        ideal = run_scenario_ideal_simulation(scenario("scenario1"))
+        execd = run_scenario_execution(scenario("scenario1"))
+        for h in ("h1", "h2"):
+            assert ideal.job(h).finish_time == execd.job(h).finish_time
+
+    def test_figure_text_mentions_fates(self):
+        text = figure_text(
+            scenario("scenario3"),
+            run_scenario_execution(scenario("scenario3")),
+        )
+        assert "Figure 4" in text
+        assert "interrupted" in text
+        assert "PS" in text and "t1" in text
+
+    def test_job_lookup_unknown_prefix(self):
+        outcome = run_scenario_execution(scenario("scenario1"))
+        with pytest.raises(KeyError):
+            outcome.job("h9")

@@ -1,0 +1,61 @@
+"""Golden tests: the exact ASCII temporal diagrams of Figures 2-4.
+
+The paper's figures, pinned character-for-character.  Any change to the
+kernel, the framework, or the renderer that shifts these timelines shows
+up here as a readable diff.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import SCENARIOS, run_scenario_execution
+from repro.sim.gantt import ascii_gantt
+
+
+def render(name: str) -> str:
+    spec = next(s for s in SCENARIOS if s.name == name)
+    outcome = run_scenario_execution(spec)
+    return ascii_gantt(
+        outcome.trace, until=spec.horizon, entities=["PS", "t1", "t2"]
+    )
+
+
+FIGURE2 = """\
+PS          |##....##..........|
+t1          |..##....##..##....|
+t2          |....#.....#...#...|
+             0    5    10   15 """
+
+FIGURE3 = """\
+PS          |......##....##....|
+t1          |##......##....##..|
+t2          |..#.......#.....#.|
+             0    5    10   15 """
+
+FIGURE4 = """\
+PS          |......###.........|
+t1          |##.......##.##....|
+t2          |..#........#..#...|
+             0    5    10   15 """
+
+
+def test_figure2_golden():
+    assert render("scenario1") == FIGURE2
+
+
+def test_figure3_golden():
+    assert render("scenario2") == FIGURE3
+
+
+def test_figure4_golden():
+    assert render("scenario3") == FIGURE4
+
+
+def test_svg_figures_are_stable():
+    from repro.sim.gantt import svg_gantt
+
+    spec = SCENARIOS[0]
+    outcome_a = run_scenario_execution(spec)
+    outcome_b = run_scenario_execution(spec)
+    svg_a = svg_gantt(outcome_a.trace, until=spec.horizon)
+    svg_b = svg_gantt(outcome_b.trace, until=spec.horizon)
+    assert svg_a == svg_b

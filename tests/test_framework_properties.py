@@ -1,0 +1,128 @@
+"""Property-based tests on the framework servers (exec arm)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DeferrableTaskServer,
+    PollingTaskServer,
+    ServableAsyncEvent,
+    ServableAsyncEventHandler,
+    TaskServerParameters,
+)
+from repro.rtsj import OverheadModel, RelativeTime, RTSJVirtualMachine
+from repro.sim.task import JobState
+from conftest import M
+
+arrivals = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        st.floats(min_value=0.1, max_value=4.0, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=10,
+)
+
+
+def run_framework(server_cls, fires, capacity=4.0, period=6.0,
+                  horizon=120.0, overhead=None, **server_kwargs):
+    vm = RTSJVirtualMachine(
+        overhead=overhead if overhead is not None else OverheadModel.zero()
+    )
+    server = server_cls(
+        TaskServerParameters(
+            RelativeTime.from_units(capacity),
+            RelativeTime.from_units(period),
+            priority=30,
+        ),
+        **server_kwargs,
+    )
+    server.attach(vm, round(horizon * M))
+    for i, (at, cost) in enumerate(sorted(fires)):
+        handler = ServableAsyncEventHandler(
+            RelativeTime.from_units(cost), server, name=f"h{i}"
+        )
+        event = ServableAsyncEvent(handler.name)
+        event.add_servable_handler(handler)
+        vm.schedule_timer_event(round(at * M), lambda now, e=event: e.fire())
+    trace = vm.run(round(horizon * M))
+    return server, trace
+
+
+class TestFrameworkInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(fires=arrivals)
+    def test_polling_invariants(self, fires):
+        server, trace = run_framework(PollingTaskServer, fires)
+        self._check(server, trace, capacity=4.0, period=6.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(fires=arrivals)
+    def test_deferrable_invariants(self, fires):
+        server, trace = run_framework(DeferrableTaskServer, fires)
+        self._check(server, trace, capacity=4.0, period=6.0)
+        assert 0 <= server.capacity_ns <= round(4.0 * M)
+
+    @staticmethod
+    def _check(server, trace, capacity, period):
+        trace.validate()
+        for job in server.jobs:
+            if job.state is JobState.COMPLETED:
+                assert job.response_time is not None
+                assert job.response_time >= job.cost - 1e-9
+            if job.start_time is not None:
+                assert job.start_time >= job.release - 1e-9
+        # zero overheads: no interruptions are possible only when the
+        # budget always covers the actual cost; what must always hold is
+        # that an interrupted job never counts as completed
+        for job in server.jobs:
+            assert not (job.interrupted and job.state is JobState.COMPLETED)
+        # the DS double-hit is the absolute ceiling on service in any
+        # window for either policy
+        window = period
+        k = 0
+        while k * window < trace.makespan:
+            served = sum(
+                max(0.0, min(s.end, (k + 1) * window)
+                    - max(s.start, k * window))
+                for s in trace.segments
+                if s.entity in ("PS", "DS")
+            )
+            assert served <= 2 * capacity + 1e-6
+            k += 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(fires=arrivals)
+    def test_bucket_predictions_always_exact(self, fires):
+        # costs <= capacity by construction of the strategy (max 4.0)
+        server, _ = run_framework(
+            PollingTaskServer, fires, queue="bucket"
+        )
+        predictions = server.predicted_response_times()
+        for job in server.jobs:
+            if job.response_time is not None:
+                assert abs(
+                    job.response_time - predictions[job.name]
+                ) < 1e-6
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        fires=arrivals,
+        margin=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    )
+    def test_safety_margin_never_increases_interruptions(self, fires, margin):
+        base, _ = run_framework(
+            PollingTaskServer, fires,
+            overhead=OverheadModel(),  # calibrated overheads
+        )
+        guarded, _ = run_framework(
+            PollingTaskServer, fires,
+            overhead=OverheadModel(),
+            safety_margin=RelativeTime.from_units(margin),
+        )
+        assert (
+            guarded.run_metrics().interrupted
+            <= base.run_metrics().interrupted
+        )

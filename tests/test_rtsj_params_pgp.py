@@ -1,0 +1,120 @@
+"""Unit tests for parameter objects and processing-group enforcement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rtsj import (
+    AbsoluteTime,
+    AperiodicParameters,
+    OverheadModel,
+    PeriodicParameters,
+    PriorityParameters,
+    ProcessingGroupParameters,
+    RealtimeThread,
+    ReleaseParameters,
+    RelativeTime,
+    RTSJVirtualMachine,
+    SporadicParameters,
+)
+from conftest import M, periodic_logic, segments_of
+
+
+class TestParameterValidation:
+    def test_priority_parameters(self):
+        assert PriorityParameters(20).priority == 20
+        with pytest.raises(TypeError):
+            PriorityParameters(1.5)  # type: ignore[arg-type]
+
+    def test_release_parameters(self):
+        rp = ReleaseParameters(RelativeTime(2, 0), RelativeTime(6, 0))
+        assert rp.cost == RelativeTime(2, 0)
+        with pytest.raises(ValueError):
+            ReleaseParameters(RelativeTime(-1, 0))
+        with pytest.raises(ValueError):
+            ReleaseParameters(deadline=RelativeTime(0, 0))
+
+    def test_periodic_parameters(self):
+        pp = PeriodicParameters(None, RelativeTime(6, 0))
+        assert pp.start == AbsoluteTime(0, 0)
+        assert pp.effective_deadline == RelativeTime(6, 0)
+        pp2 = PeriodicParameters(
+            AbsoluteTime(1, 0), RelativeTime(6, 0),
+            deadline=RelativeTime(4, 0),
+        )
+        assert pp2.effective_deadline == RelativeTime(4, 0)
+        with pytest.raises(ValueError):
+            PeriodicParameters(None, RelativeTime(0, 0))
+
+    def test_sporadic_parameters(self):
+        sp = SporadicParameters(RelativeTime(10, 0), cost=RelativeTime(1, 0))
+        assert sp.min_interarrival == RelativeTime(10, 0)
+        assert isinstance(sp, AperiodicParameters)
+        with pytest.raises(ValueError):
+            SporadicParameters(RelativeTime(0, 0))
+
+    def test_pgp_validation(self):
+        with pytest.raises(ValueError):
+            ProcessingGroupParameters(None, RelativeTime(6, 0), RelativeTime(0, 0))
+        with pytest.raises(ValueError):
+            ProcessingGroupParameters(None, RelativeTime(6, 0), RelativeTime(7, 0))
+
+
+class TestProcessingGroups:
+    """The paper's Section 3 critique, made executable.
+
+    With cost enforcement (not guaranteed by the RTSJ) the group budget
+    throttles its members; without it — the reference implementation's
+    behaviour — PGP "can have no effect at all".
+    """
+
+    def _run(self, enforced: bool):
+        vm = RTSJVirtualMachine(overhead=OverheadModel.zero())
+        pgp = ProcessingGroupParameters(
+            AbsoluteTime(0, 0), period=RelativeTime(6, 0),
+            cost=RelativeTime(2, 0), enforced=enforced,
+        )
+        # a greedy thread wanting 5 units per 6-unit period
+        thread = RealtimeThread(
+            periodic_logic(5 * M),
+            PriorityParameters(30),
+            PeriodicParameters(AbsoluteTime(0, 0), RelativeTime(6, 0)),
+            pgp=pgp,
+            name="greedy",
+        )
+        lower = RealtimeThread(
+            periodic_logic(3 * M),
+            PriorityParameters(20),
+            PeriodicParameters(AbsoluteTime(0, 0), RelativeTime(6, 0)),
+            name="victim",
+        )
+        vm.add_thread(thread)
+        vm.add_thread(lower)
+        vm.register_pgp(pgp, horizon_ns=12 * M)
+        trace = vm.run(12 * M)
+        return pgp, trace
+
+    def test_enforced_budget_throttles_group(self):
+        pgp, trace = self._run(enforced=True)
+        # greedy gets exactly 2 units per period
+        assert segments_of(trace, "greedy") == [(0, 2), (6, 8)]
+        # the victim is protected: it gets its 3 units on time
+        assert segments_of(trace, "victim") == [(2, 5), (8, 11)]
+
+    def test_unenforced_budget_is_accounting_only(self):
+        pgp, trace = self._run(enforced=False)
+        # greedy hogs the processor: PGP had no effect (the RI behaviour)
+        assert segments_of(trace, "greedy") == [(0, 5), (6, 11)]
+        assert segments_of(trace, "victim") == [(5, 6), (11, 12)]
+        # but the overrun is visible in the accounting
+        assert pgp.overrun_ns == 2 * (5 - 2) * M
+
+    def test_replenish_restores_budget(self):
+        pgp = ProcessingGroupParameters(
+            None, RelativeTime(6, 0), RelativeTime(2, 0), enforced=True
+        )
+        pgp.budget_ns = 0
+        assert pgp.exhausted
+        pgp.replenish()
+        assert pgp.budget_ns == 2 * M
+        assert not pgp.exhausted

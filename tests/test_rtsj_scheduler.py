@@ -1,0 +1,111 @@
+"""Direct unit tests for the PriorityScheduler (ready queue + feasibility)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rtsj import (
+    MAX_RT_PRIORITY,
+    MIN_RT_PRIORITY,
+    PriorityParameters,
+    PriorityScheduler,
+    RealtimeThread,
+)
+from repro.rtsj.instructions import Compute
+
+
+def thread(name, priority):
+    t = RealtimeThread(lambda th: iter(()), PriorityParameters(priority),
+                       name=name)
+    # give it a dispatchable instruction without going through a VM
+    t.set_resume_marker()
+    return t
+
+
+class TestReadyQueue:
+    def test_pick_highest_priority(self):
+        s = PriorityScheduler()
+        lo, hi = thread("lo", 15), thread("hi", 30)
+        s.make_ready(lo)
+        s.make_ready(hi)
+        assert s.pick() is hi
+
+    def test_fifo_within_priority(self):
+        s = PriorityScheduler()
+        first, second = thread("first", 20), thread("second", 20)
+        s.make_ready(first)
+        s.make_ready(second)
+        assert s.pick() is first
+
+    def test_fifo_resets_on_requeue(self):
+        s = PriorityScheduler()
+        a, b = thread("a", 20), thread("b", 20)
+        s.make_ready(a)
+        s.make_ready(b)
+        s.remove(a)
+        s.make_ready(a)  # went to the back of its level
+        assert s.pick() is b
+
+    def test_make_ready_idempotent(self):
+        s = PriorityScheduler()
+        a = thread("a", 20)
+        s.make_ready(a)
+        s.make_ready(a)
+        assert s.ready_threads == [a]
+
+    def test_remove_absent_is_noop(self):
+        s = PriorityScheduler()
+        s.remove(thread("ghost", 20))
+
+    def test_empty_pick(self):
+        assert PriorityScheduler().pick() is None
+
+    def test_eligibility_filter(self):
+        s = PriorityScheduler()
+        hi, lo = thread("hi", 30), thread("lo", 15)
+        s.make_ready(hi)
+        s.make_ready(lo)
+        assert s.pick(lambda t: t is not hi) is lo
+        assert s.pick(lambda t: False) is None
+
+    def test_should_preempt_strictly_higher(self):
+        s = PriorityScheduler()
+        a, b, c = thread("a", 20), thread("b", 20), thread("c", 25)
+        assert s.should_preempt(c, a)
+        assert not s.should_preempt(b, a)
+        assert not s.should_preempt(a, c)
+
+    def test_priority_range_enforced_on_ready(self):
+        s = PriorityScheduler()
+        with pytest.raises(ValueError):
+            s.make_ready(thread("low", MIN_RT_PRIORITY - 1))
+        with pytest.raises(ValueError):
+            s.make_ready(thread("high", MAX_RT_PRIORITY + 1))
+        s.make_ready(thread("edge-lo", MIN_RT_PRIORITY))
+        s.make_ready(thread("edge-hi", MAX_RT_PRIORITY))
+
+
+class TestFeasibilitySet:
+    def test_add_remove(self):
+        s = PriorityScheduler()
+        a = thread("a", 20)
+        s.add_to_feasibility(a)
+        s.add_to_feasibility(a)  # idempotent
+        assert s.feasibility_set == [a]
+        s.remove_from_feasibility(a)
+        assert s.feasibility_set == []
+        s.remove_from_feasibility(a)  # no-op
+
+    def test_task_server_registers_itself(self):
+        from repro.core import PollingTaskServer, TaskServerParameters
+        from repro.rtsj import OverheadModel, RelativeTime, RTSJVirtualMachine
+
+        vm = RTSJVirtualMachine(overhead=OverheadModel.zero())
+        server = PollingTaskServer(
+            TaskServerParameters(
+                RelativeTime(3, 0), RelativeTime(6, 0), priority=30
+            )
+        )
+        server.attach(vm, 10_000_000)
+        server.add_to_feasibility()
+        assert server in vm.scheduler.feasibility_set

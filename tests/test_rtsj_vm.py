@@ -1,0 +1,214 @@
+"""Unit tests for the emulated RTSJ virtual machine and threads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rtsj import (
+    AbsoluteTime,
+    Compute,
+    OverheadModel,
+    PeriodicParameters,
+    PriorityParameters,
+    RealtimeThread,
+    RelativeTime,
+    RTSJVirtualMachine,
+    Sleep,
+    ThreadState,
+    WaitForNextPeriod,
+)
+from conftest import M, make_periodic_thread, periodic_logic, segments_of
+
+
+class TestPeriodicThreads:
+    def test_single_periodic_timeline(self, zero_vm):
+        zero_vm.add_thread(make_periodic_thread("t", 2, 5, 20))
+        trace = zero_vm.run(15 * M)
+        assert segments_of(trace, "t") == [(0, 2), (5, 7), (10, 12)]
+
+    def test_priority_preemption(self, zero_vm):
+        zero_vm.add_thread(make_periodic_thread("lo", 4, 12, 12))
+        zero_vm.add_thread(make_periodic_thread("hi", 1, 3, 30))
+        trace = zero_vm.run(12 * M)
+        assert segments_of(trace, "hi") == [(0, 1), (3, 4), (6, 7), (9, 10)]
+        assert segments_of(trace, "lo") == [(1, 3), (4, 6)]
+
+    def test_offset_start(self, zero_vm):
+        zero_vm.add_thread(make_periodic_thread("t", 1, 5, 20, offset=2))
+        trace = zero_vm.run(12 * M)
+        assert segments_of(trace, "t") == [(2, 3), (7, 8)]
+
+    def test_release_exactly_at_completion_not_skipped(self, zero_vm):
+        # regression: a job finishing exactly at its next release must
+        # take that release, not skip to the one after
+        zero_vm.add_thread(make_periodic_thread("hog", 3, 6, 30))
+        zero_vm.add_thread(make_periodic_thread("t", 3, 6, 20))
+        trace = zero_vm.run(18 * M)
+        assert segments_of(trace, "t") == [(3, 6), (9, 12), (15, 18)]
+
+    def test_overrun_skips_to_future_release(self, zero_vm):
+        # hog starves t for more than a whole period
+        zero_vm.add_thread(make_periodic_thread("hog", 13, 14, 30))
+        zero_vm.add_thread(make_periodic_thread("t", 1, 6, 20))
+        trace = zero_vm.run(20 * M)
+        # t's first job runs at 13; next release taken is 18 (12 skipped)
+        assert segments_of(trace, "t")[0] == (13, 14)
+
+    def test_thread_termination(self, zero_vm):
+        def one_shot(thread):
+            yield Compute(3 * M)
+
+        t = RealtimeThread(one_shot, PriorityParameters(20), name="once")
+        zero_vm.add_thread(t)
+        trace = zero_vm.run(10 * M)
+        assert segments_of(trace, "once") == [(0, 3)]
+        assert t.state is ThreadState.TERMINATED
+
+    def test_wait_for_next_period_requires_periodic_params(self, zero_vm):
+        def bad(thread):
+            yield WaitForNextPeriod()
+
+        zero_vm.add_thread(RealtimeThread(bad, PriorityParameters(20)))
+        with pytest.raises(RuntimeError, match="PeriodicParameters"):
+            zero_vm.run(5 * M)
+
+    def test_sleep_instruction(self, zero_vm):
+        marks = []
+
+        def sleeper(thread):
+            yield Compute(1 * M)
+            marks.append(thread.now_ns)
+            yield Sleep(5 * M)
+            marks.append(thread.now_ns)
+            yield Compute(1 * M)
+
+        zero_vm.add_thread(RealtimeThread(sleeper, PriorityParameters(20), name="s"))
+        trace = zero_vm.run(10 * M)
+        assert marks == [1 * M, 5 * M]
+        assert segments_of(trace, "s") == [(0, 1), (5, 6)]
+
+    def test_yielding_non_instruction_raises(self, zero_vm):
+        def bad(thread):
+            yield 42
+
+        zero_vm.add_thread(RealtimeThread(bad, PriorityParameters(20)))
+        with pytest.raises(TypeError, match="not an Instruction"):
+            zero_vm.run(5 * M)
+
+    def test_priority_bounds_enforced(self, zero_vm):
+        t = RealtimeThread(periodic_logic(M), PriorityParameters(99),
+                           name="out-of-range")
+        zero_vm.add_thread(t)
+        with pytest.raises(ValueError, match="priority"):
+            zero_vm.run(5 * M)
+
+    def test_thread_cannot_start_twice(self, zero_vm):
+        t = make_periodic_thread("t", 1, 5, 20)
+        zero_vm.add_thread(t)
+        with pytest.raises(RuntimeError):
+            t.start(zero_vm)
+
+    def test_vm_runs_once(self, zero_vm):
+        zero_vm.run(1 * M)
+        with pytest.raises(RuntimeError):
+            zero_vm.run(1 * M)
+
+    def test_zero_compute_is_instantaneous(self, zero_vm):
+        order = []
+
+        def logic(thread):
+            order.append("a")
+            yield Compute(0)
+            order.append("b")
+            yield Compute(1 * M)
+            order.append("c")
+
+        zero_vm.add_thread(RealtimeThread(logic, PriorityParameters(20)))
+        zero_vm.run(5 * M)
+        assert order == ["a", "b", "c"]
+
+
+class TestOverheadModel:
+    def test_timer_isr_blocks_all_threads(self):
+        vm = RTSJVirtualMachine(
+            overhead=OverheadModel.zero()._replace_timer(500_000)
+            if hasattr(OverheadModel, "_replace_timer")
+            else OverheadModel(
+                timer_fire_ns=500_000, release_ns=0, dispatch_ns=0,
+                context_switch_ns=0, handler_inflation_ns=0,
+            )
+        )
+        vm.add_thread(make_periodic_thread("t", 2, 10, 20))
+        vm.schedule_timer_event(1 * M, lambda now: None)
+        trace = vm.run(10 * M)
+        # the thread is split around the 0.5tu ISR window at t=1
+        assert segments_of(trace, "t") == [(0, 1), (1.5, 2.5)]
+        assert segments_of(trace, "ISR") == [(1, 1.5)]
+
+    def test_zero_overhead_has_no_isr_segments(self, zero_vm):
+        zero_vm.add_thread(make_periodic_thread("t", 1, 5, 20))
+        zero_vm.schedule_timer_event(2 * M, lambda now: None)
+        trace = zero_vm.run(5 * M)
+        assert segments_of(trace, "ISR") == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OverheadModel(timer_fire_ns=-1)
+
+    def test_zero_factory(self):
+        z = OverheadModel.zero()
+        assert (z.timer_fire_ns, z.release_ns, z.dispatch_ns,
+                z.context_switch_ns, z.handler_inflation_ns) == (0,) * 5
+
+    def test_context_switch_cost_charged(self):
+        vm = RTSJVirtualMachine(overhead=OverheadModel(
+            timer_fire_ns=0, release_ns=0, dispatch_ns=0,
+            context_switch_ns=250_000, handler_inflation_ns=0,
+        ))
+        vm.add_thread(make_periodic_thread("a", 1, 10, 30))
+        vm.add_thread(make_periodic_thread("b", 1, 10, 20))
+        trace = vm.run(10 * M)
+        assert trace.busy_time("ISR") > 0
+
+
+class TestEventScheduling:
+    def test_past_event_rejected(self, zero_vm):
+        zero_vm.add_thread(make_periodic_thread("t", 5, 10, 20))
+
+        def cb(now):
+            with pytest.raises(ValueError):
+                zero_vm.schedule_event(now - 1, lambda t: None)
+
+        zero_vm.schedule_event(2 * M, cb)
+        zero_vm.run(10 * M)
+
+    def test_bad_horizon(self, zero_vm):
+        with pytest.raises(ValueError):
+            zero_vm.run(0)
+
+    def test_idle_vm_finishes_early(self, zero_vm):
+        trace = zero_vm.run(100 * M)
+        assert trace.segments == []
+
+
+class TestInstructionValidation:
+    def test_compute_validation(self):
+        with pytest.raises(ValueError):
+            Compute(-1)
+        with pytest.raises(TypeError):
+            Compute(1.5)  # type: ignore[arg-type]
+
+    def test_compute_deadline_composition(self):
+        instr = Compute(5, deadline_ns=100)
+        tighter = instr.with_deadline(50)
+        assert tighter.deadline_ns == 50
+        looser = instr.with_deadline(200)
+        assert looser.deadline_ns == 100
+
+    def test_sleep_validation(self):
+        with pytest.raises(TypeError):
+            Sleep(1.5)  # type: ignore[arg-type]
+
+    def test_compute_repr(self):
+        assert "Compute(5ns" in repr(Compute(5))
+        assert "deadline=9" in repr(Compute(5, deadline_ns=9))

@@ -1,0 +1,56 @@
+"""Tests for the experiments runner CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import main
+
+
+class TestRunnerTargets:
+    def test_single_table(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2." in out
+        assert "Table 3." not in out
+
+    def test_compare_mode(self, capsys):
+        assert main(["table4", "--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "paper vs measured" in out
+        assert "5.30" in out  # the paper's Table 4 (1,0) AART
+
+    def test_checks_target(self, capsys):
+        assert main(["checks"]) == 0
+        out = capsys.readouterr().out
+        assert "Shape checks" in out
+        assert "FAIL" not in out
+
+    def test_figures_target_with_svg(self, tmp_path, capsys):
+        assert main(["figures", "--svg-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out and "Figure 4" in out
+        svgs = sorted(p.name for p in tmp_path.glob("*.svg"))
+        assert svgs == [
+            "figure2_scenario1.svg",
+            "figure3_scenario2.svg",
+            "figure4_scenario3.svg",
+        ]
+
+    def test_report_target_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        assert main(["report", "--output", str(out_file)]) == 0
+        assert "report written" in capsys.readouterr().out
+        assert "Shape checks" in out_file.read_text()
+
+    def test_no_overhead_flag(self, capsys):
+        assert main(["table3", "--no-overhead"]) == 0
+        out = capsys.readouterr().out
+        # without overheads the execution arm never interrupts
+        for line in out.splitlines():
+            if line.startswith("AIR"):
+                assert set(line.split()[1:]) == {"0.00"}
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table9"])

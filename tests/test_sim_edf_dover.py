@@ -1,0 +1,154 @@
+"""Unit tests for the EDF policy and the D-OVER overload scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (
+    AperiodicJob,
+    DOverScheduler,
+    EarliestDeadlineFirstPolicy,
+    JobState,
+    Simulation,
+)
+from repro.workload.spec import PeriodicTaskSpec
+from conftest import segments_of
+
+
+class TestEDF:
+    def test_earliest_deadline_runs_first(self):
+        sim = Simulation(EarliestDeadlineFirstPolicy())
+        sim.add_periodic_task(PeriodicTaskSpec("long", cost=2, period=10, priority=1))
+        sim.add_periodic_task(PeriodicTaskSpec("short", cost=2, period=5, priority=1))
+        trace = sim.run(until=10)
+        # short's deadline (5) precedes long's (10)
+        assert segments_of(trace, "short") == [(0, 2), (5, 7)]
+        assert segments_of(trace, "long") == [(2, 4)]
+
+    def test_preemption_on_earlier_deadline_release(self):
+        sim = Simulation(EarliestDeadlineFirstPolicy())
+        sim.add_periodic_task(PeriodicTaskSpec("a", cost=6, period=20, priority=1))
+        sim.add_periodic_task(
+            PeriodicTaskSpec("b", cost=2, period=20, priority=1, offset=2,
+                             deadline=5)
+        )
+        trace = sim.run(until=20)
+        # b released at 2 with deadline 7 < 20: preempts a
+        assert segments_of(trace, "b") == [(2, 4)]
+        assert segments_of(trace, "a") == [(0, 2), (4, 8)]
+
+    def test_edf_schedules_full_utilization(self):
+        from repro.sim import TraceEventKind
+
+        sim = Simulation(EarliestDeadlineFirstPolicy())
+        # U = 0.5 + 0.5 = 1.0: feasible under EDF, not under RM
+        sim.add_periodic_task(PeriodicTaskSpec("a", cost=2, period=4, priority=1))
+        sim.add_periodic_task(PeriodicTaskSpec("b", cost=4, period=8, priority=1))
+        trace = sim.run(until=24)
+        assert trace.events_of(TraceEventKind.DEADLINE_MISS) == []
+
+    def test_equal_deadlines_no_thrashing(self):
+        sim = Simulation(EarliestDeadlineFirstPolicy())
+        sim.add_periodic_task(PeriodicTaskSpec("a", cost=2, period=10, priority=1))
+        sim.add_periodic_task(PeriodicTaskSpec("b", cost=2, period=10, priority=1))
+        trace = sim.run(until=10)
+        assert segments_of(trace, "a") == [(0, 2)]
+        assert segments_of(trace, "b") == [(2, 4)]
+
+
+def jobs_from(specs):
+    return [
+        AperiodicJob(f"j{i}", release=r, cost=c, deadline=d, value=v)
+        for i, (r, c, d, v) in enumerate(specs)
+    ]
+
+
+class TestDOver:
+    def test_underload_behaves_like_edf_and_collects_all_value(self):
+        jobs = jobs_from([
+            (0, 2, 10, 2.0),
+            (1, 2, 6, 2.0),
+            (2, 1, 20, 1.0),
+        ])
+        result = DOverScheduler(jobs).run(until=30)
+        assert len(result.completed) == 3
+        assert result.aborted == []
+        assert result.total_value == pytest.approx(5.0)
+        # j1 (deadline 6) preempts j0 (deadline 10)
+        assert jobs[1].finish_time == 3.0
+
+    def test_overload_abandons_lower_value(self):
+        # two unit-density jobs competing for the same window: only one
+        # can finish; D-OVER must earn at least one of them
+        jobs = jobs_from([
+            (0, 4, 4, 4.0),
+            (0, 4, 4.5, 4.0),
+        ])
+        result = DOverScheduler(jobs).run(until=30)
+        assert len(result.completed) == 1
+        assert len(result.aborted) == 1
+        assert result.total_value == pytest.approx(4.0)
+
+    def test_high_value_zero_laxity_wins(self):
+        # a huge-value job reaching zero laxity displaces the runner
+        jobs = jobs_from([
+            (0, 6, 8, 1.0),
+            (1, 3, 4, 100.0),
+        ])
+        result = DOverScheduler(jobs).run(until=30)
+        names = {j.name for j in result.completed}
+        assert "j1" in names
+        assert jobs[1].finish_time == pytest.approx(4.0)
+
+    def test_low_value_zero_laxity_abandoned(self):
+        jobs = jobs_from([
+            (0, 6, 8, 100.0),
+            (1, 3, 4, 1.0),
+        ])
+        result = DOverScheduler(jobs).run(until=30)
+        assert jobs[0] in result.completed
+        assert jobs[1] in result.aborted
+        assert jobs[1].state is JobState.ABORTED
+
+    def test_deadline_expiry_aborts_running_job(self):
+        # j1 preempts on its earlier deadline but cannot finish in time:
+        # the firm-deadline expiry aborts it mid-run
+        jobs = jobs_from([
+            (0, 5, 20, 5.0),
+            (1, 3, 2.5, 0.1),  # deadline at 3.5, needs until 4
+        ])
+        result = DOverScheduler(jobs).run(until=30)
+        assert jobs[1] in result.aborted
+        assert jobs[0] in result.completed
+
+    def test_importance_ratio_computed(self):
+        jobs = jobs_from([(0, 2, 10, 4.0), (0, 2, 12, 1.0)])
+        sched = DOverScheduler(jobs)
+        # densities 2.0 and 0.5 -> ratio 4
+        assert sched.importance_ratio == pytest.approx(4.0)
+
+    def test_default_value_is_cost(self):
+        jobs = [AperiodicJob("j", release=0, cost=3, deadline=10)]
+        result = DOverScheduler(jobs).run(until=20)
+        assert result.total_value == pytest.approx(3.0)
+
+    def test_missing_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            DOverScheduler([AperiodicJob("j", release=0, cost=1)])
+
+    def test_completion_ratio(self):
+        jobs = jobs_from([(0, 4, 4, 4.0), (0, 4, 4.5, 4.0)])
+        result = DOverScheduler(jobs).run(until=30)
+        assert result.completion_ratio == pytest.approx(0.5)
+
+    def test_trace_is_consistent(self):
+        jobs = jobs_from([
+            (0, 3, 12, 3.0), (1, 2, 5, 2.0), (4, 2, 20, 2.0),
+        ])
+        result = DOverScheduler(jobs).run(until=30)
+        result.trace.validate()
+        busy = result.trace.busy_time()
+        executed = sum(j.cost for j in result.completed) + sum(
+            j.cost - j.remaining for j in result.aborted
+        )
+        assert busy == pytest.approx(executed)

@@ -1,0 +1,183 @@
+"""Unit tests for the RTSS discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (
+    EventQueue,
+    FixedPriorityPolicy,
+    Simulation,
+    TraceEventKind,
+)
+from repro.workload.spec import PeriodicTaskSpec
+from conftest import segments_of
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        q = EventQueue()
+        out = []
+        q.schedule(5.0, lambda t: out.append("b"))
+        q.schedule(1.0, lambda t: out.append("a"))
+        for _ in range(2):
+            cb = q.pop_due(10.0)
+            assert cb is not None
+            cb(0.0)
+        assert out == ["a", "b"]
+
+    def test_order_breaks_ties(self):
+        q = EventQueue()
+        out = []
+        q.schedule(1.0, lambda t: out.append("second"), order=5)
+        q.schedule(1.0, lambda t: out.append("first"), order=1)
+        while (cb := q.pop_due(1.0)) is not None:
+            cb(1.0)
+        assert out == ["first", "second"]
+
+    def test_insertion_sequence_breaks_remaining_ties(self):
+        q = EventQueue()
+        out = []
+        for i in range(5):
+            q.schedule(1.0, lambda t, i=i: out.append(i), order=0)
+        while (cb := q.pop_due(1.0)) is not None:
+            cb(1.0)
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_pop_due_respects_time(self):
+        q = EventQueue()
+        q.schedule(5.0, lambda t: None)
+        assert q.pop_due(4.0) is None
+        assert q.peek_time() == 5.0
+        assert len(q) == 1
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1.0, lambda t: None)
+
+
+class TestPeriodicScheduling:
+    def test_single_task_runs_every_period(self):
+        sim = Simulation(FixedPriorityPolicy())
+        sim.add_periodic_task(PeriodicTaskSpec("t", cost=2, period=5, priority=1))
+        trace = sim.run(until=15)
+        assert segments_of(trace, "t") == [(0, 2), (5, 7), (10, 12)]
+
+    def test_two_tasks_priority_order(self):
+        sim = Simulation(FixedPriorityPolicy())
+        sim.add_periodic_task(PeriodicTaskSpec("hi", cost=2, period=6, priority=9))
+        sim.add_periodic_task(PeriodicTaskSpec("lo", cost=3, period=6, priority=1))
+        trace = sim.run(until=12)
+        assert segments_of(trace, "hi") == [(0, 2), (6, 8)]
+        assert segments_of(trace, "lo") == [(2, 5), (8, 11)]
+
+    def test_preemption_mid_job(self):
+        sim = Simulation(FixedPriorityPolicy())
+        sim.add_periodic_task(PeriodicTaskSpec("hi", cost=1, period=3, priority=9))
+        sim.add_periodic_task(PeriodicTaskSpec("lo", cost=4, period=12, priority=1))
+        trace = sim.run(until=12)
+        # lo runs in the gaps: [1,3) [4,6) preempted at 3 and 6
+        assert segments_of(trace, "hi") == [(0, 1), (3, 4), (6, 7), (9, 10)]
+        assert segments_of(trace, "lo") == [(1, 3), (4, 6)]
+        assert any(
+            e.kind is TraceEventKind.PREEMPTION for e in trace.events
+        )
+
+    def test_offset_shifts_releases(self):
+        sim = Simulation(FixedPriorityPolicy())
+        sim.add_periodic_task(
+            PeriodicTaskSpec("t", cost=1, period=5, priority=1, offset=2)
+        )
+        trace = sim.run(until=12)
+        assert segments_of(trace, "t") == [(2, 3), (7, 8)]
+
+    def test_deadline_miss_detected(self):
+        sim = Simulation(FixedPriorityPolicy())
+        sim.add_periodic_task(PeriodicTaskSpec("hog", cost=5, period=6, priority=9))
+        sim.add_periodic_task(
+            PeriodicTaskSpec("late", cost=2, period=6, priority=1)
+        )
+        trace = sim.run(until=12)
+        # late gets only 1 unit per period: always misses
+        misses = trace.events_of(TraceEventKind.DEADLINE_MISS)
+        assert misses and all(e.subject.startswith("late") for e in misses)
+
+    def test_completion_and_release_events(self):
+        sim = Simulation(FixedPriorityPolicy())
+        sim.add_periodic_task(PeriodicTaskSpec("t", cost=2, period=5, priority=1))
+        trace = sim.run(until=10)
+        assert [e.time for e in trace.events_of(TraceEventKind.RELEASE)] == [0, 5]
+        assert [e.time for e in trace.events_of(TraceEventKind.COMPLETION)] == [2, 7]
+
+    def test_utilization_one_never_idles(self):
+        sim = Simulation(FixedPriorityPolicy())
+        sim.add_periodic_task(PeriodicTaskSpec("a", cost=3, period=6, priority=5))
+        sim.add_periodic_task(PeriodicTaskSpec("b", cost=3, period=6, priority=1))
+        trace = sim.run(until=30)
+        assert trace.busy_time() == pytest.approx(30.0)
+
+    def test_run_twice_rejected(self):
+        sim = Simulation(FixedPriorityPolicy())
+        sim.add_periodic_task(PeriodicTaskSpec("t", cost=1, period=5, priority=1))
+        sim.run(until=5)
+        with pytest.raises(RuntimeError):
+            sim.run(until=5)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            Simulation(FixedPriorityPolicy()).run(until=0)
+
+    def test_trace_never_overlaps(self):
+        sim = Simulation(FixedPriorityPolicy())
+        for i, (c, p) in enumerate([(1, 4), (2, 6), (1, 8)]):
+            sim.add_periodic_task(
+                PeriodicTaskSpec(f"t{i}", cost=c, period=p, priority=10 - i)
+            )
+        trace = sim.run(until=48)
+        trace.validate()  # raises on overlap
+
+    def test_same_priority_fifo_no_mutual_preemption(self):
+        sim = Simulation(FixedPriorityPolicy())
+        sim.add_periodic_task(PeriodicTaskSpec("a", cost=2, period=10, priority=5))
+        sim.add_periodic_task(PeriodicTaskSpec("b", cost=2, period=10, priority=5))
+        trace = sim.run(until=10)
+        # registration order wins; neither splits the other
+        assert segments_of(trace, "a") == [(0, 2)]
+        assert segments_of(trace, "b") == [(2, 4)]
+
+
+class TestDeadlineMissPolicy:
+    def _overloaded(self, mode):
+        sim = Simulation(FixedPriorityPolicy(), on_deadline_miss=mode)
+        sim.add_periodic_task(PeriodicTaskSpec("hog", cost=5, period=6, priority=9))
+        sim.add_periodic_task(PeriodicTaskSpec("late", cost=2, period=6, priority=1))
+        return sim
+
+    def test_continue_mode_backlogs(self):
+        sim = self._overloaded("continue")
+        trace = sim.run(until=24)
+        # soft semantics: late keeps executing its backlog (1 tu/period)
+        assert trace.busy_time("late") == pytest.approx(4.0)
+
+    def test_abort_mode_drops_expired_jobs(self):
+        from repro.sim import JobState
+
+        sim = self._overloaded("abort")
+        trace = sim.run(until=24)
+        aborts = trace.events_of(TraceEventKind.ABORT)
+        assert aborts and all(e.subject.startswith("late") for e in aborts)
+        late = next(t for t in sim.periodic_tasks if t.name == "late")
+        assert any(j.state is JobState.ABORTED for j in late.jobs)
+        # the hog is unaffected
+        assert trace.busy_time("hog") == pytest.approx(20.0)
+
+    def test_abort_mode_keeps_feasible_tasks_untouched(self):
+        sim = Simulation(FixedPriorityPolicy(), on_deadline_miss="abort")
+        sim.add_periodic_task(PeriodicTaskSpec("t", cost=2, period=6, priority=5))
+        trace = sim.run(until=24)
+        assert trace.events_of(TraceEventKind.ABORT) == []
+        assert trace.busy_time("t") == pytest.approx(8.0)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Simulation(FixedPriorityPolicy(), on_deadline_miss="explode")

@@ -1,0 +1,139 @@
+"""Unit tests for the ideal Polling Server (literature semantics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (
+    AperiodicJob,
+    FixedPriorityPolicy,
+    IdealPollingServer,
+    Simulation,
+    TraceEventKind,
+)
+from repro.workload.spec import PeriodicTaskSpec, ServerSpec
+from conftest import segments_of
+
+
+def build(capacity=3.0, period=6.0, horizon=30.0, tasks=True):
+    sim = Simulation(FixedPriorityPolicy())
+    server = IdealPollingServer(
+        ServerSpec(capacity=capacity, period=period, priority=10), name="PS"
+    )
+    server.attach(sim, horizon=horizon)
+    if tasks:
+        sim.add_periodic_task(PeriodicTaskSpec("t1", cost=2, period=6, priority=5))
+        sim.add_periodic_task(PeriodicTaskSpec("t2", cost=1, period=6, priority=1))
+    return sim, server
+
+
+def submit(sim, server, fires):
+    jobs = []
+    for i, (t, c) in enumerate(fires):
+        job = AperiodicJob(f"h{i + 1}", release=t, cost=c)
+        jobs.append(job)
+        sim.submit_aperiodic(job, server.submit)
+    return jobs
+
+
+class TestPaperScenarios:
+    def test_scenario1_served_immediately(self):
+        sim, server = build(horizon=18.0)
+        jobs = submit(sim, server, [(0, 2), (6, 2)])
+        trace = sim.run(until=18)
+        assert jobs[0].finish_time == 2.0
+        assert jobs[1].finish_time == 8.0
+        assert segments_of(trace, "PS") == [(0, 2), (6, 8)]
+
+    def test_scenario2_ideal_suspend_resume(self):
+        # "With the real PS policy, h2 should begin its execution at time
+        # 8, suspend it at time 9 and resume it at time 12."
+        sim, server = build(horizon=18.0)
+        jobs = submit(sim, server, [(2, 2), (4, 2)])
+        trace = sim.run(until=18)
+        h2_segments = [
+            (s.start, s.end) for s in trace.segments if s.job == "h2"
+        ]
+        assert h2_segments == [(8.0, 9.0), (12.0, 13.0)]
+        assert jobs[1].finish_time == 13.0
+
+
+class TestCapacityRules:
+    def test_idle_activation_forfeits_capacity(self):
+        sim, server = build(tasks=False, horizon=12.0)
+        # nothing pending at t=0: capacity lost; arrival at 1 waits for 6
+        jobs = submit(sim, server, [(1, 2)])
+        sim.run(until=12)
+        assert jobs[0].start_time == 6.0
+        assert jobs[0].finish_time == 8.0
+
+    def test_queue_drain_forfeits_leftover(self):
+        sim, server = build(tasks=False, horizon=12.0)
+        jobs = submit(sim, server, [(0, 1), (2, 1)])
+        sim.run(until=12)
+        # h1 served 0-1, leftover 2 lost at 1; h2 waits for t=6
+        assert jobs[0].finish_time == 1.0
+        assert jobs[1].finish_time == 7.0
+
+    def test_arrival_during_service_joins_current_instance(self):
+        sim, server = build(tasks=False, horizon=12.0)
+        jobs = submit(sim, server, [(0, 2), (1, 1)])
+        sim.run(until=12)
+        assert jobs[0].finish_time == 2.0
+        assert jobs[1].finish_time == 3.0  # within remaining capacity
+
+    def test_big_job_resumes_across_instances(self):
+        sim, server = build(tasks=False, capacity=2.0, period=5.0, horizon=20.0)
+        jobs = submit(sim, server, [(0, 5)])
+        sim.run(until=20)
+        # 2 units per instance at 0,5,10: finishes at 10+1
+        assert jobs[0].finish_time == 11.0
+
+    def test_capacity_never_negative(self):
+        sim, server = build(tasks=False, horizon=30.0)
+        submit(sim, server, [(0, 2), (0.5, 2), (1, 2), (7, 3)])
+        sim.run(until=30)
+        assert server.capacity >= 0
+
+    def test_replenish_events_recorded(self):
+        sim, server = build(tasks=False, horizon=13.0)
+        submit(sim, server, [(0, 1), (6, 1)])
+        trace = sim.run(until=13)
+        replenishes = trace.events_of(TraceEventKind.REPLENISH, "PS")
+        assert [e.time for e in replenishes] == [0.0, 6.0]
+
+    def test_fifo_order_no_overtaking(self):
+        # the *ideal* PS serves strictly FIFO (resumable), so a cheap
+        # later job cannot overtake an expensive earlier one
+        sim, server = build(tasks=False, capacity=2.0, period=6.0, horizon=30.0)
+        jobs = submit(sim, server, [(0, 3), (1, 1)])
+        sim.run(until=30)
+        assert jobs[0].finish_time < jobs[1].finish_time
+
+    def test_served_ratio_and_response_times(self):
+        sim, server = build(tasks=False, horizon=12.0)
+        submit(sim, server, [(0, 2), (1, 2), (2, 2)])
+        sim.run(until=12)
+        assert server.served_ratio == pytest.approx(1.0)
+        assert len(server.response_times) == 3
+
+
+class TestCapacityHistory:
+    def test_polling_capacity_curve(self):
+        sim, server = build(tasks=False, horizon=13.0)
+        submit(sim, server, [(0, 2)])
+        sim.run(until=13)
+        # t=0: attach records 0, the activation replenishes to 3
+        # (pending), service drops it to 1 at 2, then the drained queue
+        # forfeits the rest; idle activations stay at 0
+        assert server.capacity_history[0] == (0.0, 0.0)
+        assert (0.0, 3.0) in server.capacity_history
+        assert (2, 1.0) in server.capacity_history
+        assert (2, 0.0) in server.capacity_history
+        assert server.capacity_at(1.0) == 3.0
+        assert server.capacity_at(3.0) == 0.0
+
+    def test_idle_activation_records_zero(self):
+        sim, server = build(tasks=False, horizon=13.0)
+        sim.run(until=13)
+        assert all(c == 0.0 for _t, c in server.capacity_history)

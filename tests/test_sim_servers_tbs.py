@@ -1,0 +1,106 @@
+"""Unit tests for the Total Bandwidth Server (EDF-side aperiodic server)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (
+    AperiodicJob,
+    EarliestDeadlineFirstPolicy,
+    Simulation,
+    TotalBandwidthServer,
+    TraceEventKind,
+)
+from repro.workload.spec import PeriodicTaskSpec
+from conftest import segments_of
+
+
+def build(utilization=0.25, periodic=True, horizon=60.0):
+    sim = Simulation(EarliestDeadlineFirstPolicy())
+    tbs = TotalBandwidthServer(utilization=utilization)
+    tbs.attach(sim, horizon=horizon)
+    if periodic:
+        # periodic EDF load of 0.5: total with the TBS stays below 1
+        sim.add_periodic_task(PeriodicTaskSpec("t1", cost=3, period=6, priority=1))
+    return sim, tbs
+
+
+def submit(sim, tbs, fires):
+    jobs = []
+    for i, (t, c) in enumerate(fires):
+        job = AperiodicJob(f"a{i}", release=t, cost=c)
+        jobs.append(job)
+        sim.submit_aperiodic(job, tbs.submit)
+    return jobs
+
+
+class TestDeadlineAssignment:
+    def test_first_job_deadline(self):
+        sim, tbs = build(utilization=0.25, periodic=False)
+        jobs = submit(sim, tbs, [(2.0, 1.0)])
+        sim.run(until=60)
+        # d = r + C/Us = 2 + 1/0.25
+        assert jobs[0].deadline == pytest.approx(6.0)
+        assert jobs[0].finish_time == pytest.approx(3.0)
+
+    def test_back_to_back_deadlines_chain(self):
+        sim, tbs = build(utilization=0.5, periodic=False)
+        jobs = submit(sim, tbs, [(0.0, 1.0), (0.5, 1.0)])
+        sim.run(until=60)
+        assert jobs[0].deadline == pytest.approx(2.0)
+        # d2 = max(r2, d1) + C/Us = 2 + 2
+        assert jobs[1].deadline == pytest.approx(4.0)
+
+    def test_deadline_chain_resets_after_idle(self):
+        sim, tbs = build(utilization=0.5, periodic=False)
+        jobs = submit(sim, tbs, [(0.0, 1.0), (20.0, 1.0)])
+        sim.run(until=60)
+        assert jobs[1].deadline == pytest.approx(22.0)
+
+    def test_deadline_uses_declared_cost(self):
+        sim, tbs = build(utilization=0.5, periodic=False)
+        job = AperiodicJob("a0", release=0.0, cost=1.0, declared_cost=2.0)
+        sim.submit_aperiodic(job, tbs.submit)
+        sim.run(until=60)
+        assert job.deadline == pytest.approx(4.0)
+
+
+class TestScheduling:
+    def test_aperiodic_preempts_when_deadline_earlier(self):
+        sim, tbs = build(utilization=0.5)
+        jobs = submit(sim, tbs, [(1.0, 1.0)])
+        trace = sim.run(until=12)
+        # TBS deadline 3 < t1's deadline 6: runs immediately
+        assert jobs[0].finish_time == pytest.approx(2.0)
+        assert segments_of(trace, "t1") == [(0, 1), (2, 4), (6, 9)]
+
+    def test_aperiodic_waits_when_deadline_later(self):
+        sim, tbs = build(utilization=0.1)
+        jobs = submit(sim, tbs, [(1.0, 1.0)])
+        sim.run(until=20)
+        # TBS deadline 11 > t1's 6: t1 finishes first
+        assert jobs[0].start_time == pytest.approx(3.0)
+
+    def test_all_deadlines_met_within_bandwidth(self):
+        sim, tbs = build(utilization=0.4)
+        jobs = submit(
+            sim, tbs, [(0.5, 1.0), (2.0, 2.0), (9.0, 1.5), (15.0, 2.0)]
+        )
+        trace = sim.run(until=60)
+        assert trace.events_of(TraceEventKind.DEADLINE_MISS) == []
+        for job in jobs:
+            assert job.finish_time is not None
+            assert job.finish_time <= job.deadline + 1e-9
+
+    def test_served_ratio(self):
+        sim, tbs = build(utilization=0.4)
+        submit(sim, tbs, [(0.0, 1.0), (1.0, 1.0)])
+        sim.run(until=60)
+        assert tbs.served_ratio == 1.0
+        assert len(tbs.completed) == 2
+
+    def test_utilization_validation(self):
+        with pytest.raises(ValueError):
+            TotalBandwidthServer(utilization=0.0)
+        with pytest.raises(ValueError):
+            TotalBandwidthServer(utilization=1.0)

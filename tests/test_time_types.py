@@ -1,0 +1,123 @@
+"""Unit tests for the RTSJ high-resolution time types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rtsj.time_types import (
+    AbsoluteTime,
+    HighResolutionTime,
+    NANOS_PER_MILLI,
+    RelativeTime,
+)
+
+
+class TestConstruction:
+    def test_millis_nanos_composition(self):
+        t = RelativeTime(3, 500)
+        assert t.total_nanos == 3 * NANOS_PER_MILLI + 500
+        assert t.milliseconds == 3
+        assert t.nanoseconds == 500
+
+    def test_nanos_overflow_carries_into_millis(self):
+        t = RelativeTime(1, 2_500_000)
+        assert t.milliseconds == 3
+        assert t.nanoseconds == 500_000
+
+    def test_negative_value_canonical_form(self):
+        t = RelativeTime(-1, 0)
+        # RTSJ canonical form: nanos in [0, 1e6), sign carried by total
+        assert t.total_nanos == -NANOS_PER_MILLI
+        assert t.milliseconds == -1
+        assert t.nanoseconds == 0
+        assert t.is_negative()
+
+    def test_from_nanos_roundtrip(self):
+        t = AbsoluteTime.from_nanos(1_234_567)
+        assert t.total_nanos == 1_234_567
+        assert t.milliseconds == 1
+        assert t.nanoseconds == 234_567
+
+    def test_from_units_rounds_to_nanos(self):
+        assert RelativeTime.from_units(1.5).total_nanos == 1_500_000
+        assert RelativeTime.from_units(0.0000001).total_nanos == 0
+
+    def test_to_units(self):
+        assert RelativeTime(2, 500_000).to_units() == pytest.approx(2.5)
+
+    def test_type_checking(self):
+        with pytest.raises(TypeError):
+            RelativeTime(1.5, 0)  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            AbsoluteTime.from_nanos(1.5)  # type: ignore[arg-type]
+
+
+class TestComparison:
+    def test_ordering(self):
+        assert RelativeTime(1, 0) < RelativeTime(2, 0)
+        assert RelativeTime(1, 999_999) < RelativeTime(2, 0)
+        assert RelativeTime(2, 0) >= RelativeTime(2, 0)
+
+    def test_equality_same_type_only(self):
+        assert RelativeTime(1, 0) == RelativeTime(0, NANOS_PER_MILLI)
+        assert RelativeTime(1, 0) != AbsoluteTime(1, 0)
+
+    def test_cross_type_ordering_rejected(self):
+        with pytest.raises(TypeError):
+            _ = RelativeTime(1, 0) < AbsoluteTime(2, 0)
+
+    def test_hashable_and_consistent(self):
+        assert hash(RelativeTime(1, 0)) == hash(RelativeTime(0, NANOS_PER_MILLI))
+        assert len({RelativeTime(1, 0), RelativeTime(1, 0)}) == 1
+
+
+class TestArithmetic:
+    def test_relative_add_subtract(self):
+        a, b = RelativeTime(3, 0), RelativeTime(1, 500_000)
+        assert a.add(b) == RelativeTime(4, 500_000)
+        assert a.subtract(b) == RelativeTime(1, 500_000)
+
+    def test_relative_scale(self):
+        assert RelativeTime(2, 500_000).scale(4) == RelativeTime(10, 0)
+        with pytest.raises(TypeError):
+            RelativeTime(1, 0).scale(1.5)  # type: ignore[arg-type]
+
+    def test_absolute_plus_relative(self):
+        t = AbsoluteTime(10, 0).add(RelativeTime(2, 500))
+        assert isinstance(t, AbsoluteTime)
+        assert t.total_nanos == 12 * NANOS_PER_MILLI + 500
+
+    def test_absolute_minus_absolute_is_relative(self):
+        d = AbsoluteTime(10, 0).subtract(AbsoluteTime(4, 0))
+        assert isinstance(d, RelativeTime)
+        assert d == RelativeTime(6, 0)
+
+    def test_absolute_minus_relative_is_absolute(self):
+        t = AbsoluteTime(10, 0).subtract(RelativeTime(4, 0))
+        assert isinstance(t, AbsoluteTime)
+        assert t == AbsoluteTime(6, 0)
+
+    def test_type_mismatches_rejected(self):
+        with pytest.raises(TypeError):
+            RelativeTime(1, 0).add(AbsoluteTime(1, 0))  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            AbsoluteTime(1, 0).add(AbsoluteTime(1, 0))  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            AbsoluteTime(1, 0).subtract(3)  # type: ignore[arg-type]
+
+    def test_exactness_no_float_drift(self):
+        # a million exact 1-ns steps
+        t = RelativeTime(0, 0)
+        step = RelativeTime(0, 1)
+        for _ in range(1000):
+            t = t.add(step)
+        assert t.total_nanos == 1000
+
+    def test_repr_shows_components(self):
+        assert repr(RelativeTime(3, 7)) == "RelativeTime(3, 7)"
+        assert repr(AbsoluteTime(0, 0)) == "AbsoluteTime(0, 0)"
+
+    def test_base_class_is_comparable_within_type(self):
+        a = HighResolutionTime(1, 0)
+        b = HighResolutionTime(2, 0)
+        assert a < b

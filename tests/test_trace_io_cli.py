@@ -1,0 +1,144 @@
+"""Unit tests for trace serialization and the RTSS CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim import (
+    ExecutionTrace,
+    TraceEventKind,
+    diff_traces,
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.sim.cli import build_simulation, main as cli_main
+
+
+def sample_trace() -> ExecutionTrace:
+    trace = ExecutionTrace()
+    trace.add_segment(0.0, 2.0, "PS", "h1")
+    trace.add_segment(2.0, 4.0, "t1")
+    trace.add_event(0.0, TraceEventKind.RELEASE, "h1")
+    trace.add_event(2.0, TraceEventKind.COMPLETION, "h1", "detail text")
+    return trace
+
+
+class TestTraceIO:
+    def test_roundtrip_dict(self):
+        trace = sample_trace()
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        assert diff_traces(trace, rebuilt) == []
+        assert rebuilt.events[1].detail == "detail text"
+
+    def test_roundtrip_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(sample_trace(), path)
+        rebuilt = load_trace(path)
+        assert diff_traces(sample_trace(), rebuilt) == []
+
+    def test_schema_version_checked(self):
+        data = trace_to_dict(sample_trace())
+        data["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            trace_from_dict(data)
+
+    def test_diff_reports_changes(self):
+        a, b = sample_trace(), sample_trace()
+        b.segments[0] = type(b.segments[0])(0.0, 2.5, "PS", "h1")
+        problems = diff_traces(a, b)
+        assert problems and "segment 0" in problems[0]
+
+    def test_diff_reports_count_mismatch(self):
+        a, b = sample_trace(), sample_trace()
+        b.add_event(5.0, TraceEventKind.RELEASE, "x")
+        assert any("event count" in p for p in diff_traces(a, b))
+
+
+BASE_CONFIG = {
+    "policy": "fp",
+    "horizon": 18,
+    "periodic_tasks": [
+        {"name": "t1", "cost": 2, "period": 6, "priority": 5},
+    ],
+    "server": {"policy": "polling", "capacity": 3, "period": 6,
+               "priority": 10, "name": "PS"},
+    "aperiodic_jobs": [
+        {"name": "h1", "release": 0, "cost": 2},
+    ],
+}
+
+
+class TestBuildSimulation:
+    def test_basic_build_and_run(self):
+        sim, jobs, horizon = build_simulation(BASE_CONFIG)
+        trace = sim.run(until=horizon)
+        assert jobs[0].finish_time == 2.0
+        assert trace.busy_time("t1") > 0
+
+    def test_edf_with_tbs(self):
+        config = {
+            "policy": "edf",
+            "horizon": 30,
+            "periodic_tasks": [
+                {"name": "t1", "cost": 2, "period": 6, "priority": 1},
+            ],
+            "server": {"policy": "tbs", "utilization": 0.3},
+            "aperiodic_jobs": [{"name": "a", "release": 1, "cost": 1}],
+        }
+        sim, jobs, horizon = build_simulation(config)
+        sim.run(until=horizon)
+        assert jobs[0].finish_time is not None
+
+    def test_tbs_requires_edf(self):
+        config = dict(BASE_CONFIG, server={"policy": "tbs", "utilization": 0.3})
+        with pytest.raises(ValueError, match="edf"):
+            build_simulation(config)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            build_simulation(dict(BASE_CONFIG, policy="rm"))
+
+    def test_unknown_server(self):
+        config = dict(BASE_CONFIG, server={"policy": "magic", "capacity": 1,
+                                           "period": 2})
+        with pytest.raises(ValueError, match="unknown server"):
+            build_simulation(config)
+
+    def test_jobs_without_server_rejected(self):
+        config = dict(BASE_CONFIG)
+        config.pop("server")
+        with pytest.raises(ValueError, match="no 'server'"):
+            build_simulation(config)
+
+    def test_bad_horizon(self):
+        with pytest.raises(ValueError, match="horizon"):
+            build_simulation(dict(BASE_CONFIG, horizon=-1))
+
+
+class TestCLI:
+    def test_end_to_end(self, tmp_path, capsys):
+        system = tmp_path / "system.json"
+        system.write_text(json.dumps(BASE_CONFIG))
+        svg = tmp_path / "out.svg"
+        trace_path = tmp_path / "trace.json"
+        rc = cli_main([str(system), "--svg", str(svg),
+                       "--save-trace", str(trace_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PS" in out and "served" in out
+        assert svg.read_text().startswith("<svg")
+        reloaded = load_trace(trace_path)
+        assert reloaded.busy_time() > 0
+
+    def test_error_reporting(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert cli_main([str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert cli_main([str(tmp_path / "nope.json")]) == 2

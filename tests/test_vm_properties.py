@@ -1,0 +1,143 @@
+"""Property-based tests on the emulated RTSJ VM.
+
+The completion properties are gated on the *analysis* verdict, which
+makes them double-duty: they cross-validate
+:mod:`repro.analysis` against the VM — whenever the response-time
+analysis declares a set schedulable, the VM must execute every job of
+every task on time.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    PeriodicInterference,
+    response_time_analysis,
+    response_time_with_interference,
+)
+from repro.rtsj import OverheadModel, RTSJVirtualMachine
+from repro.workload.spec import PeriodicTaskSpec
+from conftest import M, make_periodic_thread
+
+
+task_sets = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=4),    # cost (tu)
+        st.integers(min_value=5, max_value=20),   # period (tu)
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def to_specs(tasks):
+    return [
+        PeriodicTaskSpec(f"t{i}", cost=float(c), period=float(p),
+                         priority=35 - i)
+        for i, (c, p) in enumerate(tasks)
+    ]
+
+
+def build_vm(specs, overhead=None):
+    vm = RTSJVirtualMachine(
+        overhead=overhead if overhead is not None else OverheadModel.zero()
+    )
+    for spec in specs:
+        vm.add_thread(
+            make_periodic_thread(spec.name, spec.cost, spec.period,
+                                 spec.priority)
+        )
+    return vm
+
+
+class TestVMProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(tasks=task_sets)
+    def test_trace_never_overlaps_and_never_overruns(self, tasks):
+        specs = to_specs(tasks)
+        vm = build_vm(specs)
+        horizon = 120
+        trace = vm.run(horizon * M)
+        trace.validate()
+        for spec in specs:
+            busy = trace.busy_time(spec.name)
+            releases = math.ceil(horizon / spec.period)
+            assert busy <= releases * spec.cost + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(tasks=task_sets)
+    def test_rta_schedulable_sets_complete_every_job(self, tasks):
+        specs = to_specs(tasks)
+        if not response_time_analysis(specs).schedulable:
+            return
+        horizon = 200
+        vm = build_vm(specs)
+        trace = vm.run(horizon * M)
+        for spec in specs:
+            # every release with a full window inside the horizon ran to
+            # completion: the executed time equals the full demand
+            full_windows = math.floor(horizon / spec.period)
+            expected = full_windows * spec.cost
+            assert trace.busy_time(spec.name) >= expected - 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        tasks=task_sets,
+        isr_cost=st.integers(min_value=0, max_value=200_000),
+    )
+    def test_isr_noise_respects_extended_analysis(self, tasks, isr_cost):
+        """With periodic ISR noise added as one more interference source,
+        the analysis verdict still upper-bounds VM behaviour."""
+        specs = to_specs(tasks)
+        noise_period = 7.0
+        sources = [
+            PeriodicInterference(t.cost, t.period, t.priority) for t in specs
+        ]
+        sources.append(
+            PeriodicInterference(
+                max(isr_cost / M, 1e-9), noise_period, priority=99
+            )
+        )
+        all_ok = all(
+            response_time_with_interference(
+                cost=t.cost, deadline=t.period, priority=t.priority,
+                sources=[s for s in sources if s is not sources[i]],
+            )
+            is not None
+            for i, t in enumerate(specs)
+        )
+        if not all_ok:
+            return
+        vm = build_vm(
+            specs,
+            overhead=OverheadModel(
+                timer_fire_ns=isr_cost, release_ns=0, dispatch_ns=0,
+                handler_inflation_ns=0,
+            ),
+        )
+        horizon = 140
+        k = 1
+        while k * noise_period < horizon:
+            vm.schedule_timer_event(round(k * noise_period * M),
+                                    lambda now: None)
+            k += 1
+        trace = vm.run(horizon * M)
+        trace.validate()
+        for spec in specs:
+            full_windows = math.floor(horizon / spec.period)
+            expected = full_windows * spec.cost
+            assert trace.busy_time(spec.name) >= expected - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(tasks=task_sets)
+    def test_determinism(self, tasks):
+        from repro.sim.trace_io import diff_traces
+
+        specs = to_specs(tasks)
+        vm_a = build_vm(specs)
+        vm_b = build_vm(specs)
+        assert diff_traces(vm_a.run(80 * M), vm_b.run(80 * M)) == []

@@ -1,0 +1,95 @@
+"""Unit tests for empirical arrival-curve fitting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import polling_supply
+from repro.workload import GenerationParameters, RandomSystemGenerator
+from repro.workload.arrival_curves import (
+    AffineArrivalCurve,
+    curve_of_system,
+    fit_affine_curve,
+)
+
+
+class TestCurve:
+    def test_bound_shape(self):
+        c = AffineArrivalCurve(burst=2.0, rate=0.5)
+        assert c.bound(0) == 0.0
+        assert c.bound(4.0) == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AffineArrivalCurve(burst=-1.0, rate=0.0)
+
+    def test_admits(self):
+        events = [(0.0, 1.0), (1.0, 1.0), (10.0, 1.0)]
+        assert AffineArrivalCurve(burst=2.0, rate=0.5).admits(events)
+        assert not AffineArrivalCurve(burst=0.5, rate=0.0).admits(events)
+
+
+class TestFit:
+    def test_empty_trace(self):
+        c = fit_affine_curve([])
+        assert c.burst == 0.0 and c.rate == 0.0
+
+    def test_single_event_burst(self):
+        c = fit_affine_curve([(3.0, 2.5)], rate=0.0)
+        assert c.burst == pytest.approx(2.5)
+
+    def test_known_trace(self):
+        # two events 1 apart with unit costs at rate 0.5:
+        # window [0,0]: demand 1 -> burst >= 1
+        # window [0,1]: demand 2 - 0.5 -> burst >= 1.5
+        c = fit_affine_curve([(0.0, 1.0), (1.0, 1.0)], rate=0.5)
+        assert c.burst == pytest.approx(1.5)
+
+    def test_fitted_curve_admits_its_trace(self):
+        events = [(0.0, 2.0), (0.5, 1.0), (4.0, 3.0), (9.0, 0.5)]
+        c = fit_affine_curve(events)
+        assert c.admits(events)
+
+    def test_tightness_no_slack_burst(self):
+        events = [(0.0, 2.0), (0.5, 1.0), (4.0, 3.0)]
+        c = fit_affine_curve(events, rate=0.1)
+        # shaving any epsilon off the burst must break admission
+        smaller = AffineArrivalCurve(burst=c.burst - 1e-6, rate=c.rate)
+        assert not smaller.admits(events)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        events=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+                st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+            ),
+            min_size=1, max_size=15,
+        ),
+        rate=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    )
+    def test_fit_always_admits(self, events, rate):
+        c = fit_affine_curve(events, rate=rate)
+        assert c.admits(events)
+
+
+class TestEndToEnd:
+    def test_system_curve_feeds_delay_bound(self):
+        params = GenerationParameters(
+            task_density=1.0, average_cost=1.0, std_deviation=0.0,
+            server_capacity=4.0, server_period=6.0, nb_generation=1,
+            seed=77,
+        )
+        system = RandomSystemGenerator(params).generate()[0]
+        supply = polling_supply(4.0, 6.0)
+        curve = curve_of_system(system, rate=0.5)  # below supply rate 2/3
+        bound = supply.arrival_curve_delay(curve.burst, curve.rate)
+        # the bound is a worst-phase guarantee: sanity-check it against
+        # the simulated run (FIFO order, per-event response times)
+        from repro.experiments import simulate_system
+
+        result = simulate_system(system, "polling")
+        for rt in result.metrics.response_times:
+            assert rt <= bound + 1e-6

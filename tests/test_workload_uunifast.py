@@ -1,0 +1,93 @@
+"""Unit tests for UUniFast periodic task-set generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import total_utilization
+from repro.workload import generate_periodic_taskset, uunifast
+from repro.workload.rng import PortableRandom
+
+
+class TestUUniFast:
+    def test_sums_to_target(self):
+        rng = PortableRandom(1)
+        for n in (1, 2, 5, 20):
+            us = uunifast(rng, n, 0.7)
+            assert len(us) == n
+            assert sum(us) == pytest.approx(0.7)
+            assert all(u > 0 for u in us)
+
+    def test_single_task_gets_everything(self):
+        assert uunifast(PortableRandom(1), 1, 0.42) == [0.42]
+
+    def test_deterministic(self):
+        a = uunifast(PortableRandom(9), 5, 0.8)
+        b = uunifast(PortableRandom(9), 5, 0.8)
+        assert a == b
+
+    def test_unbiased_first_component_mean(self):
+        # E[u_1] = U/n for the uniform simplex distribution
+        rng = PortableRandom(3)
+        n, total, trials = 4, 0.8, 4000
+        mean = sum(uunifast(rng, n, total)[0] for _ in range(trials)) / trials
+        assert mean == pytest.approx(total / n, abs=0.01)
+
+    def test_validation(self):
+        rng = PortableRandom(1)
+        with pytest.raises(ValueError):
+            uunifast(rng, 0, 0.5)
+        with pytest.raises(ValueError):
+            uunifast(rng, 3, 0.0)
+        with pytest.raises(ValueError):
+            uunifast(rng, 3, 1.5)
+
+
+class TestTasksetGeneration:
+    def test_well_formed_specs(self):
+        tasks = generate_periodic_taskset(seed=11, n=6,
+                                          total_utilization=0.6)
+        assert len(tasks) == 6
+        assert total_utilization(tasks) == pytest.approx(0.6, abs=1e-6)
+        for task in tasks:
+            assert 10.0 <= task.period <= 100.0
+            assert 0 < task.cost <= task.period
+
+    def test_rate_monotonic_priorities(self):
+        tasks = generate_periodic_taskset(seed=11, n=8,
+                                          total_utilization=0.5)
+        by_priority = sorted(tasks, key=lambda t: t.priority, reverse=True)
+        periods = [t.period for t in by_priority]
+        assert periods == sorted(periods)
+        assert len({t.priority for t in tasks}) == len(tasks)
+
+    def test_reproducible(self):
+        a = generate_periodic_taskset(seed=5, n=4, total_utilization=0.4)
+        b = generate_periodic_taskset(seed=5, n=4, total_utilization=0.4)
+        assert [(t.cost, t.period) for t in a] == [
+            (t.cost, t.period) for t in b
+        ]
+
+    def test_period_range_respected(self):
+        tasks = generate_periodic_taskset(
+            seed=2, n=5, total_utilization=0.5, period_range=(2.0, 4.0)
+        )
+        assert all(2.0 <= t.period <= 4.0 for t in tasks)
+
+    def test_period_range_validation(self):
+        with pytest.raises(ValueError):
+            generate_periodic_taskset(
+                seed=1, n=2, total_utilization=0.5, period_range=(5.0, 3.0)
+            )
+
+    def test_generated_set_simulates_cleanly(self):
+        from repro.sim import FixedPriorityPolicy, Simulation, TraceEventKind
+
+        tasks = generate_periodic_taskset(seed=13, n=4,
+                                          total_utilization=0.5)
+        sim = Simulation(FixedPriorityPolicy())
+        for task in tasks:
+            sim.add_periodic_task(task)
+        trace = sim.run(until=300.0)
+        # U = 0.5 under RM priorities: comfortably schedulable
+        assert trace.events_of(TraceEventKind.DEADLINE_MISS) == []

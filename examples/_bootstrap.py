@@ -1,0 +1,25 @@
+"""Shared example bootstrap: make ``repro`` importable from any CWD.
+
+The examples live next to (not inside) the ``src`` layout, so running
+``python examples/quickstart.py`` from an arbitrary directory — as the
+smoke tests do — needs ``<repo>/src`` on ``sys.path``.  An installed
+``repro`` (``pip install -e .``) takes precedence; the path is only
+appended when the import would otherwise fail.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+
+def _ensure_repro_importable() -> None:
+    try:
+        import repro  # noqa: F401
+    except ModuleNotFoundError:
+        src = Path(__file__).resolve().parent.parent / "src"
+        if src.is_dir():
+            sys.path.insert(0, str(src))
+
+
+_ensure_repro_importable()

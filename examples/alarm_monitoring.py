@@ -16,6 +16,8 @@ guarantees, and the off-line analysis proves it:
 Run:  python examples/alarm_monitoring.py
 """
 
+import _bootstrap  # noqa: F401  (makes `repro` importable from any CWD)
+
 from repro.analysis import analyse_with_server
 from repro.core import (
     DeferrableTaskServer,

@@ -13,6 +13,8 @@ exactly its predicted instant.
 Run:  python examples/online_admission.py
 """
 
+import _bootstrap  # noqa: F401  (makes `repro` importable from any CWD)
+
 from repro.core import (
     BucketAdmissionController,
     PollingTaskServer,

@@ -20,6 +20,8 @@ Deferrable task server.
 Run:  python examples/pgp_limitations.py
 """
 
+import _bootstrap  # noqa: F401  (makes `repro` importable from any CWD)
+
 from repro.core import (
     DeferrableTaskServer,
     ServableAsyncEvent,

@@ -9,6 +9,8 @@ response time.
 Run:  python examples/quickstart.py
 """
 
+import _bootstrap  # noqa: F401  (makes `repro` importable from any CWD)
+
 from repro.core import (
     PollingTaskServer,
     ServableAsyncEvent,

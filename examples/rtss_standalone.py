@@ -15,6 +15,8 @@ Run:  python examples/rtss_standalone.py
 
 from pathlib import Path
 
+import _bootstrap  # noqa: F401  (makes `repro` importable from any CWD)
+
 from repro.sim import (
     AperiodicJob,
     DOverScheduler,

@@ -10,6 +10,8 @@ prints a comparison table and a temporal diagram.
 Run:  python examples/server_policy_comparison.py
 """
 
+import _bootstrap  # noqa: F401  (makes `repro` importable from any CWD)
+
 from repro.experiments import execute_system
 from repro.rtsj import OverheadModel
 from repro.sim import (

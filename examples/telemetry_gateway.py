@@ -19,6 +19,8 @@ measured response time — they match exactly.
 Run:  python examples/telemetry_gateway.py
 """
 
+import _bootstrap  # noqa: F401  (makes `repro` importable from any CWD)
+
 from repro.analysis import polling_supply
 from repro.core import (
     BucketAdmissionController,

@@ -26,9 +26,13 @@ Subpackages
     streams, the paper's Section 6.1 parameters).
 ``repro.experiments``
     Harness regenerating every table and figure of the evaluation.
+``repro.faults``
+    Fault injection (WCET overruns, bursts, jitter, drops, timer drift),
+    cost-overrun enforcement policies and the deadline-miss watchdog —
+    the overload-resilience layer.
 """
 
-from . import analysis, core, experiments, rtsj, sim, workload
+from . import analysis, core, experiments, faults, rtsj, sim, workload
 
 __version__ = "1.0.0"
 
@@ -36,6 +40,7 @@ __all__ = [
     "analysis",
     "core",
     "experiments",
+    "faults",
     "rtsj",
     "sim",
     "workload",

@@ -23,7 +23,7 @@ crossing the refill charges each period correctly.
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import Any, Generator, TYPE_CHECKING
 
 from ..rtsj.async_event import AsyncEvent, AsyncEventHandler
 from ..rtsj.instructions import Instruction
@@ -34,6 +34,9 @@ from .events import HandlerRelease
 from .parameters import TaskServerParameters
 from .queues import PendingQueue
 from .server import TaskServer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.enforcement import EnforcementConfig
 
 __all__ = ["DeferrableTaskServer"]
 
@@ -46,8 +49,9 @@ class DeferrableTaskServer(TaskServer):
         params: TaskServerParameters,
         name: str = "DS",
         safety_margin: RelativeTime | None = None,
+        enforcement: "EnforcementConfig | None" = None,
     ) -> None:
-        super().__init__(params, name)
+        super().__init__(params, name, enforcement=enforcement)
         # Section 7's anti-interruption margin (see PollingTaskServer)
         self.safety_margin_ns = (
             safety_margin.total_nanos if safety_margin is not None else 0

@@ -163,6 +163,9 @@ class ServableAsyncEvent(AsyncEvent):
         self._last_arrival_ns: int | None = None
         #: firings dropped by the IGNORE policy (diagnostic)
         self.ignored_fire_count = 0
+        #: optional :class:`repro.faults.injectors.FireFaultInjector`;
+        #: None (the default) keeps the golden-path fire() semantics
+        self.fault_injector = None
 
     def add_servable_handler(self, handler: ServableAsyncEventHandler) -> None:
         """The overloaded ``addHandler(ServableAsyncEventHandler)``."""
@@ -180,7 +183,16 @@ class ServableAsyncEvent(AsyncEvent):
     def fire(self) -> None:
         """Release standard handlers, then route each servable handler to
         its server (the redefined ``fire()`` of the paper), subject to
-        this event's arrival-rate control."""
+        this event's arrival-rate control.
+
+        An attached fault injector perturbs *delivery* first: a dropped
+        or delayed firing never reaches the arrival-rate control (the
+        fault models the event being lost or late upstream of the
+        runtime).
+        """
+        if self.fault_injector is not None:
+            if not self.fault_injector.on_fire(self, self._vm()):
+                return
         if self.min_interarrival is None:
             self._deliver()
             return

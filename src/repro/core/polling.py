@@ -21,7 +21,7 @@ Two queue disciplines are supported:
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import Any, Generator, TYPE_CHECKING
 
 from ..rtsj.instructions import Instruction, WaitForNextPeriod
 from ..rtsj.params import PeriodicParameters
@@ -31,6 +31,9 @@ from .events import HandlerRelease
 from .parameters import TaskServerParameters
 from .queues import BucketPlacement, InstanceBucketQueue, PendingQueue
 from .server import TaskServer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.enforcement import EnforcementConfig
 
 __all__ = ["PollingTaskServer"]
 
@@ -44,8 +47,9 @@ class PollingTaskServer(TaskServer):
         name: str = "PS",
         queue: str = "fifo",
         safety_margin: RelativeTime | None = None,
+        enforcement: "EnforcementConfig | None" = None,
     ) -> None:
-        super().__init__(params, name)
+        super().__init__(params, name, enforcement=enforcement)
         if queue not in ("fifo", "bucket"):
             raise ValueError(f"queue must be 'fifo' or 'bucket', got {queue!r}")
         self.queue_kind = queue

@@ -34,7 +34,7 @@ from .events import HandlerRelease, ServableAsyncEventHandler
 from .parameters import TaskServerParameters
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    pass
+    from ..faults.enforcement import EnforcementConfig
 
 __all__ = ["TaskServer"]
 
@@ -57,10 +57,21 @@ class _ReleaseInterruptible(Interruptible):
 class TaskServer(Schedulable, ABC):
     """Abstract aperiodic task server over the emulated RTSJ runtime."""
 
-    def __init__(self, params: TaskServerParameters, name: str) -> None:
+    def __init__(self, params: TaskServerParameters, name: str,
+                 enforcement: "EnforcementConfig | None" = None) -> None:
         super().__init__(scheduling=params.scheduling, release=params)
         self.params = params
         self.name = name
+        #: cost-overrun enforcement against *declared* handler costs —
+        #: the RTSJ cost-enforcement semantics the paper's testbed VM
+        #: lacked, mirrored here (see repro.faults.enforcement).  None
+        #: keeps the paper-faithful behaviour: the only budget is the
+        #: server capacity via Timed.
+        self.enforcement = enforcement
+        #: count of upcoming releases to shed (skip-next-release policy);
+        #: server-level, like the ideal arm: the overload response sheds
+        #: the next arrival routed to this server, whichever handler
+        self._shed_pending = 0
         self.vm: RTSJVirtualMachine | None = None
         self.horizon_ns: int | None = None
         self.handlers: list[ServableAsyncEventHandler] = []
@@ -119,6 +130,16 @@ class TaskServer(Schedulable, ABC):
         vm.add_isr_time(vm.overhead.release_ns)
         release = HandlerRelease(handler, vm.now_ns)
         self.releases.append(release)
+        if self._shed_pending > 0:
+            # skip-next-release recovery: shed this arrival outright
+            self._shed_pending -= 1
+            release.job.state = JobState.ABORTED
+            release.job.finish_time = vm.now_ns / NS_PER_UNIT
+            vm.trace.add_event(
+                vm.now_ns / NS_PER_UNIT, TraceEventKind.FAULT,
+                release.job.name, "release shed (skip-next-release)",
+            )
+            return
         vm.trace.add_event(
             vm.now_ns / NS_PER_UNIT, TraceEventKind.RELEASE, release.job.name
         )
@@ -172,7 +193,19 @@ class TaskServer(Schedulable, ABC):
         interruptible = _ReleaseInterruptible(
             release, vm.overhead.handler_inflation_ns
         )
-        timed = Timed(RelativeTime.from_nanos(budget_ns), now_ns=start_ns)
+        # enforcement narrows the Timed budget to the *declared* cost
+        # (inflation included, so a well-behaved handler is never cut by
+        # runtime overhead alone); the capacity budget still caps it
+        config = self.enforcement
+        enforce_ns: int | None = None
+        effective_ns = budget_ns
+        if config is not None and config.cuts_execution:
+            enforce_ns = (
+                round(config.budget_for(release.handler.cost_ns))
+                + vm.overhead.handler_inflation_ns
+            )
+            effective_ns = min(budget_ns, enforce_ns)
+        timed = Timed(RelativeTime.from_nanos(effective_ns), now_ns=start_ns)
         try:
             ok = yield from timed.do_interruptible(interruptible)
         finally:
@@ -180,12 +213,47 @@ class TaskServer(Schedulable, ABC):
         end_ns = vm.now_ns
         self._on_serve_end(end_ns)
         elapsed = end_ns - start_ns
+        enforcement_cut = (
+            not ok and enforce_ns is not None and enforce_ns < budget_ns
+        )
+        # log-and-continue: an overrun is visible whether the handler ran
+        # to completion or was cut by the capacity budget — either way it
+        # consumed more than it declared
+        if (
+            config is not None
+            and not config.cuts_execution
+            and elapsed > config.budget_for(release.handler.cost_ns)
+                + vm.overhead.handler_inflation_ns
+        ):
+            self._record_overrun(end_ns, job.name, config.policy)
         if ok:
             job.state = JobState.COMPLETED
             job.finish_time = end_ns / NS_PER_UNIT
             vm.trace.add_event(
                 end_ns / NS_PER_UNIT, TraceEventKind.COMPLETION, job.name
             )
+        elif enforcement_cut:
+            job.finish_time = end_ns / NS_PER_UNIT
+            self._record_overrun(end_ns, job.name, config.policy)
+            if config.completes_on_cut:
+                # clip-to-budget: the partial work stands, the release
+                # counts as served (imprecise-computation semantics)
+                job.state = JobState.COMPLETED
+                vm.trace.add_event(
+                    end_ns / NS_PER_UNIT, TraceEventKind.COMPLETION,
+                    job.name, "clipped to declared cost",
+                )
+            else:
+                job.state = JobState.ABORTED
+                job.interrupted = True
+                vm.trace.add_event(
+                    end_ns / NS_PER_UNIT, TraceEventKind.INTERRUPT,
+                    job.name,
+                    f"budget={effective_ns / NS_PER_UNIT:g}tu (enforced)",
+                )
+                if config.sheds_next:
+                    self._shed_pending += 1
+            ok = config.completes_on_cut
         else:
             job.state = JobState.ABORTED
             job.interrupted = True
@@ -195,6 +263,16 @@ class TaskServer(Schedulable, ABC):
                 f"budget={budget_ns / NS_PER_UNIT:g}tu",
             )
         return ok, elapsed
+
+    def _record_overrun(self, now_ns: int, subject: str, policy: str) -> None:
+        """Record an overrun event and notify the VM's watchdog, if any."""
+        vm = self._require_vm()
+        vm.trace.add_event(
+            now_ns / NS_PER_UNIT, TraceEventKind.OVERRUN, subject,
+            f"policy={policy}",
+        )
+        if vm.watchdog is not None:
+            vm.watchdog.notify_overrun(now_ns / NS_PER_UNIT, subject)
 
     def _on_serve_start(self, now_ns: int, release: HandlerRelease) -> None:
         """Policy hook: the interruptible section is about to run."""

@@ -15,7 +15,14 @@ Both arms consume byte-identical workloads from
 
 from __future__ import annotations
 
+import json
+import signal
+import threading
+import traceback
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace as _replace
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 from ..core import (
     DeferrableTaskServer,
@@ -54,16 +61,144 @@ from ..sim.servers.base import AperiodicServer
 from ..sim.trace import ExecutionTrace
 from ..workload import GeneratedSystem, GenerationParameters, PAPER_SETS, RandomSystemGenerator
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.enforcement import EnforcementConfig
+    from ..faults.injectors import FaultPlan
+
 __all__ = [
     "ARMS",
     "SystemResult",
     "CampaignResult",
+    "RunPolicy",
+    "RunRecord",
+    "RunTimeout",
     "simulate_system",
     "execute_system",
     "run_campaign",
 ]
 
 ARMS = ("ps_sim", "ps_exec", "ds_sim", "ds_exec")
+
+
+class RunTimeout(Exception):
+    """A single campaign run exceeded its wall-clock allowance."""
+
+
+@dataclass(frozen=True)
+class RunPolicy:
+    """Resilience policy for campaign runs.
+
+    * ``timeout_s`` — wall-clock limit per run (``None`` = unlimited;
+      enforced with ``SIGALRM``, so it is a no-op off the main thread or
+      on platforms without POSIX signals);
+    * ``max_retries`` — how many times a crashed/hung run is retried,
+      each retry regenerating the system from a bumped master seed
+      (``seed + attempt * retry_seed_bump``) so a pathological random
+      stream cannot wedge the sweep;
+    * ``checkpoint_path`` — JSONL file of per-run records; an existing
+      file is loaded on start and completed runs are skipped, so an
+      interrupted campaign resumes instead of restarting.
+    """
+
+    timeout_s: float | None = None
+    max_retries: int = 0
+    retry_seed_bump: int = 1
+    checkpoint_path: Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {self.timeout_s}")
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.retry_seed_bump <= 0:
+            raise ValueError(
+                f"retry_seed_bump must be > 0, got {self.retry_seed_bump}"
+            )
+
+
+@dataclass
+class RunRecord:
+    """One (arm, set, system) run outcome — success or structured failure."""
+
+    arm: str
+    set_key: tuple[float, float]
+    system_id: int
+    status: str  # "ok" | "failed" | "timeout"
+    attempts: int = 1
+    error: str = ""
+    metrics: RunMetrics | None = None
+
+    def to_dict(self) -> dict:
+        out = {
+            "arm": self.arm,
+            "set_key": list(self.set_key),
+            "system_id": self.system_id,
+            "status": self.status,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+        if self.metrics is not None:
+            out["metrics"] = {
+                "released": self.metrics.released,
+                "served": self.metrics.served,
+                "interrupted": self.metrics.interrupted,
+                "average_response_time":
+                    self.metrics.average_response_time,
+                "response_times": list(self.metrics.response_times),
+            }
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunRecord":
+        metrics = None
+        if data.get("metrics") is not None:
+            m = data["metrics"]
+            metrics = RunMetrics(
+                released=m["released"],
+                served=m["served"],
+                interrupted=m["interrupted"],
+                average_response_time=m["average_response_time"],
+                response_times=tuple(m["response_times"]),
+            )
+        return cls(
+            arm=data["arm"],
+            set_key=tuple(data["set_key"]),
+            system_id=data["system_id"],
+            status=data["status"],
+            attempts=data.get("attempts", 1),
+            error=data.get("error", ""),
+            metrics=metrics,
+        )
+
+
+@contextmanager
+def _time_limit(seconds: float | None):
+    """Raise :class:`RunTimeout` if the block outlives ``seconds``.
+
+    Uses ``SIGALRM``; silently degrades to no limit off the main thread
+    or where the signal is unavailable (the retry/record machinery still
+    catches crashes there).
+    """
+    if (
+        seconds is None
+        or not hasattr(signal, "setitimer")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise RunTimeout(f"run exceeded {seconds:g}s")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def _periodic_burn(cost_ns: int):
@@ -90,11 +225,22 @@ class SystemResult:
 
 @dataclass
 class CampaignResult:
-    """Aggregated campaign: ``tables[arm][(density, std)] -> SetMetrics``."""
+    """Aggregated campaign: ``tables[arm][(density, std)] -> SetMetrics``.
+
+    ``records`` holds one :class:`RunRecord` per (arm, set, system) run
+    when a :class:`RunPolicy` was active; ``failures`` is the subset that
+    did not produce metrics — crashed or timed-out runs are *recorded*
+    here instead of aborting the sweep.
+    """
 
     tables: dict[str, dict[tuple[float, float], SetMetrics]] = field(
         default_factory=dict
     )
+    records: list[RunRecord] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[RunRecord]:
+        return [r for r in self.records if r.status != "ok"]
 
     def table(self, arm: str) -> dict[tuple[float, float], SetMetrics]:
         if arm not in self.tables:
@@ -103,21 +249,27 @@ class CampaignResult:
 
 
 def simulate_system(system: GeneratedSystem,
-                    policy: str = "polling") -> SystemResult:
+                    policy: str = "polling",
+                    enforcement: "EnforcementConfig | None" = None,
+                    ) -> SystemResult:
     """Run one system on RTSS with the ideal version of ``policy``.
 
     The server is forced above every periodic task — the paper's standing
     requirement ("the server has to be the highest-priority task in the
     system"), regardless of the priority recorded in the spec.
+    ``enforcement`` (optional) applies a cost-overrun policy to the
+    server and the periodic entities (see :mod:`repro.faults`).
     """
     server_cls = _SIM_SERVERS[policy]
-    sim = Simulation(FixedPriorityPolicy())
+    sim = Simulation(FixedPriorityPolicy(), enforcement=enforcement)
     top = max(
         (t.priority for t in system.periodic_tasks),
         default=system.server.priority,
     )
     spec = _replace(system.server, priority=max(system.server.priority, top + 1))
-    server: AperiodicServer = server_cls(spec, name=policy.upper())
+    server: AperiodicServer = server_cls(
+        spec, name=policy.upper(), enforcement=enforcement
+    )
     server.attach(sim, horizon=system.horizon)
     for spec in system.periodic_tasks:
         sim.add_periodic_task(spec)
@@ -142,16 +294,21 @@ def execute_system(
     server_priority: int = MAX_RT_PRIORITY,
     queue: str = "fifo",
     safety_margin: RelativeTime | None = None,
+    enforcement: "EnforcementConfig | None" = None,
+    timer_drift_ppm: float = 0.0,
 ) -> SystemResult:
     """Run one system's framework implementation on the emulated VM.
 
     Each aperiodic event becomes a :class:`ServableAsyncEvent` fired by a
     timer at its release instant (timer firings cost ISR time under the
     overhead model, reproducing the paper's "timers charged to fire the
-    asynchronous events").
+    asynchronous events").  ``enforcement`` bounds handlers to their
+    declared costs; ``timer_drift_ppm`` makes the VM's release timers
+    drift (see :mod:`repro.faults`).
     """
     vm = RTSJVirtualMachine(
-        overhead=overhead if overhead is not None else OverheadModel()
+        overhead=overhead if overhead is not None else OverheadModel(),
+        timer_drift_ppm=timer_drift_ppm,
     )
     params = TaskServerParameters.from_spec(
         system.server, priority=server_priority
@@ -159,10 +316,13 @@ def execute_system(
     server_cls = _EXEC_SERVERS[policy]
     if policy == "polling":
         server: TaskServer = server_cls(
-            params, queue=queue, safety_margin=safety_margin
+            params, queue=queue, safety_margin=safety_margin,
+            enforcement=enforcement,
         )
     else:
-        server = server_cls(params, safety_margin=safety_margin)
+        server = server_cls(
+            params, safety_margin=safety_margin, enforcement=enforcement
+        )
     horizon_ns = round(system.horizon * NS_PER_UNIT)
     server.attach(vm, horizon_ns)
 
@@ -178,7 +338,7 @@ def execute_system(
             )
         vm.add_thread(
             RealtimeThread(
-                _periodic_burn(round(spec.cost * NS_PER_UNIT)),
+                _periodic_burn(round(spec.execution_cost * NS_PER_UNIT)),
                 PriorityParameters(rtsj_priority),
                 PeriodicParameters(
                     AbsoluteTime.from_nanos(round(spec.offset * NS_PER_UNIT)),
@@ -205,35 +365,147 @@ def execute_system(
     return SystemResult(metrics=server.run_metrics(), trace=trace)
 
 
+def _run_arm(
+    arm: str,
+    system: GeneratedSystem,
+    overhead: OverheadModel | None,
+    enforcement: "EnforcementConfig | None",
+) -> RunMetrics:
+    policy = "polling" if arm.startswith("ps") else "deferrable"
+    if arm.endswith("_sim"):
+        return simulate_system(system, policy, enforcement=enforcement).metrics
+    return execute_system(
+        system, policy, overhead, enforcement=enforcement
+    ).metrics
+
+
+def _load_checkpoint(path: Path) -> dict[tuple, RunRecord]:
+    """Load completed run records from a JSONL checkpoint file."""
+    done: dict[tuple, RunRecord] = {}
+    if not path.exists():
+        return done
+    with path.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = RunRecord.from_dict(json.loads(line))
+            except (ValueError, KeyError, TypeError):
+                # a run killed mid-write leaves a truncated final line;
+                # skip it — that run simply re-executes and re-appends
+                continue
+            done[(record.arm, record.set_key, record.system_id)] = record
+    return done
+
+
+def _append_checkpoint(path: Path | None, record: RunRecord) -> None:
+    if path is None:
+        return
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as fh:
+        fh.write(json.dumps(record.to_dict()) + "\n")
+
+
+def _guarded_run(
+    arm: str,
+    params: GenerationParameters,
+    system: GeneratedSystem,
+    overhead: OverheadModel | None,
+    enforcement: "EnforcementConfig | None",
+    fault_plan: "FaultPlan | None",
+    run_policy: RunPolicy,
+) -> RunRecord:
+    """Run one (arm, system) with timeout, bounded retry and seed-bump.
+
+    A retry regenerates the *same* system index from a bumped master
+    seed (fault plan re-applied), so a pathological random stream is
+    routed around rather than hammered.
+    """
+    key = (params.task_density, params.std_deviation)
+    attempts = 0
+    current = system
+    last_error = ""
+    status = "failed"
+    while attempts <= run_policy.max_retries:
+        attempts += 1
+        try:
+            with _time_limit(run_policy.timeout_s):
+                metrics = _run_arm(arm, current, overhead, enforcement)
+            return RunRecord(
+                arm=arm, set_key=key, system_id=system.system_id,
+                status="ok", attempts=attempts, metrics=metrics,
+            )
+        except RunTimeout as exc:
+            status, last_error = "timeout", str(exc)
+        except Exception:
+            status, last_error = "failed", traceback.format_exc(limit=5)
+        if attempts <= run_policy.max_retries:
+            bumped = _replace(
+                params,
+                seed=params.seed + attempts * run_policy.retry_seed_bump,
+            )
+            regenerated = RandomSystemGenerator(bumped).generate()
+            current = regenerated[system.system_id]
+            if fault_plan is not None:
+                current = fault_plan.apply(current)
+    return RunRecord(
+        arm=arm, set_key=key, system_id=system.system_id,
+        status=status, attempts=attempts, error=last_error,
+    )
+
+
 def run_campaign(
     sets: tuple[GenerationParameters, ...] = PAPER_SETS,
     overhead: OverheadModel | None = None,
     arms: tuple[str, ...] = ARMS,
+    fault_plan: "FaultPlan | None" = None,
+    enforcement: "EnforcementConfig | None" = None,
+    run_policy: RunPolicy | None = None,
 ) -> CampaignResult:
     """Run the full evaluation; returns per-arm tables keyed like the
-    paper's ``(density, std)`` columns."""
+    paper's ``(density, std)`` columns.
+
+    ``fault_plan`` injects workload faults (both arms still consume
+    byte-identical — faulted — inputs); ``enforcement`` applies a
+    cost-overrun policy in every arm; ``run_policy`` hardens the sweep:
+    crashed, hung or timed-out runs become structured failure records in
+    ``CampaignResult.records`` instead of exceptions, with optional
+    bounded retry and JSONL checkpointing for resume.  All three default
+    to ``None`` — the paper-faithful golden path.
+    """
     result = CampaignResult(tables={arm: {} for arm in arms})
+    policy = run_policy if run_policy is not None else RunPolicy()
+    checkpointed = (
+        _load_checkpoint(policy.checkpoint_path)
+        if policy.checkpoint_path is not None
+        else {}
+    )
+    hardened = run_policy is not None
     for params in sets:
         key = (params.task_density, params.std_deviation)
         systems = RandomSystemGenerator(params).generate()
+        if fault_plan is not None:
+            systems = fault_plan.apply_all(systems)
         per_arm: dict[str, list[RunMetrics]] = {arm: [] for arm in arms}
         for system in systems:
-            if "ps_sim" in arms:
-                per_arm["ps_sim"].append(
-                    simulate_system(system, "polling").metrics
-                )
-            if "ds_sim" in arms:
-                per_arm["ds_sim"].append(
-                    simulate_system(system, "deferrable").metrics
-                )
-            if "ps_exec" in arms:
-                per_arm["ps_exec"].append(
-                    execute_system(system, "polling", overhead).metrics
-                )
-            if "ds_exec" in arms:
-                per_arm["ds_exec"].append(
-                    execute_system(system, "deferrable", overhead).metrics
-                )
+            for arm in arms:
+                if not hardened:
+                    per_arm[arm].append(
+                        _run_arm(arm, system, overhead, enforcement)
+                    )
+                    continue
+                record = checkpointed.get((arm, key, system.system_id))
+                if record is None:
+                    record = _guarded_run(
+                        arm, params, system, overhead, enforcement,
+                        fault_plan, policy,
+                    )
+                    _append_checkpoint(policy.checkpoint_path, record)
+                result.records.append(record)
+                if record.metrics is not None:
+                    per_arm[arm].append(record.metrics)
         for arm in arms:
-            result.tables[arm][key] = aggregate(per_arm[arm])
+            if per_arm[arm]:
+                result.tables[arm][key] = aggregate(per_arm[arm])
     return result

@@ -18,7 +18,7 @@ import sys
 from pathlib import Path
 
 from ..rtsj import OverheadModel
-from .campaign import run_campaign
+from .campaign import RunPolicy, run_campaign
 from .figures import render_all_figures
 from .tables import TABLE_ARMS, format_comparison, format_table, shape_checks
 
@@ -54,6 +54,21 @@ def main(argv: list[str] | None = None) -> int:
         help="for the 'report' target: write the markdown there "
              "(default: print to stdout)",
     )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock limit per campaign run; a hung run is recorded "
+             "as a failure instead of wedging the sweep",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry a crashed/hung run up to N times with a bumped "
+             "generator seed",
+    )
+    parser.add_argument(
+        "--checkpoint", type=Path, default=None, metavar="PATH",
+        help="JSONL checkpoint of per-run results; an existing file is "
+             "resumed, completed runs are skipped",
+    )
     args = parser.parse_args(argv)
 
     if args.target == "report":
@@ -71,8 +86,32 @@ def main(argv: list[str] | None = None) -> int:
                                    "table5", "checks")
     overhead = OverheadModel.zero() if args.no_overhead else None
 
+    run_policy = None
+    if (
+        args.timeout is not None
+        or args.retries
+        or args.checkpoint is not None
+    ):
+        try:
+            run_policy = RunPolicy(
+                timeout_s=args.timeout,
+                max_retries=args.retries,
+                checkpoint_path=args.checkpoint,
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+
     if wants_tables:
-        campaign = run_campaign(overhead=overhead)
+        campaign = run_campaign(overhead=overhead, run_policy=run_policy)
+        if campaign.failures:
+            print(f"WARNING: {len(campaign.failures)} run(s) failed:")
+            for record in campaign.failures:
+                print(
+                    f"  [{record.status}] {record.arm} set={record.set_key} "
+                    f"system={record.system_id} after {record.attempts} "
+                    f"attempt(s)"
+                )
+            failures += len(campaign.failures)
         table_numbers = (
             (2, 3, 4, 5) if args.target in ("all", "checks")
             else (int(args.target[-1]),)

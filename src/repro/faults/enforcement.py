@@ -1,0 +1,122 @@
+"""Cost-overrun enforcement policies and fault reporting.
+
+One :class:`EnforcementConfig` drives the three executors that can
+detect a job running past its declared cost:
+
+* the RTSS periodic entities (:class:`~repro.sim.engine.PeriodicTaskEntity`),
+* the ideal servers (:class:`~repro.sim.servers.base.AperiodicServer`),
+* the RTSJ task servers (:class:`~repro.core.server.TaskServer`), where
+  it narrows the ``Timed`` budget — mirroring RTSJ cost-overrun
+  semantics (``cost`` in ``ReleaseParameters`` plus the overrun
+  handler) on the emulated VM.
+
+Policies
+--------
+``abort-job``
+    The overrunning activation is killed at its enforcement budget and
+    recorded as aborted (RTSJ: fire the cost-overrun handler and
+    deschedule).
+``skip-next-release``
+    Like ``abort-job``, and the *next* activation of the same source is
+    shed on arrival — a recovery breather for the overloaded resource.
+``clip-to-budget``
+    The activation is cut at its enforcement budget but counted as
+    completed: the handler's partial work stands (imprecise-computation
+    semantics).
+``log-and-continue``
+    Nothing is cut; the first instant an activation crosses its
+    enforcement budget is recorded as an ``OVERRUN`` trace event.
+
+The enforcement budget of an activation is ``declared cost * (1 +
+tolerance)``: a zero tolerance enforces the declaration exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.trace import ExecutionTrace, TraceEventKind
+
+__all__ = [
+    "OVERRUN_POLICIES",
+    "EnforcementConfig",
+    "FaultSummary",
+    "summarize_faults",
+]
+
+OVERRUN_POLICIES = (
+    "abort-job",
+    "skip-next-release",
+    "clip-to-budget",
+    "log-and-continue",
+)
+
+
+@dataclass(frozen=True)
+class EnforcementConfig:
+    """How an executor reacts to a job exceeding its declared cost."""
+
+    policy: str = "log-and-continue"
+    tolerance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.policy not in OVERRUN_POLICIES:
+            raise ValueError(
+                f"policy must be one of {OVERRUN_POLICIES}, "
+                f"got {self.policy!r}"
+            )
+        if self.tolerance < 0:
+            raise ValueError(
+                f"tolerance must be >= 0, got {self.tolerance}"
+            )
+
+    @property
+    def cuts_execution(self) -> bool:
+        """True when the policy stops the job at its budget."""
+        return self.policy != "log-and-continue"
+
+    @property
+    def completes_on_cut(self) -> bool:
+        """True when a cut job still counts as served."""
+        return self.policy == "clip-to-budget"
+
+    @property
+    def sheds_next(self) -> bool:
+        """True when the next release of an overrunning source is shed."""
+        return self.policy == "skip-next-release"
+
+    def budget_for(self, declared_cost: float) -> float:
+        """The enforcement budget granted to a declared cost."""
+        return declared_cost * (1.0 + self.tolerance)
+
+
+@dataclass(frozen=True)
+class FaultSummary:
+    """Per-run fault counts, read off the execution trace."""
+
+    deadline_misses: int
+    overruns: int
+    interrupts: int
+    injected: int
+    watchdog_trips: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.deadline_misses + self.overruns + self.interrupts
+            + self.injected + self.watchdog_trips
+        )
+
+
+def summarize_faults(trace: ExecutionTrace) -> FaultSummary:
+    """Count the fault-class events of one run's trace."""
+    counts = {kind: 0 for kind in TraceEventKind}
+    for event in trace.events:
+        counts[event.kind] += 1
+    return FaultSummary(
+        deadline_misses=counts[TraceEventKind.DEADLINE_MISS],
+        overruns=counts[TraceEventKind.OVERRUN],
+        interrupts=counts[TraceEventKind.INTERRUPT],
+        injected=counts[TraceEventKind.FAULT],
+        watchdog_trips=counts[TraceEventKind.WATCHDOG],
+    )

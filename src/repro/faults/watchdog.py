@@ -1,0 +1,112 @@
+"""A deadline-miss / overrun watchdog.
+
+Executors notify the watchdog of every deadline miss and cost overrun;
+once either count crosses its threshold the watchdog *trips*: it records
+a ``WATCHDOG`` trace event and invokes the optional ``on_trip`` callback
+(an escalation hook — shed load, fail over, page an operator).  The
+watchdog never mutates the schedule itself, so attaching one cannot
+change golden-path behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable
+
+from ..sim.trace import ExecutionTrace, TraceEventKind
+
+__all__ = ["DeadlineMissWatchdog"]
+
+
+class DeadlineMissWatchdog:
+    """Counts misses and overruns; trips past configurable thresholds.
+
+    Parameters
+    ----------
+    miss_threshold:
+        Trip after this many deadline misses (``None`` = never).
+    overrun_threshold:
+        Trip after this many cost overruns (``None`` = never).
+    on_trip:
+        ``fn(now, watchdog)`` invoked exactly once when first tripped.
+    """
+
+    def __init__(
+        self,
+        miss_threshold: int | None = None,
+        overrun_threshold: int | None = None,
+        on_trip: "Callable[[float, DeadlineMissWatchdog], None] | None" = None,
+    ) -> None:
+        if miss_threshold is not None and miss_threshold <= 0:
+            raise ValueError(
+                f"miss_threshold must be > 0, got {miss_threshold}"
+            )
+        if overrun_threshold is not None and overrun_threshold <= 0:
+            raise ValueError(
+                f"overrun_threshold must be > 0, got {overrun_threshold}"
+            )
+        self.miss_threshold = miss_threshold
+        self.overrun_threshold = overrun_threshold
+        self.on_trip = on_trip
+        self.misses = 0
+        self.overruns = 0
+        self.by_subject: Counter[str] = Counter()
+        self.tripped = False
+        self.tripped_at: float | None = None
+        self._trace: ExecutionTrace | None = None
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach_sim(self, sim) -> "DeadlineMissWatchdog":
+        """Observe a :class:`~repro.sim.engine.Simulation`."""
+        sim.watchdog = self
+        self._trace = sim.trace
+        return self
+
+    def attach_vm(self, vm) -> "DeadlineMissWatchdog":
+        """Observe an emulated RTSJ VM (``Timed`` interrupts count as
+        overruns)."""
+        vm.watchdog = self
+        self._trace = vm.trace
+        return self
+
+    # -- notifications -----------------------------------------------------
+
+    def notify_miss(self, now: float, subject: str) -> None:
+        self.misses += 1
+        self.by_subject[subject] += 1
+        if (
+            self.miss_threshold is not None
+            and self.misses >= self.miss_threshold
+        ):
+            self._trip(now, f"{self.misses} deadline misses")
+
+    def notify_overrun(self, now: float, subject: str) -> None:
+        self.overruns += 1
+        self.by_subject[subject] += 1
+        if (
+            self.overrun_threshold is not None
+            and self.overruns >= self.overrun_threshold
+        ):
+            self._trip(now, f"{self.overruns} cost overruns")
+
+    # -- internals ---------------------------------------------------------
+
+    def _trip(self, now: float, reason: str) -> None:
+        if self.tripped:
+            return
+        self.tripped = True
+        self.tripped_at = now
+        if self._trace is not None:
+            self._trace.add_event(
+                now, TraceEventKind.WATCHDOG, "watchdog", reason
+            )
+        if self.on_trip is not None:
+            self.on_trip(now, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "TRIPPED" if self.tripped else "armed"
+        return (
+            f"<DeadlineMissWatchdog {state} misses={self.misses} "
+            f"overruns={self.overruns}>"
+        )

@@ -41,9 +41,15 @@ class RTSJVirtualMachine:
         self,
         overhead: OverheadModel | None = None,
         trace: ExecutionTrace | None = None,
+        timer_drift_ppm: float = 0.0,
     ) -> None:
         self.overhead = overhead if overhead is not None else OverheadModel()
         self.trace = trace if trace is not None else ExecutionTrace()
+        #: fault model: the hardware timer runs fast/slow by this many
+        #: parts per million; 0 keeps exact timers (the golden path)
+        self.timer_drift_ppm = timer_drift_ppm
+        #: optional repro.faults.watchdog.DeadlineMissWatchdog
+        self.watchdog = None
         self.scheduler = PriorityScheduler()
         self.now_ns = 0
         self._events: list[tuple[int, int, int, Callable[[int], None]]] = []
@@ -68,7 +74,11 @@ class RTSJVirtualMachine:
 
     def schedule_timer_event(self, time_ns: int,
                              action: Callable[[int], None]) -> None:
-        """A timer firing: charges the ISR cost, then runs ``action``."""
+        """A timer firing: charges the ISR cost, then runs ``action``.
+
+        Under a non-zero ``timer_drift_ppm`` the firing instant is what
+        the *drifting* hardware clock believes it to be.
+        """
         def fire(now: int) -> None:
             self.add_isr_time(self.overhead.timer_fire_ns)
             self.trace.add_event(
@@ -76,6 +86,9 @@ class RTSJVirtualMachine:
             )
             action(now)
 
+        if self.timer_drift_ppm:
+            drifted = round(time_ns * (1.0 + self.timer_drift_ppm / 1e6))
+            time_ns = max(drifted, self.now_ns)
         self.schedule_event(time_ns, fire, order=2)
 
     def add_isr_time(self, cost_ns: int) -> None:

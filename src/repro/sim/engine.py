@@ -20,11 +20,14 @@ from __future__ import annotations
 import heapq
 import math
 from abc import ABC, abstractmethod
-from typing import Callable
+from typing import Callable, TYPE_CHECKING
 
 from .task import Job, JobState, PeriodicJob, PeriodicTask
 from .trace import ExecutionTrace, TraceEventKind
 from ..workload.spec import PeriodicTaskSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.enforcement import EnforcementConfig
 
 __all__ = [
     "EPS",
@@ -54,6 +57,11 @@ class EventQueue:
     def schedule(self, time: float, callback: Callable[[float], None],
                  order: int = 0) -> None:
         """Schedule ``callback(time)`` to run at ``time``."""
+        if not math.isfinite(time):
+            raise ValueError(
+                f"cannot schedule at non-finite time: {time} "
+                "(NaN and infinity are not valid instants)"
+            )
         if time < -EPS:
             raise ValueError(f"cannot schedule in negative time: {time}")
         heapq.heappush(self._heap, (time, order, self._seq, callback))
@@ -141,12 +149,33 @@ class PeriodicTaskEntity(Entity):
         self.name = task.name
         self.priority = task.priority
         self._queue: list[PeriodicJob] = []
+        #: releases still to shed after a skip-next-release overrun
+        self._shed_pending = 0
+        self._sim: "Simulation | None" = None  # bound at registration
 
     def ready(self, now: float) -> bool:
         return bool(self._queue)
 
+    def _enforcement_left(self, job: PeriodicJob,
+                          sim: "Simulation") -> float | None:
+        """Remaining enforcement budget of the head job, or ``None`` when
+        no cutting enforcement applies."""
+        config = sim.enforcement
+        if config is None or not config.cuts_execution:
+            return None
+        executed = job.cost - job.remaining
+        return config.budget_for(job.budgeted_cost) - executed
+
     def budget(self, now: float) -> float:
-        return self._queue[0].remaining if self._queue else 0.0
+        if not self._queue:
+            return 0.0
+        job = self._queue[0]
+        sim = self._sim
+        if sim is not None:
+            left = self._enforcement_left(job, sim)
+            if left is not None:
+                return min(job.remaining, max(left, 0.0))
+        return job.remaining
 
     def current_job_label(self) -> str | None:
         return self._queue[0].name if self._queue else None
@@ -164,15 +193,66 @@ class PeriodicTaskEntity(Entity):
             job.start_time = start
             sim.trace.add_event(start, TraceEventKind.START, job.name)
         job.consume(duration)
+        config = sim.enforcement
+        if (
+            config is not None
+            and not config.cuts_execution
+            and not getattr(job, "_overrun_logged", False)
+            and job.cost - job.remaining
+                > config.budget_for(job.budgeted_cost) + EPS
+        ):
+            # log-and-continue: flag the crossing once, never cut
+            job._overrun_logged = True  # type: ignore[attr-defined]
+            sim.record_overrun(
+                start + duration, job.name,
+                f"budget={config.budget_for(job.budgeted_cost):g}",
+            )
 
     def on_budget_exhausted(self, now: float, sim: "Simulation") -> None:
-        job = self._queue.pop(0)
+        job = self._queue[0]
+        if job.remaining > EPS:
+            # a cutting enforcement policy exhausted the declared budget
+            # before the job's true demand did
+            self._enforce_overrun(now, job, sim)
+            return
+        self._queue.pop(0)
         job.state = JobState.COMPLETED
         job.finish_time = now
         sim.trace.add_event(now, TraceEventKind.COMPLETION, job.name)
 
+    def _enforce_overrun(self, now: float, job: PeriodicJob,
+                         sim: "Simulation") -> None:
+        config = sim.enforcement
+        assert config is not None and config.cuts_execution
+        self._queue.pop(0)
+        job.finish_time = now
+        sim.record_overrun(
+            now, job.name,
+            f"policy={config.policy} "
+            f"budget={config.budget_for(job.budgeted_cost):g}",
+        )
+        if config.completes_on_cut:
+            job.state = JobState.COMPLETED
+            sim.trace.add_event(now, TraceEventKind.COMPLETION, job.name)
+        else:
+            job.state = JobState.ABORTED
+            sim.trace.add_event(
+                now, TraceEventKind.ABORT, job.name, "cost overrun"
+            )
+        if config.sheds_next:
+            self._shed_pending += 1
+
     def release(self, now: float, job: PeriodicJob, sim: "Simulation") -> None:
         """Timed callback: a new activation arrives."""
+        if self._shed_pending > 0:
+            self._shed_pending -= 1
+            job.state = JobState.ABORTED
+            job.finish_time = now
+            sim.trace.add_event(
+                now, TraceEventKind.FAULT, job.name,
+                "release shed (skip-next-release)",
+            )
+            return
         job.state = JobState.PENDING
         self._queue.append(job)
         sim.trace.add_event(now, TraceEventKind.RELEASE, job.name)
@@ -193,7 +273,8 @@ class Simulation:
 
     def __init__(self, policy: SchedulingPolicy,
                  trace: ExecutionTrace | None = None,
-                 on_deadline_miss: str = "continue") -> None:
+                 on_deadline_miss: str = "continue",
+                 enforcement: "EnforcementConfig | None" = None) -> None:
         if on_deadline_miss not in ("continue", "abort"):
             raise ValueError(
                 "on_deadline_miss must be 'continue' (soft: late jobs keep "
@@ -201,6 +282,11 @@ class Simulation:
             )
         self.policy = policy
         self.on_deadline_miss = on_deadline_miss
+        #: cost-overrun enforcement applied to periodic entities (see
+        #: repro.faults.enforcement); None = paper-faithful golden path
+        self.enforcement = enforcement
+        #: optional repro.faults.watchdog.DeadlineMissWatchdog
+        self.watchdog = None
         self.trace = trace if trace is not None else ExecutionTrace()
         self.queue = EventQueue()
         self.entities: list[Entity] = []
@@ -222,6 +308,10 @@ class Simulation:
         """Add a processor competitor (registration order breaks ties)."""
         if self._ran:
             raise RuntimeError("cannot register entities after run()")
+        if getattr(entity, "_sim", "unbound") is None:
+            # entities that track their simulation (periodic adapters,
+            # detached servers) are bound here
+            entity._sim = self  # type: ignore[attr-defined]
         self.entities.append(entity)
 
     def add_periodic_task(self, spec: PeriodicTaskSpec,
@@ -358,10 +448,18 @@ class Simulation:
                 )
                 instance += 1
 
+    def record_overrun(self, now: float, subject: str, detail: str = "") -> None:
+        """Record a cost overrun on the trace and notify the watchdog."""
+        self.trace.add_event(now, TraceEventKind.OVERRUN, subject, detail)
+        if self.watchdog is not None:
+            self.watchdog.notify_overrun(now, subject)
+
     def _check_deadline(self, now: float, job: Job) -> None:
         if job.done:
             return
         self.trace.add_event(now, TraceEventKind.DEADLINE_MISS, job.name)
+        if self.watchdog is not None:
+            self.watchdog.notify_miss(now, job.name)
         if self.on_deadline_miss == "abort" and isinstance(job, PeriodicJob):
             # firm semantics: the expired activation is abandoned so it
             # cannot push later activations past their own deadlines

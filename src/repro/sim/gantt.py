@@ -117,6 +117,9 @@ _MARKERS = {
     TraceEventKind.COMPLETION: ("▼", "#2a7a2a"),
     TraceEventKind.INTERRUPT: ("✕", "#c0392b"),
     TraceEventKind.DEADLINE_MISS: ("!", "#c0392b"),
+    TraceEventKind.OVERRUN: ("⚠", "#b8860b"),
+    TraceEventKind.FAULT: ("☇", "#8e44ad"),
+    TraceEventKind.WATCHDOG: ("◉", "#c0392b"),
 }
 
 

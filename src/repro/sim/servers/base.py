@@ -15,26 +15,43 @@ from __future__ import annotations
 
 from abc import abstractmethod
 from collections import deque
+from typing import TYPE_CHECKING
 
 from ..engine import EPS, Entity, Simulation
 from ..task import AperiodicJob, JobState
 from ..trace import TraceEventKind
 from ...workload.spec import ServerSpec
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...faults.enforcement import EnforcementConfig
+
 __all__ = ["AperiodicServer"]
 
 
 class AperiodicServer(Entity):
-    """Base class: FIFO pending queue + capacity account."""
+    """Base class: FIFO pending queue + capacity account.
 
-    def __init__(self, spec: ServerSpec, name: str | None = None) -> None:
+    ``enforcement`` (see :mod:`repro.faults.enforcement`) optionally
+    bounds each job to its *declared* cost: without it a mis-declared
+    job simply drains capacity for longer (the literature behaviour);
+    with it the configured overrun policy applies.  Either way a server
+    can never consume more than its capacity per period — the account
+    enforces that invariant itself.
+    """
+
+    def __init__(self, spec: ServerSpec, name: str | None = None,
+                 enforcement: "EnforcementConfig | None" = None) -> None:
         self.spec = spec
         self.name = name if name is not None else type(self).__name__
         self.priority = spec.priority
+        self.enforcement = enforcement
         self.pending: deque[AperiodicJob] = deque()
         self.capacity: float = 0.0
         self.completed: list[AperiodicJob] = []
         self.submitted: list[AperiodicJob] = []
+        #: jobs cut or shed by overrun enforcement
+        self.enforced: list[AperiodicJob] = []
+        self._shed_pending = 0
         #: (time, capacity) breakpoints — the capacity curve the paper's
         #: figures chart alongside the schedule
         self.capacity_history: list[tuple[float, float]] = []
@@ -75,6 +92,17 @@ class AperiodicServer(Entity):
                 f"server {self.name!r} is not attached to a simulation"
             )
         self.submitted.append(job)
+        if self._shed_pending > 0:
+            # skip-next-release recovery: the arrival is shed outright
+            self._shed_pending -= 1
+            job.state = JobState.ABORTED
+            job.finish_time = now
+            self.enforced.append(job)
+            self._sim.trace.add_event(
+                now, TraceEventKind.FAULT, job.name,
+                "release shed (skip-next-release)",
+            )
+            return
         self.pending.append(job)
         self._sim.trace.add_event(now, TraceEventKind.RELEASE, job.name)
         self._on_arrival(now, job)
@@ -87,10 +115,24 @@ class AperiodicServer(Entity):
     def ready(self, now: float) -> bool:
         return bool(self.pending) and self.capacity > EPS
 
+    def _enforcement_left(self, job: AperiodicJob) -> float | None:
+        """Remaining declared-cost budget, or ``None`` when no cutting
+        enforcement applies to this server."""
+        config = self.enforcement
+        if config is None or not config.cuts_execution:
+            return None
+        executed = job.cost - job.remaining
+        return config.budget_for(job.declared_cost) - executed
+
     def budget(self, now: float) -> float:
         if not self.pending:
             return 0.0
-        return min(self.pending[0].remaining, self.capacity)
+        job = self.pending[0]
+        base = min(job.remaining, self.capacity)
+        left = self._enforcement_left(job)
+        if left is not None:
+            base = min(base, max(left, 0.0))
+        return base
 
     def current_job_label(self) -> str | None:
         return self.pending[0].name if self.pending else None
@@ -103,6 +145,19 @@ class AperiodicServer(Entity):
         job.consume(duration)
         self.capacity = max(0.0, self.capacity - duration)
         self.record_capacity(start + duration)
+        config = self.enforcement
+        if (
+            config is not None
+            and not config.cuts_execution
+            and not getattr(job, "_overrun_logged", False)
+            and job.cost - job.remaining
+                > config.budget_for(job.declared_cost) + EPS
+        ):
+            job._overrun_logged = True  # type: ignore[attr-defined]
+            sim.record_overrun(
+                start + duration, job.name,
+                f"budget={config.budget_for(job.declared_cost):g}",
+            )
 
     def on_budget_exhausted(self, now: float, sim: Simulation) -> None:
         job = self.pending[0]
@@ -112,6 +167,10 @@ class AperiodicServer(Entity):
             job.finish_time = now
             self.completed.append(job)
             sim.trace.add_event(now, TraceEventKind.COMPLETION, job.name)
+        else:
+            left = self._enforcement_left(job)
+            if left is not None and left <= EPS:
+                self._enforce_overrun(now, job, sim)
         if self.capacity <= EPS:
             sim.trace.add_event(
                 now, TraceEventKind.CAPACITY_EXHAUSTED, self.name
@@ -119,6 +178,32 @@ class AperiodicServer(Entity):
             self._on_capacity_exhausted(now)
         elif not self.pending:
             self._on_idle(now)
+
+    def _enforce_overrun(self, now: float, job: AperiodicJob,
+                         sim: Simulation) -> None:
+        """Apply the configured overrun policy to the head job."""
+        config = self.enforcement
+        assert config is not None and config.cuts_execution
+        self.pending.popleft()
+        job.finish_time = now
+        self.enforced.append(job)
+        sim.record_overrun(
+            now, job.name,
+            f"policy={config.policy} "
+            f"budget={config.budget_for(job.declared_cost):g}",
+        )
+        if config.completes_on_cut:
+            job.state = JobState.COMPLETED
+            self.completed.append(job)
+            sim.trace.add_event(now, TraceEventKind.COMPLETION, job.name)
+        else:
+            job.state = JobState.ABORTED
+            job.interrupted = True
+            sim.trace.add_event(
+                now, TraceEventKind.ABORT, job.name, "cost overrun"
+            )
+        if config.sheds_next:
+            self._shed_pending += 1
 
     def _on_capacity_exhausted(self, now: float) -> None:
         """Policy hook: the capacity account just hit zero."""

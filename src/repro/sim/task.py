@@ -95,10 +95,21 @@ class Job:
 
 @dataclass
 class PeriodicJob(Job):
-    """One activation of a periodic task."""
+    """One activation of a periodic task.
+
+    ``declared_cost`` is the WCET the analysis budgeted for; ``cost``
+    (inherited) is the true demand.  They differ only under an injected
+    WCET overrun (``PeriodicTaskSpec.actual_cost``).
+    """
 
     task: "PeriodicTask | None" = None
     instance: int = 0
+    declared_cost: float | None = None
+
+    @property
+    def budgeted_cost(self) -> float:
+        """The declared WCET enforcement budgets against."""
+        return self.declared_cost if self.declared_cost is not None else self.cost
 
 
 class PeriodicTask:
@@ -122,10 +133,11 @@ class PeriodicTask:
         job = PeriodicJob(
             name=f"{self.spec.name}#{instance}",
             release=release,
-            cost=self.spec.cost,
+            cost=self.spec.execution_cost,
             deadline=release + self.spec.effective_deadline,
             task=self,
             instance=instance,
+            declared_cost=self.spec.cost,
         )
         self.jobs.append(job)
         return job

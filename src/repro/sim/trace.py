@@ -33,6 +33,9 @@ class TraceEventKind(enum.Enum):
     SERVER_SUSPEND = "server_suspend"
     TIMER_FIRE = "timer_fire"
     OVERHEAD = "overhead"            # runtime overhead charged (exec arm)
+    OVERRUN = "overrun"              # cost-overrun enforcement fired
+    FAULT = "fault"                  # injected fault (drop, burst, delay)
+    WATCHDOG = "watchdog"            # deadline-miss watchdog tripped
 
 
 @dataclass(frozen=True)

@@ -53,7 +53,13 @@ class AperiodicEventSpec:
 
 @dataclass(frozen=True)
 class PeriodicTaskSpec:
-    """A hard periodic task (cost, period, priority, optional deadline)."""
+    """A hard periodic task (cost, period, priority, optional deadline).
+
+    ``cost`` is the *declared* WCET the analysis and enforcement budget
+    against; ``actual_cost`` (when set, e.g. by a
+    :class:`~repro.faults.injectors.WcetOverrun` injector) is the
+    execution time each activation really consumes.
+    """
 
     name: str
     cost: float
@@ -61,6 +67,7 @@ class PeriodicTaskSpec:
     priority: int
     deadline: float | None = None
     offset: float = 0.0
+    actual_cost: float | None = None
 
     def __post_init__(self) -> None:
         if self.cost <= 0:
@@ -73,6 +80,15 @@ class PeriodicTaskSpec:
             )
         if self.offset < 0:
             raise ValueError(f"offset must be >= 0, got {self.offset}")
+        if self.actual_cost is not None and self.actual_cost <= 0:
+            raise ValueError(
+                f"actual_cost must be > 0, got {self.actual_cost}"
+            )
+
+    @property
+    def execution_cost(self) -> float:
+        """The execution time an activation really consumes."""
+        return self.actual_cost if self.actual_cost is not None else self.cost
 
     @property
     def effective_deadline(self) -> float:

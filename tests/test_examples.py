@@ -9,7 +9,11 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
-EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+# underscore-prefixed files are shared helpers (e.g. the sys.path
+# bootstrap), not runnable demos
+EXAMPLES = sorted(
+    p for p in EXAMPLES_DIR.glob("*.py") if not p.name.startswith("_")
+)
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)

@@ -16,6 +16,8 @@ Both arms consume byte-identical workloads from
 from __future__ import annotations
 
 import json
+import multiprocessing
+import os
 import signal
 import threading
 import traceback
@@ -120,7 +122,12 @@ class RunPolicy:
 
 @dataclass
 class RunRecord:
-    """One (arm, set, system) run outcome — success or structured failure."""
+    """One (arm, set, system) run outcome — success or structured failure.
+
+    ``payload`` carries arm-specific extra results as a JSON-serialisable
+    dict (the multicore campaign stores its per-core metrics there); it
+    round-trips through checkpoints untouched.
+    """
 
     arm: str
     set_key: tuple[float, float]
@@ -129,6 +136,7 @@ class RunRecord:
     attempts: int = 1
     error: str = ""
     metrics: RunMetrics | None = None
+    payload: dict | None = None
 
     def to_dict(self) -> dict:
         out = {
@@ -148,6 +156,8 @@ class RunRecord:
                     self.metrics.average_response_time,
                 "response_times": list(self.metrics.response_times),
             }
+        if self.payload is not None:
+            out["payload"] = self.payload
         return out
 
     @classmethod
@@ -170,6 +180,7 @@ class RunRecord:
             attempts=data.get("attempts", 1),
             error=data.get("error", ""),
             metrics=metrics,
+            payload=data.get("payload"),
         )
 
 
@@ -400,11 +411,64 @@ def _load_checkpoint(path: Path) -> dict[tuple, RunRecord]:
 
 
 def _append_checkpoint(path: Path | None, record: RunRecord) -> None:
+    """Append one record, durably: a single write, flushed and fsynced.
+
+    Only the campaign *parent* process ever calls this (worker processes
+    run with ``checkpoint_path=None``), so concurrent sweeps cannot
+    interleave partial lines and a crash leaves at most one truncated
+    final line — which :func:`_load_checkpoint` skips on resume.
+    """
     if path is None:
         return
     path.parent.mkdir(parents=True, exist_ok=True)
+    prefix = ""
+    if path.exists() and path.stat().st_size:
+        # a crash can leave a truncated final line with no newline;
+        # isolate it so the new record starts on a line of its own
+        with path.open("rb") as fh:
+            fh.seek(-1, os.SEEK_END)
+            if fh.read(1) != b"\n":
+                prefix = "\n"
     with path.open("a") as fh:
-        fh.write(json.dumps(record.to_dict()) + "\n")
+        fh.write(prefix + json.dumps(record.to_dict()) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def _parallel_map(fn, tasks: list, workers: int) -> list:
+    """Ordered map over ``tasks``, optionally on a process pool.
+
+    With ``workers <= 1`` (or at most one task) the map runs inline in
+    this process — preserving ``SIGALRM`` timeouts on the main thread.
+    With more workers, tasks fan out over a ``multiprocessing`` pool;
+    results come back in submission order, so downstream aggregation is
+    bit-identical to a sequential sweep.  Each pool worker's task runs on
+    that worker's main thread, so per-run ``SIGALRM`` timeouts still
+    apply there.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    with multiprocessing.Pool(processes=min(workers, len(tasks))) as pool:
+        return pool.map(fn, tasks, chunksize=1)
+
+
+def _campaign_worker(task: tuple) -> RunRecord:
+    """Pool entry point for one (arm, system) run of the paper campaign."""
+    (hardened, arm, params, system, overhead, enforcement, fault_plan,
+     run_policy) = task
+    if hardened:
+        return _guarded_run(
+            arm, params, system, overhead, enforcement, fault_plan,
+            run_policy,
+        )
+    key = (params.task_density, params.std_deviation)
+    metrics = _run_arm(arm, system, overhead, enforcement)
+    return RunRecord(
+        arm=arm, set_key=key, system_id=system.system_id,
+        status="ok", metrics=metrics,
+    )
 
 
 def _guarded_run(
@@ -462,6 +526,7 @@ def run_campaign(
     fault_plan: "FaultPlan | None" = None,
     enforcement: "EnforcementConfig | None" = None,
     run_policy: RunPolicy | None = None,
+    workers: int = 1,
 ) -> CampaignResult:
     """Run the full evaluation; returns per-arm tables keyed like the
     paper's ``(density, std)`` columns.
@@ -471,8 +536,13 @@ def run_campaign(
     cost-overrun policy in every arm; ``run_policy`` hardens the sweep:
     crashed, hung or timed-out runs become structured failure records in
     ``CampaignResult.records`` instead of exceptions, with optional
-    bounded retry and JSONL checkpointing for resume.  All three default
-    to ``None`` — the paper-faithful golden path.
+    bounded retry and JSONL checkpointing for resume.  ``workers > 1``
+    fans the (arm, system) runs out over a ``multiprocessing`` pool —
+    every run is still generated from the same master-seed fan-out and
+    results are folded back in sequential order, so tables and records
+    are bit-identical to a one-worker sweep; checkpoint lines are
+    written (flushed + fsynced) by this parent process only.  Everything
+    defaults to the paper-faithful golden path.
     """
     result = CampaignResult(tables={arm: {} for arm in arms})
     policy = run_policy if run_policy is not None else RunPolicy()
@@ -482,30 +552,56 @@ def run_campaign(
         else {}
     )
     hardened = run_policy is not None
+    # workers never see the checkpoint path: the parent is the only writer
+    worker_policy = _replace(policy, checkpoint_path=None)
+
+    generated: list[tuple[GenerationParameters, list[GeneratedSystem]]] = []
     for params in sets:
-        key = (params.task_density, params.std_deviation)
         systems = RandomSystemGenerator(params).generate()
         if fault_plan is not None:
             systems = fault_plan.apply_all(systems)
-        per_arm: dict[str, list[RunMetrics]] = {arm: [] for arm in arms}
+        generated.append((params, systems))
+
+    # flatten into (slot per run) preserving the sequential sweep order;
+    # checkpointed runs keep their record, the rest go to the pool
+    order: list[tuple[GenerationParameters, str, int, bool]] = []
+    pending: list[tuple | None] = []
+    for params, systems in generated:
+        key = (params.task_density, params.std_deviation)
         for system in systems:
             for arm in arms:
-                if not hardened:
-                    per_arm[arm].append(
-                        _run_arm(arm, system, overhead, enforcement)
+                cached = (
+                    hardened
+                    and (arm, key, system.system_id) in checkpointed
+                )
+                order.append((params, arm, system.system_id, cached))
+                pending.append(
+                    None if cached else (
+                        hardened, arm, params, system, overhead,
+                        enforcement, fault_plan, worker_policy,
                     )
-                    continue
-                record = checkpointed.get((arm, key, system.system_id))
-                if record is None:
-                    record = _guarded_run(
-                        arm, params, system, overhead, enforcement,
-                        fault_plan, policy,
-                    )
-                    _append_checkpoint(policy.checkpoint_path, record)
-                result.records.append(record)
-                if record.metrics is not None:
-                    per_arm[arm].append(record.metrics)
+                )
+    fresh = iter(_parallel_map(
+        _campaign_worker, [t for t in pending if t is not None], workers
+    ))
+
+    per_set: dict[tuple[float, float], dict[str, list[RunMetrics]]] = {}
+    for slot, (params, arm, system_id, cached) in zip(pending, order):
+        key = (params.task_density, params.std_deviation)
+        per_arm = per_set.setdefault(key, {a: [] for a in arms})
+        if cached:
+            record = checkpointed[(arm, key, system_id)]
+        else:
+            record = next(fresh)
+            if hardened:
+                _append_checkpoint(policy.checkpoint_path, record)
+        if hardened:
+            result.records.append(record)
+        if record.metrics is not None:
+            per_arm[arm].append(record.metrics)
+    for params, _ in generated:
+        key = (params.task_density, params.std_deviation)
         for arm in arms:
-            if per_arm[arm]:
-                result.tables[arm][key] = aggregate(per_arm[arm])
+            if per_set[key][arm]:
+                result.tables[arm][key] = aggregate(per_set[key][arm])
     return result

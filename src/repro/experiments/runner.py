@@ -7,6 +7,9 @@ Usage::
     python -m repro.experiments.runner figures    # scenario diagrams
     python -m repro.experiments.runner checks     # shape assertions
     repro-experiments --svg-dir out/ figures      # also write SVGs
+    repro-experiments --workers 4 all             # parallel campaign
+    repro-experiments multicore --cores 4 --placement wf
+    repro-experiments multicore --cores 2 --global-sched edf
 
 Exit status is non-zero if any shape check fails.
 """
@@ -25,7 +28,7 @@ from .tables import TABLE_ARMS, format_comparison, format_table, shape_checks
 __all__ = ["main"]
 
 _TARGETS = ("all", "table2", "table3", "table4", "table5", "figures",
-            "checks", "report")
+            "checks", "report", "multicore")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -69,7 +72,39 @@ def main(argv: list[str] | None = None) -> int:
         help="JSONL checkpoint of per-run results; an existing file is "
              "resumed, completed runs are skipped",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="fan campaign runs out over N worker processes "
+             "(results are bit-identical to a sequential sweep)",
+    )
+    multicore = parser.add_argument_group("multicore target")
+    multicore.add_argument(
+        "--cores", type=int, default=4, metavar="M",
+        help="number of identical cores to simulate (default: 4)",
+    )
+    multicore.add_argument(
+        "--placement", choices=("ff", "wf", "bf"), default=None,
+        help="run only the partitioned arm with this decreasing-"
+             "utilization bin-packing heuristic",
+    )
+    multicore.add_argument(
+        "--global-sched", choices=("fp", "edf"), default=None,
+        dest="global_sched",
+        help="run only the global arm with this scheduler",
+    )
+    multicore.add_argument(
+        "--utilization", type=float, default=None, metavar="U",
+        help="total taskset utilization across all cores "
+             "(default: cores / 2)",
+    )
+    multicore.add_argument(
+        "--systems", type=int, default=10, metavar="N",
+        help="number of generated systems per arm (default: 10)",
+    )
     args = parser.parse_args(argv)
+
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
 
     if args.target == "report":
         from .report import generate_report, markdown_report
@@ -101,8 +136,13 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as exc:
             parser.error(str(exc))
 
+    if args.target == "multicore":
+        return _run_multicore(args, run_policy)
+
     if wants_tables:
-        campaign = run_campaign(overhead=overhead, run_policy=run_policy)
+        campaign = run_campaign(
+            overhead=overhead, run_policy=run_policy, workers=args.workers
+        )
         if campaign.failures:
             print(f"WARNING: {len(campaign.failures)} run(s) failed:")
             for record in campaign.failures:
@@ -136,6 +176,71 @@ def main(argv: list[str] | None = None) -> int:
     if args.target in ("all", "figures"):
         print(render_all_figures(svg_dir=args.svg_dir))
 
+    return 1 if failures else 0
+
+
+def _run_multicore(args: argparse.Namespace, run_policy) -> int:
+    """The ``multicore`` target: run the SMP campaign and print tables.
+
+    With ``--svg-dir`` the first generated system is additionally
+    re-simulated under each selected arm and rendered as a per-core
+    Gantt chart (one lane per core, migrations marked).
+    """
+    from ..sim import svg_gantt_cores
+    from ..smp import (
+        MULTICORE_MODES,
+        MulticoreParameters,
+        build_multicore_system,
+        format_multicore_campaign,
+        run_multicore_campaign,
+        run_multicore_system,
+    )
+
+    if args.cores < 1:
+        print(f"--cores must be >= 1, got {args.cores}", file=sys.stderr)
+        return 1
+    modes: tuple[str, ...]
+    if args.placement is not None and args.global_sched is not None:
+        modes = (f"part-{args.placement}", f"global-{args.global_sched}")
+    elif args.placement is not None:
+        modes = (f"part-{args.placement}",)
+    elif args.global_sched is not None:
+        modes = (f"global-{args.global_sched}",)
+    else:
+        modes = MULTICORE_MODES
+    utilization = (
+        args.utilization if args.utilization is not None
+        else args.cores / 2.0
+    )
+    params = MulticoreParameters(
+        n_cores=args.cores,
+        total_utilization=utilization,
+        nb_systems=args.systems,
+    )
+    result = run_multicore_campaign(
+        params, modes=modes, run_policy=run_policy, workers=args.workers
+    )
+    print(format_multicore_campaign(result.tables))
+    failures = [r for r in result.records if r.status != "ok"]
+    if failures:
+        print(f"WARNING: {len(failures)} run(s) failed:")
+        for record in failures:
+            print(
+                f"  [{record.status}] {record.arm} "
+                f"system={record.system_id} after {record.attempts} "
+                f"attempt(s)"
+            )
+    if args.svg_dir is not None:
+        args.svg_dir.mkdir(parents=True, exist_ok=True)
+        system = build_multicore_system(params, 0)
+        for mode in modes:
+            run = run_multicore_system(system, params.n_cores, mode)
+            path = args.svg_dir / f"multicore_{mode}.svg"
+            path.write_text(
+                svg_gantt_cores(run.trace, n_cores=params.n_cores),
+                encoding="utf-8",
+            )
+            print(f"wrote {path}")
     return 1 if failures else 0
 
 

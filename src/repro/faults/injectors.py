@@ -198,11 +198,21 @@ class FaultPlan:
     ``apply`` is deterministic in ``(seed, system.system_id)``; with no
     injectors or ``enabled=False`` it returns the *same object* it was
     given, so the golden path cannot drift.
+
+    ``targets`` (optional) restricts the perturbation to the named items:
+    periodic tasks by spec name (``"tau3"``) and aperiodic events by
+    their job name (``"h7"``, i.e. ``f"h{event_id}"``).  Everything else
+    passes through byte-identical.  Because the plan transforms the
+    *workload descriptor* — before any single- or multicore placement
+    decision — a targeted fault perturbs exactly the same tasks and
+    events regardless of which core a partitioner or a global scheduler
+    later puts them on.
     """
 
     injectors: tuple[FaultInjector, ...] = ()
     seed: int = 0
     enabled: bool = True
+    targets: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         for injector in self.injectors:
@@ -211,6 +221,12 @@ class FaultPlan:
                     f"injectors must be FaultInjector instances, "
                     f"got {injector!r}"
                 )
+        if self.targets is not None:
+            for target in self.targets:
+                if not isinstance(target, str):
+                    raise TypeError(
+                        f"targets must be names (str), got {target!r}"
+                    )
 
     @property
     def active(self) -> bool:
@@ -225,9 +241,14 @@ class FaultPlan:
         )
         events = list(system.events)
         tasks = list(system.periodic_tasks)
-        for injector in self.injectors:
-            events = injector.transform(events, rng, system.horizon)
-            tasks = injector.transform_periodic(tasks, rng)
+        if self.targets is None:
+            for injector in self.injectors:
+                events = injector.transform(events, rng, system.horizon)
+                tasks = injector.transform_periodic(tasks, rng)
+        else:
+            events, tasks = self._apply_targeted(
+                events, tasks, rng, system.horizon
+            )
         events.sort(key=lambda e: (e.release, e.event_id))
         # re-id so downstream job names stay unique after bursts
         events = [
@@ -236,6 +257,47 @@ class FaultPlan:
         return replace(
             system, events=tuple(events), periodic_tasks=tuple(tasks)
         )
+
+    def _apply_targeted(
+        self,
+        events: list[AperiodicEventSpec],
+        tasks: list[PeriodicTaskSpec],
+        rng: PortableRandom,
+        horizon: float,
+    ) -> tuple[list[AperiodicEventSpec], list[PeriodicTaskSpec]]:
+        """Run the pipeline over the targeted subset only.
+
+        The rng stream is consumed solely by targeted items, so the
+        perturbation a given target receives does not depend on how many
+        untargeted items surround it.
+        """
+        target_set = set(self.targets or ())
+        hit_events = [e for e in events if f"h{e.event_id}" in target_set]
+        other_events = [
+            e for e in events if f"h{e.event_id}" not in target_set
+        ]
+        hit_tasks = [t for t in tasks if t.name in target_set]
+        other_tasks = [t for t in tasks if t.name not in target_set]
+        for injector in self.injectors:
+            hit_events = injector.transform(hit_events, rng, horizon)
+            hit_tasks = injector.transform_periodic(hit_tasks, rng)
+        # splice transformed tasks back into their original positions
+        # (registration order is a scheduling tie-break downstream)
+        by_name: dict[str, list[PeriodicTaskSpec]] = {}
+        for task in hit_tasks:
+            by_name.setdefault(task.name, []).append(task)
+        merged_tasks: list[PeriodicTaskSpec] = []
+        for task in tasks:
+            if task.name in target_set:
+                replacements = by_name.get(task.name, [])
+                if replacements:
+                    merged_tasks.append(replacements.pop(0))
+                # a dropped task simply disappears
+            else:
+                merged_tasks.append(task)
+        for leftovers in by_name.values():
+            merged_tasks.extend(leftovers)
+        return other_events + hit_events, merged_tasks
 
     def apply_all(
         self, systems: list[GeneratedSystem]

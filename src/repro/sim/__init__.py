@@ -9,7 +9,7 @@ from .engine import EPS, Entity, EventQueue, PeriodicTaskEntity, SchedulingPolic
 from .task import AperiodicJob, Job, JobState, PeriodicJob, PeriodicTask
 from .trace import ExecutionTrace, Segment, TraceEvent, TraceEventKind
 from .metrics import RunMetrics, SetMetrics, aggregate, measure_run
-from .gantt import ascii_capacity, ascii_gantt, svg_gantt
+from .gantt import ascii_capacity, ascii_gantt, svg_gantt, svg_gantt_cores
 from .trace_io import diff_traces, load_trace, save_trace, trace_from_dict, trace_to_dict
 from .schedulers import (
     DOverResult,
@@ -51,6 +51,7 @@ __all__ = [
     "ascii_capacity",
     "ascii_gantt",
     "svg_gantt",
+    "svg_gantt_cores",
     "diff_traces",
     "load_trace",
     "save_trace",

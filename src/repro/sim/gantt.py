@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from .trace import ExecutionTrace, Segment, TraceEventKind
 
-__all__ = ["ascii_gantt", "ascii_capacity", "svg_gantt"]
+__all__ = ["ascii_gantt", "ascii_capacity", "svg_gantt", "svg_gantt_cores"]
 
 
 def _entities_in_order(trace: ExecutionTrace,
@@ -213,3 +213,131 @@ def _esc(text: str) -> str:
     return (
         text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
     )
+
+
+#: glyph + colour for migrations on the per-core renderer
+_MIGRATION_MARKER = ("⇄", "#1f618d")
+
+
+def svg_gantt_cores(
+    trace: ExecutionTrace,
+    n_cores: int | None = None,
+    until: float | None = None,
+    px_per_unit: float = 24.0,
+    row_height: int = 28,
+    label_width: int = 120,
+    show_markers: bool = True,
+) -> str:
+    """Render a multicore trace: one lane per core, shared time axis.
+
+    Each lane shows the segments that executed on that core, coloured by
+    entity (consistently across lanes, so a migrating entity keeps its
+    colour); migration events are drawn with a distinct ``⇄`` glyph on
+    the *destination* core's lane.  A legend row maps colours back to
+    entities.  Single-core traces (``core=None`` segments) belong to
+    :func:`svg_gantt`, whose output this function does not touch.
+    """
+    horizon = until if until is not None else trace.makespan
+    cores = trace.cores
+    if n_cores is None:
+        n_cores = (max(cores) + 1) if cores else 1
+    # entity colouring in first-execution order, like svg_gantt rows
+    entities: list[str] = []
+    for seg in trace.segments:
+        if seg.entity not in entities:
+            entities.append(seg.entity)
+    colour_of = {
+        name: _SVG_COLOURS[i % len(_SVG_COLOURS)]
+        for i, name in enumerate(entities)
+    }
+    legend_rows = 1 if entities else 0
+    width = label_width + int(horizon * px_per_unit) + 20
+    height = row_height * (n_cores + 1 + legend_rows) + 30
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+
+    def x(t: float) -> float:
+        return label_width + t * px_per_unit
+
+    def lane_y(core: int) -> float:
+        return 10 + core * row_height
+
+    for core in range(n_cores):
+        y = lane_y(core)
+        parts.append(
+            f'<text x="4" y="{y + row_height * 0.6:.1f}">core {core}</text>'
+        )
+        for seg in trace.segments:
+            if seg.core != core:
+                continue
+            parts.append(
+                f'<rect x="{x(seg.start):.1f}" y="{y:.1f}" '
+                f'width="{seg.duration * px_per_unit:.1f}" '
+                f'height="{row_height - 8}" '
+                f'fill="{colour_of[seg.entity]}">'
+                f"<title>{_esc(seg.entity)}"
+                f"{': ' + _esc(seg.job) if seg.job else ''} "
+                f"[{seg.start:g}, {seg.end:g})</title></rect>"
+            )
+    if show_markers:
+        for event in trace.events:
+            if event.time > horizon + 1e-9:
+                continue
+            if event.kind is TraceEventKind.MIGRATION:
+                glyph, colour = _MIGRATION_MARKER
+                core = _migration_destination(event.detail)
+                if core is None or not 0 <= core < n_cores:
+                    continue
+                y = lane_y(core)
+                parts.append(
+                    f'<text x="{x(event.time) - 4:.1f}" y="{y - 2:.1f}" '
+                    f'fill="{colour}" font-size="10">{glyph}'
+                    f"<title>migration: {_esc(event.subject)} "
+                    f"{_esc(event.detail)} at {event.time:g}</title></text>"
+                )
+    # time axis with unit ticks
+    axis_y = 10 + n_cores * row_height + 8
+    parts.append(
+        f'<line x1="{x(0):.1f}" y1="{axis_y}" x2="{x(horizon):.1f}" '
+        f'y2="{axis_y}" stroke="black"/>'
+    )
+    t = 0.0
+    while t <= horizon + 1e-9:
+        parts.append(
+            f'<line x1="{x(t):.1f}" y1="{axis_y - 3}" x2="{x(t):.1f}" '
+            f'y2="{axis_y + 3}" stroke="black"/>'
+        )
+        if round(t) % 5 == 0:
+            parts.append(
+                f'<text x="{x(t) - 3:.1f}" y="{axis_y + 16}">{round(t)}</text>'
+            )
+        t += 1.0
+    # legend: entity colour swatches under the axis
+    if entities:
+        y = axis_y + 24
+        cursor = float(label_width)
+        for name in entities:
+            parts.append(
+                f'<rect x="{cursor:.1f}" y="{y}" width="10" height="10" '
+                f'fill="{colour_of[name]}"/>'
+            )
+            parts.append(
+                f'<text x="{cursor + 14:.1f}" y="{y + 9}">{_esc(name)}</text>'
+            )
+            cursor += 14 + 7 * len(name) + 16
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _migration_destination(detail: str) -> int | None:
+    """Destination core of a MIGRATION event detail (``"<from>-><to>"``)."""
+    _, sep, to = detail.partition("->")
+    if not sep:
+        return None
+    try:
+        return int(to)
+    except ValueError:
+        return None

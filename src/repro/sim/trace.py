@@ -36,6 +36,7 @@ class TraceEventKind(enum.Enum):
     OVERRUN = "overrun"              # cost-overrun enforcement fired
     FAULT = "fault"                  # injected fault (drop, burst, delay)
     WATCHDOG = "watchdog"            # deadline-miss watchdog tripped
+    MIGRATION = "migration"          # entity moved between cores (SMP)
 
 
 @dataclass(frozen=True)
@@ -58,12 +59,17 @@ class Segment:
 
     ``job`` identifies the particular activation when relevant (e.g. which
     aperiodic handler the server was running during the interval).
+    ``core`` is the processor that executed the interval; ``None`` (the
+    default, and the only value the uniprocessor kernel emits) means "the
+    single processor", so single-core traces are unchanged by the SMP
+    extension.
     """
 
     start: float
     end: float
     entity: str
     job: str | None = None
+    core: int | None = None
 
     def __post_init__(self) -> None:
         if self.end < self.start - _EPS:
@@ -82,22 +88,31 @@ class ExecutionTrace:
         self.events: list[TraceEvent] = []
 
     def add_segment(self, start: float, end: float, entity: str,
-                    job: str | None = None) -> None:
+                    job: str | None = None, core: int | None = None) -> None:
         """Record a processor interval; zero-length intervals are dropped,
         and an interval contiguous with the previous one for the same
-        entity/job is merged into it."""
+        entity/job/core is merged into it."""
         if end - start <= _EPS:
             return
-        if self.segments:
-            last = self.segments[-1]
+        for offset in range(len(self.segments), 0, -1):
+            last = self.segments[offset - 1]
+            if last.core != core:
+                # SMP interleaves cores: look past other cores' segments,
+                # but only while they overlap the merge candidate
+                if core is not None and last.end >= start - _EPS:
+                    continue
+                break
             if (
                 last.entity == entity
                 and last.job == job
                 and abs(last.end - start) <= _EPS
             ):
-                self.segments[-1] = Segment(last.start, end, entity, job)
+                self.segments[offset - 1] = Segment(
+                    last.start, end, entity, job, core
+                )
                 return
-        self.segments.append(Segment(start, end, entity, job))
+            break
+        self.segments.append(Segment(start, end, entity, job, core))
 
     def add_event(self, time: float, kind: TraceEventKind, subject: str,
                   detail: str = "") -> None:
@@ -137,11 +152,24 @@ class ExecutionTrace:
         return max(seg_end, evt_end)
 
     def validate(self) -> None:
-        """Check the single-processor invariant: segments never overlap."""
-        ordered = sorted(self.segments, key=lambda s: (s.start, s.end))
-        for a, b in zip(ordered, ordered[1:]):
-            if b.start < a.end - _EPS:
-                raise AssertionError(f"overlapping segments: {a} / {b}")
+        """Check the processor invariant: segments never overlap per core.
+
+        Segments with ``core=None`` all share the single processor; on a
+        multicore trace the invariant holds independently on every core.
+        """
+        by_core: dict[int | None, list[Segment]] = {}
+        for segment in self.segments:
+            by_core.setdefault(segment.core, []).append(segment)
+        for segments in by_core.values():
+            ordered = sorted(segments, key=lambda s: (s.start, s.end))
+            for a, b in zip(ordered, ordered[1:]):
+                if b.start < a.end - _EPS:
+                    raise AssertionError(f"overlapping segments: {a} / {b}")
+
+    @property
+    def cores(self) -> list[int]:
+        """Distinct core ids touched by segments (empty when uniprocessor)."""
+        return sorted({s.core for s in self.segments if s.core is not None})
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

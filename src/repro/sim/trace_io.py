@@ -26,6 +26,7 @@ def trace_to_dict(trace: ExecutionTrace) -> dict:
         "segments": [
             {"start": s.start, "end": s.end, "entity": s.entity,
              "job": s.job}
+            | ({"core": s.core} if s.core is not None else {})
             for s in trace.segments
         ],
         "events": [
@@ -46,7 +47,8 @@ def trace_from_dict(data: dict) -> ExecutionTrace:
         )
     trace = ExecutionTrace()
     trace.segments = [
-        Segment(s["start"], s["end"], s["entity"], s.get("job"))
+        Segment(s["start"], s["end"], s["entity"], s.get("job"),
+                s.get("core"))
         for s in data["segments"]
     ]
     trace.events = [
@@ -88,6 +90,7 @@ def diff_traces(a: ExecutionTrace, b: ExecutionTrace,
             or abs(sa.end - sb.end) > tolerance
             or sa.entity != sb.entity
             or sa.job != sb.job
+            or sa.core != sb.core
         ):
             problems.append(f"segment {i}: {sa} vs {sb}")
     if len(a.events) != len(b.events):

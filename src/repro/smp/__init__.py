@@ -1,0 +1,76 @@
+"""repro.smp: multicore (SMP) scheduling on *m* identical cores.
+
+The paper's servers and the RTSS simulator are strictly uniprocessor;
+this subsystem generalises them following Nogueira & Pinho
+(arXiv:1106.2766, server-based multiprocessor scheduling) and exploits
+the determinism/periodicity properties of Grolleau et al.
+(arXiv:1305.3849) as testable invariants:
+
+* :class:`MulticoreSimulation` — the *m*-core discrete-event kernel
+  (shared clock, per-core run state, migration accounting);
+* partitioned placement — :func:`partition_tasks` with first-/worst-/
+  best-fit decreasing-utilization heuristics and explicit rejection;
+* global scheduling — :class:`GlobalFixedPriorityPolicy` and
+  :class:`GlobalEDFPolicy` (top-*m* selection, affinity-preserving);
+* per-core + aggregate AART/AIR/ASR metrics and utilization;
+* an end-to-end campaign (:func:`run_multicore_campaign`) sharing the
+  hardening (timeout/retry/checkpoint) and worker pool of the
+  uniprocessor campaign executor.
+"""
+
+from .engine import MulticoreSimulation
+from .partition import (
+    PLACEMENT_HEURISTICS,
+    Partition,
+    PartitionError,
+    partition_tasks,
+)
+from .policies import (
+    GlobalEDFPolicy,
+    GlobalFixedPriorityPolicy,
+    MulticorePolicy,
+    PartitionedPolicy,
+)
+from .metrics import (
+    CoreMetrics,
+    MulticoreRunMetrics,
+    measure_multicore_run,
+    multicore_metrics_from_dict,
+    multicore_metrics_to_dict,
+)
+from .campaign import (
+    MULTICORE_MODES,
+    MulticoreCampaignResult,
+    MulticoreParameters,
+    MulticoreSystemResult,
+    build_multicore_system,
+    run_multicore_campaign,
+    run_multicore_system,
+)
+from .tables import format_multicore_campaign, format_multicore_table
+
+__all__ = [
+    "MulticoreSimulation",
+    "PLACEMENT_HEURISTICS",
+    "Partition",
+    "PartitionError",
+    "partition_tasks",
+    "GlobalEDFPolicy",
+    "GlobalFixedPriorityPolicy",
+    "MulticorePolicy",
+    "PartitionedPolicy",
+    "CoreMetrics",
+    "MulticoreRunMetrics",
+    "measure_multicore_run",
+    "multicore_metrics_from_dict",
+    "multicore_metrics_to_dict",
+    "MULTICORE_MODES",
+    "MulticoreCampaignResult",
+    "MulticoreParameters",
+    "MulticoreSystemResult",
+    "build_multicore_system",
+    "run_multicore_campaign",
+    "run_multicore_system",
+    "format_multicore_campaign",
+    "format_multicore_table",
+]

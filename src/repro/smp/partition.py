@@ -1,0 +1,139 @@
+"""Partitioned multiprocessor placement: bin-packing tasks onto cores.
+
+Partitioned scheduling reduces the multiprocessor problem to *m*
+uniprocessor ones: every task is statically assigned to one core and
+never migrates.  The assignment is a bin-packing of task utilizations
+into per-core capacity bins, here with the three classic
+decreasing-utilization heuristics (tasks are sorted by utilization,
+largest first, then placed):
+
+* **first-fit** (``ff``): the lowest-numbered core with room;
+* **worst-fit** (``wf``): the core with the most remaining room
+  (spreads load — the balanced placement);
+* **best-fit** (``bf``): the core with the least remaining room that
+  still fits (consolidates load — leaves the emptiest cores free).
+
+A per-core ``reserve`` carves out utilization for a local aperiodic task
+server (capacity/period), so the periodic partition and the per-core
+server together never exceed the core's capacity bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..workload.spec import PeriodicTaskSpec
+
+__all__ = ["PLACEMENT_HEURISTICS", "PartitionError", "Partition",
+           "partition_tasks"]
+
+PLACEMENT_HEURISTICS = ("ff", "wf", "bf")
+
+_EPS = 1e-9
+
+
+class PartitionError(ValueError):
+    """No core can host a task under the given heuristic and bound."""
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A feasible placement of tasks onto ``n_cores`` identical cores."""
+
+    n_cores: int
+    heuristic: str
+    #: task name -> core index
+    core_of: dict[str, int]
+    #: per-core periodic utilization (excluding any server reserve)
+    utilization: tuple[float, ...]
+    #: per-core utilization bound the packing respected
+    capacity: float
+    #: per-core utilization reserved for a local server
+    reserve: float = 0.0
+
+    def tasks_on(self, core: int,
+                 tasks: list[PeriodicTaskSpec]) -> list[PeriodicTaskSpec]:
+        """The subset of ``tasks`` placed on ``core``, in input order."""
+        return [t for t in tasks if self.core_of[t.name] == core]
+
+    @property
+    def total_utilization(self) -> float:
+        return sum(self.utilization)
+
+
+@dataclass
+class _Bin:
+    core: int
+    room: float
+    load: float = 0.0
+    tasks: list[str] = field(default_factory=list)
+
+
+def partition_tasks(
+    tasks: list[PeriodicTaskSpec],
+    n_cores: int,
+    heuristic: str = "ff",
+    capacity: float = 1.0,
+    reserve: float = 0.0,
+) -> Partition:
+    """Pack ``tasks`` onto ``n_cores`` cores by decreasing utilization.
+
+    ``capacity`` is the per-core utilization bound (1.0 for EDF-style
+    full utilization; pass e.g. a Liu & Layland bound for a guaranteed
+    fixed-priority partition); ``reserve`` is subtracted from every
+    core's bound to leave room for a local aperiodic server.  Raises
+    :class:`PartitionError` when some task fits on no core — partitioned
+    scheduling *rejects* such sets rather than degrading, which is the
+    behaviour the admission layer needs to observe.
+    """
+    if n_cores <= 0:
+        raise ValueError(f"n_cores must be >= 1, got {n_cores}")
+    if heuristic not in PLACEMENT_HEURISTICS:
+        raise ValueError(
+            f"unknown heuristic {heuristic!r}; choose from "
+            f"{PLACEMENT_HEURISTICS}"
+        )
+    if not 0 < capacity <= 1.0:
+        raise ValueError(f"capacity must be in (0, 1], got {capacity}")
+    if not 0 <= reserve < capacity:
+        raise ValueError(
+            f"reserve must be in [0, capacity), got {reserve} "
+            f"(capacity {capacity})"
+        )
+    room = capacity - reserve
+    bins = [_Bin(core=k, room=room) for k in range(n_cores)]
+    names = [t.name for t in tasks]
+    if len(set(names)) != len(names):
+        raise ValueError("task names must be unique for partitioning")
+    # decreasing utilization, name as the deterministic tie-break
+    ordered = sorted(tasks, key=lambda t: (-t.utilization, t.name))
+    for task in ordered:
+        candidates = [
+            b for b in bins if task.utilization <= b.room + _EPS
+        ]
+        if not candidates:
+            raise PartitionError(
+                f"task {task.name!r} (U={task.utilization:.3f}) fits on no "
+                f"core: per-core bound {capacity:g} minus reserve "
+                f"{reserve:g}, loads "
+                f"{[round(b.load, 3) for b in bins]}"
+            )
+        if heuristic == "ff":
+            chosen = candidates[0]
+        elif heuristic == "wf":
+            chosen = max(candidates, key=lambda b: (b.room, -b.core))
+        else:  # bf
+            chosen = min(candidates, key=lambda b: (b.room, b.core))
+        chosen.room -= task.utilization
+        chosen.load += task.utilization
+        chosen.tasks.append(task.name)
+    return Partition(
+        n_cores=n_cores,
+        heuristic=heuristic,
+        core_of={
+            name: b.core for b in bins for name in b.tasks
+        },
+        utilization=tuple(b.load for b in bins),
+        capacity=capacity,
+        reserve=reserve,
+    )

@@ -1,0 +1,173 @@
+"""Multicore scheduling policies: who runs on which core.
+
+A :class:`MulticorePolicy` maps the ready set onto the *m* cores at every
+decision point.  Two families are provided:
+
+* **global** scheduling — one logical queue; the *m* highest-ranked ready
+  entities run, wherever a core is free.  Ranking is fixed-priority
+  (:class:`GlobalFixedPriorityPolicy`) or earliest-deadline-first
+  (:class:`GlobalEDFPolicy`).  Entities may migrate between cores; the
+  assignment preserves *affinity* (a selected entity keeps the core it is
+  already running on), so migrations happen only when the ready-set
+  geometry forces them — exactly the events worth counting.
+
+* **partitioned** scheduling — every entity is pinned to one core (the
+  output of :mod:`repro.smp.partition`) and each core runs its own
+  uniprocessor policy over its own partition.  Nothing ever migrates.
+
+All tie-breaks are deterministic: rank, then already-running, then
+registration order — so a multicore schedule is exactly reproducible, the
+property the Grolleau-style periodicity tests pin down.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..sim.engine import Entity, SchedulingPolicy
+from ..sim.schedulers.fp import FixedPriorityPolicy
+
+__all__ = [
+    "MulticorePolicy",
+    "GlobalFixedPriorityPolicy",
+    "GlobalEDFPolicy",
+    "PartitionedPolicy",
+]
+
+
+class MulticorePolicy(ABC):
+    """Chooses, at a decision point, the entity each core executes."""
+
+    name: str = "smp-policy"
+
+    @abstractmethod
+    def assign(
+        self,
+        now: float,
+        ready: list[Entity],
+        n_cores: int,
+        running: list[Entity | None],
+    ) -> dict[int, Entity]:
+        """Return a core -> entity map (each entity on at most one core).
+
+        ``ready`` preserves registration order; ``running`` is the
+        previous assignment, indexed by core (``None`` = idle).
+        """
+
+
+class _GlobalPolicy(MulticorePolicy):
+    """Shared top-*m* selection with affinity-preserving placement."""
+
+    def _rank(self, entity: Entity, now: float) -> float:
+        """Smaller ranks are more urgent."""
+        raise NotImplementedError
+
+    def assign(self, now, ready, n_cores, running):
+        if not ready:
+            return {}
+        running_ids = {id(e) for e in running if e is not None}
+        order = {id(e): i for i, e in enumerate(ready)}
+        # rank, then keep-running, then registration order: a ready entity
+        # never displaces an equally-ranked running one (no gratuitous
+        # preemptions or migrations on ties)
+        selected = sorted(
+            ready,
+            key=lambda e: (
+                self._rank(e, now),
+                0 if id(e) in running_ids else 1,
+                order[id(e)],
+            ),
+        )[:n_cores]
+        selected_ids = {id(e) for e in selected}
+        assignment: dict[int, Entity] = {}
+        placed: set[int] = set()
+        for core, current in enumerate(running):
+            if current is not None and id(current) in selected_ids:
+                assignment[core] = current
+                placed.add(id(current))
+        free_cores = [c for c in range(n_cores) if c not in assignment]
+        rest = [e for e in selected if id(e) not in placed]
+        for core, entity in zip(free_cores, rest):
+            assignment[core] = entity
+        return assignment
+
+
+class GlobalFixedPriorityPolicy(_GlobalPolicy):
+    """Global FP: the *m* highest-priority ready entities run."""
+
+    name = "global-fp"
+
+    def _rank(self, entity: Entity, now: float) -> float:
+        return -entity.priority
+
+
+class GlobalEDFPolicy(_GlobalPolicy):
+    """Global EDF: the *m* earliest-deadline ready entities run."""
+
+    name = "global-edf"
+
+    def _rank(self, entity: Entity, now: float) -> float:
+        return entity.current_deadline(now)
+
+
+class PartitionedPolicy(MulticorePolicy):
+    """Static placement: each core runs its own uniprocessor policy.
+
+    ``core_of`` maps entity *names* to cores (periodic tasks from a
+    :class:`~repro.smp.partition.Partition`, plus any per-core servers
+    registered under their own names).  ``policies`` optionally gives
+    each core its own :class:`~repro.sim.engine.SchedulingPolicy`; the
+    default is preemptive fixed-priority everywhere, the RTSJ baseline.
+    """
+
+    name = "partitioned"
+
+    def __init__(
+        self,
+        core_of: dict[str, int],
+        n_cores: int,
+        policies: list[SchedulingPolicy] | None = None,
+    ) -> None:
+        if policies is not None and len(policies) != n_cores:
+            raise ValueError(
+                f"need one policy per core: got {len(policies)} "
+                f"for {n_cores} cores"
+            )
+        for name, core in core_of.items():
+            if not 0 <= core < n_cores:
+                raise ValueError(
+                    f"entity {name!r} pinned to core {core}, but there "
+                    f"are only {n_cores} cores"
+                )
+        self.core_of = dict(core_of)
+        self.n_cores = n_cores
+        self.policies = (
+            policies if policies is not None
+            else [FixedPriorityPolicy() for _ in range(n_cores)]
+        )
+
+    def assign(self, now, ready, n_cores, running):
+        per_core: dict[int, list[Entity]] = {}
+        for entity in ready:
+            try:
+                core = self.core_of[entity.name]
+            except KeyError:
+                raise KeyError(
+                    f"entity {entity.name!r} has no core assignment; "
+                    "register it in core_of before running"
+                ) from None
+            per_core.setdefault(core, []).append(entity)
+        assignment: dict[int, Entity] = {}
+        for core, candidates in per_core.items():
+            current = running[core]
+            choice = self.policies[core].select(now, candidates)
+            if (
+                current is not None
+                and current.ready(now)
+                and choice is not current
+                and not self.policies[core].preempts(choice, current, now)
+            ):
+                choice = current
+            if choice is not None:
+                assignment[core] = choice
+        return assignment

@@ -9,7 +9,12 @@ from .spec import (
     ServerSpec,
 )
 from .generator import PAPER_SETS, RandomSystemGenerator, generate_campaign_sets
-from .uunifast import generate_periodic_taskset, uunifast
+from .uunifast import (
+    generate_multicore_taskset,
+    generate_periodic_taskset,
+    uunifast,
+    uunifast_discard,
+)
 from .arrival_curves import AffineArrivalCurve, curve_of_system, fit_affine_curve
 
 __all__ = [
@@ -22,8 +27,10 @@ __all__ = [
     "RandomSystemGenerator",
     "generate_campaign_sets",
     "PAPER_SETS",
+    "generate_multicore_taskset",
     "generate_periodic_taskset",
     "uunifast",
+    "uunifast_discard",
     "AffineArrivalCurve",
     "curve_of_system",
     "fit_affine_curve",

@@ -18,7 +18,12 @@ import math
 from .rng import PortableRandom
 from .spec import PeriodicTaskSpec
 
-__all__ = ["uunifast", "generate_periodic_taskset"]
+__all__ = [
+    "uunifast",
+    "uunifast_discard",
+    "generate_periodic_taskset",
+    "generate_multicore_taskset",
+]
 
 
 def uunifast(rng: PortableRandom, n: int, total_utilization: float) -> list[float]:
@@ -43,6 +48,57 @@ def uunifast(rng: PortableRandom, n: int, total_utilization: float) -> list[floa
     return utilizations
 
 
+def _uunifast_unchecked(rng: PortableRandom, n: int,
+                        total_utilization: float) -> list[float]:
+    """The UUniFast recursion without the per-task <= 1 guarantee."""
+    utilizations = []
+    remaining = total_utilization
+    for i in range(1, n):
+        next_remaining = remaining * rng.random() ** (1.0 / (n - i))
+        utilizations.append(remaining - next_remaining)
+        remaining = next_remaining
+    utilizations.append(remaining)
+    return utilizations
+
+
+def uunifast_discard(
+    rng: PortableRandom,
+    n: int,
+    total_utilization: float,
+    limit: float = 1.0,
+    max_attempts: int = 1000,
+) -> list[float]:
+    """``n`` utilizations summing to ``total_utilization``, each <= ``limit``.
+
+    The multiprocessor variant (UUniFast-Discard, Davis & Burns 2011):
+    the classic recursion is run with a total that may exceed 1, and any
+    draw assigning some task more than ``limit`` (a share no single core
+    could host) is discarded and redrawn.  The accepted vector is uniform
+    over the constrained simplex.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if total_utilization <= 0:
+        raise ValueError(
+            f"total_utilization must be > 0, got {total_utilization}"
+        )
+    if not 0 < limit:
+        raise ValueError(f"limit must be > 0, got {limit}")
+    if total_utilization > n * limit:
+        raise ValueError(
+            f"total_utilization {total_utilization} cannot be split into "
+            f"{n} shares of at most {limit}"
+        )
+    for _ in range(max_attempts):
+        utilizations = _uunifast_unchecked(rng, n, total_utilization)
+        if all(u <= limit for u in utilizations):
+            return utilizations
+    raise RuntimeError(
+        f"uunifast_discard did not find a valid draw in {max_attempts} "
+        f"attempts (n={n}, U={total_utilization}, limit={limit})"
+    )
+
+
 def generate_periodic_taskset(
     seed: int,
     n: int,
@@ -63,6 +119,20 @@ def generate_periodic_taskset(
         raise ValueError(f"need 0 < lo < hi, got {period_range}")
     rng = PortableRandom(seed)
     utilizations = uunifast(rng, n, total_utilization)
+    return _taskset_from_utilizations(
+        rng, utilizations, period_range, priority_base, name_prefix
+    )
+
+
+def _taskset_from_utilizations(
+    rng: PortableRandom,
+    utilizations: list[float],
+    period_range: tuple[float, float],
+    priority_base: int,
+    name_prefix: str,
+) -> list[PeriodicTaskSpec]:
+    lo, hi = period_range
+    n = len(utilizations)
     periods = [
         math.exp(rng.uniform(math.log(lo), math.log(hi))) for _ in range(n)
     ]
@@ -84,3 +154,32 @@ def generate_periodic_taskset(
             )
         )
     return tasks
+
+
+def generate_multicore_taskset(
+    seed: int,
+    n: int,
+    total_utilization: float,
+    per_task_limit: float = 1.0,
+    period_range: tuple[float, float] = (10.0, 100.0),
+    priority_base: int = 1,
+    name_prefix: str = "tau",
+) -> list[PeriodicTaskSpec]:
+    """A random task set whose total utilization may exceed one processor.
+
+    Utilizations come from :func:`uunifast_discard` (each task bounded by
+    ``per_task_limit`` so it fits on one core); periods, rate-monotonic
+    priorities and cost flooring follow :func:`generate_periodic_taskset`.
+    Intended as the workload source for the ``repro.smp`` multicore
+    subsystem, where ``total_utilization`` ranges over (0, m].
+    """
+    lo, hi = period_range
+    if not 0 < lo < hi:
+        raise ValueError(f"need 0 < lo < hi, got {period_range}")
+    rng = PortableRandom(seed)
+    utilizations = uunifast_discard(
+        rng, n, total_utilization, limit=per_task_limit
+    )
+    return _taskset_from_utilizations(
+        rng, utilizations, period_range, priority_base, name_prefix
+    )

@@ -54,3 +54,40 @@ class TestRunnerTargets:
     def test_unknown_target_rejected(self):
         with pytest.raises(SystemExit):
             main(["table9"])
+
+
+class TestMulticoreTarget:
+    ARGS = ["multicore", "--cores", "2", "--systems", "2",
+            "--utilization", "1.2"]
+
+    def test_all_modes(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        for mode in ("part-ff", "part-wf", "part-bf", "global-fp",
+                     "global-edf"):
+            assert f"=== {mode}" in out
+        assert "migrations" in out
+
+    def test_single_placement_arm(self, capsys):
+        assert main([*self.ARGS, "--placement", "wf"]) == 0
+        out = capsys.readouterr().out
+        assert "=== part-wf" in out
+        assert "global" not in out
+
+    def test_single_global_arm_with_workers(self, capsys):
+        assert main([*self.ARGS, "--global-sched", "edf",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "=== global-edf" in out
+        assert "part-" not in out
+
+    def test_svg_output(self, tmp_path, capsys):
+        assert main([*self.ARGS, "--global-sched", "fp",
+                     "--svg-dir", str(tmp_path)]) == 0
+        svg = tmp_path / "multicore_global-fp.svg"
+        assert svg.exists()
+        assert "core 1" in svg.read_text(encoding="utf-8")
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table2", "--workers", "0"])

@@ -1,0 +1,120 @@
+"""Core-aware fault targeting: perturb only what the plan names."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan, ReleaseJitter, WcetOverrun
+from repro.sim.trace_io import trace_to_dict
+from repro.smp import (
+    MULTICORE_MODES,
+    MulticoreParameters,
+    build_multicore_system,
+    run_multicore_system,
+)
+
+PARAMS = MulticoreParameters(
+    n_cores=2, n_tasks=4, total_utilization=1.0, nb_systems=1, seed=3,
+    horizon_periods=4,
+)
+
+INJECTORS = (WcetOverrun(factor=2.0, probability=1.0, periodic=True),)
+
+
+class TestIdentity:
+    def test_disabled_plan_is_identity_object(self):
+        system = build_multicore_system(PARAMS, 0)
+        plan = FaultPlan(injectors=INJECTORS, seed=11, enabled=False,
+                         targets=("tau1",))
+        assert plan.apply(system) is system
+
+    def test_disabled_plan_run_byte_identical_on_multicore(self):
+        system = build_multicore_system(PARAMS, 0)
+        plan = FaultPlan(injectors=INJECTORS, seed=11, enabled=False)
+        for mode in MULTICORE_MODES:
+            golden = run_multicore_system(system, 2, mode)
+            faulted = run_multicore_system(plan.apply(system), 2, mode)
+            assert (
+                trace_to_dict(faulted.trace) == trace_to_dict(golden.trace)
+            ), f"disabled plan drifted the {mode} run"
+
+    def test_empty_targets_perturbs_nothing(self):
+        system = build_multicore_system(PARAMS, 0)
+        plan = FaultPlan(injectors=INJECTORS, seed=11, targets=())
+        faulted = plan.apply(system)
+        assert faulted.periodic_tasks == system.periodic_tasks
+        assert faulted.events == system.events
+
+
+class TestTargeting:
+    def test_only_named_tasks_and_events_perturbed(self):
+        system = build_multicore_system(PARAMS, 0)
+        plan = FaultPlan(injectors=INJECTORS, seed=11,
+                         targets=("tau1", "h0"))
+        faulted = plan.apply(system)
+        for before, after in zip(system.periodic_tasks,
+                                 faulted.periodic_tasks):
+            if before.name == "tau1":
+                assert after != before
+                assert after.actual_cost == pytest.approx(before.cost * 2)
+            else:
+                assert after == before
+        for before, after in zip(system.events, faulted.events):
+            if before.event_id == 0:
+                assert after.actual_cost == pytest.approx(before.cost * 2)
+            else:
+                assert after == before
+
+    def test_targeting_is_deterministic(self):
+        system = build_multicore_system(PARAMS, 0)
+        plan = FaultPlan(injectors=INJECTORS, seed=11, targets=("tau2",))
+        assert plan.apply(system) == plan.apply(system)
+
+    def test_target_perturbation_independent_of_placement(self):
+        """The same targeted fault hits the same tasks under every mode.
+
+        The plan transforms the workload descriptor before any placement
+        decision, so partitioned-ff, partitioned-wf and global runs all
+        consume one identical faulted system.
+        """
+        system = build_multicore_system(PARAMS, 0)
+        plan = FaultPlan(injectors=INJECTORS, seed=11, targets=("tau1",))
+        faulted = plan.apply(system)
+        results = {
+            mode: run_multicore_system(faulted, 2, mode)
+            for mode in ("part-ff", "part-wf", "global-edf")
+        }
+        placements = {
+            mode: result.partition.core_of["tau1"]
+            for mode, result in results.items()
+            if result.partition is not None
+        }
+        # the two heuristics need not agree on where tau1 lands ...
+        assert len(placements) == 2
+        # ... yet the perturbation is the same faulted spec everywhere
+        spec = next(t for t in faulted.periodic_tasks if t.name == "tau1")
+        assert spec.actual_cost == pytest.approx(spec.cost * 2)
+
+    def test_rng_stream_isolated_to_targets(self):
+        """Adding untargeted tasks must not change what a target gets."""
+        big = MulticoreParameters(
+            n_cores=2, n_tasks=8, total_utilization=1.0, seed=3,
+            horizon_periods=4,
+        )
+        jitter = (ReleaseJitter(max_jitter=0.5),)
+        sys_small = build_multicore_system(PARAMS, 0)
+        sys_big = build_multicore_system(big, 0)
+        plan = FaultPlan(injectors=jitter, seed=17, targets=("h0",))
+        shifted_small = plan.apply(sys_small).events
+        shifted_big = plan.apply(sys_big).events
+        delta_small = (
+            shifted_small[0].release - sys_small.events[0].release
+        )
+        delta_big = shifted_big[0].release - sys_big.events[0].release
+        assert delta_small == pytest.approx(delta_big)
+
+
+class TestValidation:
+    def test_non_string_target_rejected(self):
+        with pytest.raises(TypeError, match="targets"):
+            FaultPlan(injectors=INJECTORS, targets=(3,))

@@ -1,0 +1,93 @@
+"""Per-core Gantt rendering and single-core byte-identity guards."""
+
+from __future__ import annotations
+
+from repro.sim import (
+    FixedPriorityPolicy,
+    Simulation,
+    TraceEventKind,
+    svg_gantt,
+    svg_gantt_cores,
+)
+from repro.smp import GlobalFixedPriorityPolicy, MulticoreSimulation
+from repro.workload.spec import PeriodicTaskSpec
+
+SPECS = [
+    PeriodicTaskSpec("H", cost=2, period=20, priority=9),
+    PeriodicTaskSpec("M", cost=3, period=20, priority=5, offset=1),
+    PeriodicTaskSpec("L", cost=3, period=20, priority=1),
+]
+
+
+def _multicore_trace(n_cores: int = 2):
+    sim = MulticoreSimulation(GlobalFixedPriorityPolicy(), n_cores=n_cores)
+    for spec in SPECS:
+        sim.add_periodic_task(spec)
+    return sim.run(until=10)
+
+
+class TestPerCoreRendering:
+    def test_one_lane_per_core(self):
+        svg = svg_gantt_cores(_multicore_trace(), n_cores=2)
+        assert svg.count(">core 0</text>") == 1
+        assert svg.count(">core 1</text>") == 1
+        assert "core 2" not in svg
+
+    def test_migration_glyph_on_destination_lane(self):
+        trace = _multicore_trace()
+        assert trace.events_of(TraceEventKind.MIGRATION)
+        svg = svg_gantt_cores(trace, n_cores=2)
+        assert "⇄" in svg
+        assert "migration:" in svg
+
+    def test_no_glyph_without_migration(self):
+        sim = MulticoreSimulation(GlobalFixedPriorityPolicy(), n_cores=2)
+        sim.add_periodic_task(PeriodicTaskSpec("a", cost=1, period=4,
+                                               priority=2))
+        sim.add_periodic_task(PeriodicTaskSpec("b", cost=1, period=4,
+                                               priority=1))
+        svg = svg_gantt_cores(sim.run(until=8), n_cores=2)
+        assert "⇄" not in svg
+
+    def test_markers_suppressible(self):
+        svg = svg_gantt_cores(_multicore_trace(), n_cores=2,
+                              show_markers=False)
+        assert "⇄" not in svg
+
+    def test_entity_colour_consistent_across_lanes(self):
+        # the migrating entity L keeps one fill colour on both lanes
+        trace = _multicore_trace()
+        svg = svg_gantt_cores(trace, n_cores=2)
+        colours = {
+            part.split('fill="')[1].split('"')[0]
+            for part in svg.split("<rect")
+            if "<title>L" in part
+        }
+        assert len(colours) == 1
+
+    def test_deterministic_output(self):
+        assert (
+            svg_gantt_cores(_multicore_trace(), n_cores=2)
+            == svg_gantt_cores(_multicore_trace(), n_cores=2)
+        )
+
+    def test_core_count_inferred_from_trace(self):
+        trace = _multicore_trace()
+        assert (
+            svg_gantt_cores(trace) == svg_gantt_cores(trace, n_cores=2)
+        )
+
+
+class TestSingleCoreByteIdentity:
+    """The uniprocessor renderer must be untouched by the SMP work."""
+
+    def test_svg_gantt_identical_for_uni_and_one_core_traces(self):
+        uni = Simulation(FixedPriorityPolicy())
+        smp = MulticoreSimulation(GlobalFixedPriorityPolicy(), n_cores=1)
+        for spec in SPECS:
+            uni.add_periodic_task(spec)
+            smp.add_periodic_task(spec)
+        trace_uni = uni.run(until=10)
+        trace_smp = smp.run(until=10)
+        # core labels (None vs 0) must not leak into the classic renderer
+        assert svg_gantt(trace_uni) == svg_gantt(trace_smp)

@@ -1,0 +1,100 @@
+"""Partitioned placement: bin-packing heuristics, bounds, rejection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.smp import PLACEMENT_HEURISTICS, PartitionError, partition_tasks
+from repro.workload.spec import PeriodicTaskSpec
+
+
+def _spec(name: str, utilization: float,
+          period: float = 10.0) -> PeriodicTaskSpec:
+    return PeriodicTaskSpec(
+        name, cost=utilization * period, period=period, priority=1
+    )
+
+
+class TestHeuristics:
+    @pytest.mark.parametrize("heuristic", PLACEMENT_HEURISTICS)
+    def test_every_task_placed_within_bounds(self, heuristic):
+        tasks = [_spec(f"t{i}", u) for i, u in
+                 enumerate([0.6, 0.5, 0.4, 0.3, 0.2, 0.2, 0.1])]
+        part = partition_tasks(tasks, n_cores=3, heuristic=heuristic)
+        assert set(part.core_of) == {t.name for t in tasks}
+        assert all(0 <= c < 3 for c in part.core_of.values())
+        for load in part.utilization:
+            assert load <= 1.0 + 1e-9
+        assert part.total_utilization == pytest.approx(2.3)
+        assert part.heuristic == heuristic
+
+    def test_first_fit_prefers_low_cores(self):
+        # 0.5 + 0.3 fit together on core 0 under ff
+        tasks = [_spec("a", 0.5), _spec("b", 0.3)]
+        part = partition_tasks(tasks, n_cores=2, heuristic="ff")
+        assert part.core_of == {"a": 0, "b": 0}
+
+    def test_worst_fit_spreads_load(self):
+        tasks = [_spec("a", 0.5), _spec("b", 0.3)]
+        part = partition_tasks(tasks, n_cores=2, heuristic="wf")
+        assert part.core_of == {"a": 0, "b": 1}
+
+    def test_best_fit_consolidates(self):
+        # after a=0.6 on core 0, bf puts b=0.3 on the fuller core 0
+        tasks = [_spec("a", 0.6), _spec("b", 0.3)]
+        part = partition_tasks(tasks, n_cores=2, heuristic="bf")
+        assert part.core_of == {"a": 0, "b": 0}
+
+    def test_decreasing_utilization_order(self):
+        # the big task is placed first even when listed last
+        tasks = [_spec("small", 0.2), _spec("big", 0.9)]
+        part = partition_tasks(tasks, n_cores=2, heuristic="ff")
+        assert part.core_of["big"] == 0
+        assert part.core_of["small"] == 1
+
+    def test_tasks_on_preserves_input_order(self):
+        tasks = [_spec("a", 0.2), _spec("b", 0.3), _spec("c", 0.2)]
+        part = partition_tasks(tasks, n_cores=1)
+        assert part.tasks_on(0, tasks) == tasks
+
+
+class TestRejection:
+    def test_oversubscribed_set_rejected(self):
+        tasks = [_spec(f"t{i}", 0.7) for i in range(4)]
+        with pytest.raises(PartitionError, match="fits on no core"):
+            partition_tasks(tasks, n_cores=2)
+
+    def test_single_task_over_capacity_rejected(self):
+        with pytest.raises(PartitionError):
+            partition_tasks([_spec("t", 0.95)], n_cores=4, capacity=0.9)
+
+    def test_reserve_shrinks_the_bins(self):
+        # 0.8 fits a bare core but not one with a 0.3 server reserve
+        partition_tasks([_spec("t", 0.8)], n_cores=1)
+        with pytest.raises(PartitionError):
+            partition_tasks([_spec("t", 0.8)], n_cores=1, reserve=0.3)
+
+    def test_partition_error_is_value_error(self):
+        assert issubclass(PartitionError, ValueError)
+
+
+class TestValidation:
+    def test_bad_heuristic(self):
+        with pytest.raises(ValueError, match="unknown heuristic"):
+            partition_tasks([_spec("t", 0.1)], 2, heuristic="meta")
+
+    def test_bad_core_count(self):
+        with pytest.raises(ValueError, match="n_cores"):
+            partition_tasks([_spec("t", 0.1)], 0)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            partition_tasks([_spec("t", 0.1)], 2, capacity=1.5)
+
+    def test_bad_reserve(self):
+        with pytest.raises(ValueError, match="reserve"):
+            partition_tasks([_spec("t", 0.1)], 2, reserve=1.0)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            partition_tasks([_spec("t", 0.1), _spec("t", 0.2)], 2)

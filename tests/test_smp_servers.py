@@ -1,0 +1,92 @@
+"""Per-core task servers on the multicore kernel.
+
+The paper's capacity invariant — a server executes at most ``capacity``
+units inside any of its periods — must hold *per core* when one server
+instance runs on every core of a partitioned system, including when
+aperiodic handlers overrun their declared cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import EnforcementConfig, FaultPlan, WcetOverrun
+from repro.smp import (
+    MulticoreParameters,
+    build_multicore_system,
+    run_multicore_system,
+)
+
+EPS = 1e-6
+
+PARAMS = MulticoreParameters(
+    n_cores=2,
+    n_tasks=6,
+    total_utilization=1.2,
+    task_density=4.0,  # a dense stream keeps every server saturated
+    nb_systems=1,
+    seed=42,
+    horizon_periods=4,
+)
+
+OVERRUN_PLAN = FaultPlan(
+    injectors=(WcetOverrun(factor=3.0, probability=1.0),), seed=9
+)
+
+
+def _server_budget_per_period(trace, name: str, period: float,
+                              horizon: float) -> list[float]:
+    """Executed server time inside each [k*period, (k+1)*period) window."""
+    n_windows = int(horizon / period + 0.5)
+    used = [0.0] * n_windows
+    for segment in trace.segments_of(name):
+        k = int(segment.start / period + 1e-9)
+        # a server slice never spans its own replenishment boundary
+        assert segment.end <= (k + 1) * period + EPS
+        used[min(k, n_windows - 1)] += segment.end - segment.start
+    return used
+
+
+@pytest.mark.parametrize("server", ["polling", "deferrable"])
+class TestPerCoreCapacityBound:
+    def test_capacity_bound_holds_per_core(self, server):
+        system = build_multicore_system(PARAMS, 0)
+        result = run_multicore_system(system, 2, "part-ff", server=server)
+        capacity = system.server.capacity
+        period = system.server.period
+        for core in range(2):
+            name = f"{server}{core}".upper()
+            used = _server_budget_per_period(
+                result.trace, name, period, system.horizon
+            )
+            assert any(u > 0 for u in used), f"{name} never ran"
+            for window, budget in enumerate(used):
+                assert budget <= capacity + EPS, (
+                    f"{name} used {budget} > {capacity} in window {window}"
+                )
+
+    def test_capacity_bound_holds_under_overrun(self, server):
+        system = OVERRUN_PLAN.apply(build_multicore_system(PARAMS, 0))
+        result = run_multicore_system(
+            system, 2, "part-ff", server=server,
+            enforcement=EnforcementConfig(policy="log-and-continue"),
+        )
+        capacity = system.server.capacity
+        period = system.server.period
+        for core in range(2):
+            used = _server_budget_per_period(
+                result.trace, f"{server}{core}".upper(), period,
+                system.horizon,
+            )
+            for budget in used:
+                assert budget <= capacity + EPS
+
+    def test_servers_stay_on_their_cores(self, server):
+        system = build_multicore_system(PARAMS, 0)
+        result = run_multicore_system(system, 2, "part-ff", server=server)
+        for core in range(2):
+            name = f"{server}{core}".upper()
+            cores_used = {
+                s.core for s in result.trace.segments_of(name)
+            }
+            assert cores_used <= {core}

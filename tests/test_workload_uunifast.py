@@ -5,7 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import total_utilization
-from repro.workload import generate_periodic_taskset, uunifast
+from repro.workload import (
+    generate_multicore_taskset,
+    generate_periodic_taskset,
+    uunifast,
+    uunifast_discard,
+)
 from repro.workload.rng import PortableRandom
 
 
@@ -41,6 +46,64 @@ class TestUUniFast:
             uunifast(rng, 3, 0.0)
         with pytest.raises(ValueError):
             uunifast(rng, 3, 1.5)
+
+
+class TestUUniFastDiscard:
+    def test_sums_to_target_above_one(self):
+        rng = PortableRandom(4)
+        for total in (1.5, 2.0, 3.5):
+            us = uunifast_discard(rng, 8, total)
+            assert sum(us) == pytest.approx(total)
+            assert all(0 < u <= 1.0 + 1e-12 for u in us)
+
+    def test_respects_custom_limit(self):
+        us = uunifast_discard(PortableRandom(4), 10, 2.0, limit=0.5)
+        assert all(u <= 0.5 + 1e-12 for u in us)
+        assert sum(us) == pytest.approx(2.0)
+
+    def test_deterministic(self):
+        a = uunifast_discard(PortableRandom(6), 6, 2.5)
+        b = uunifast_discard(PortableRandom(6), 6, 2.5)
+        assert a == b
+
+    def test_matches_uunifast_below_one(self):
+        # a feasible draw is never discarded, so the first accepted
+        # sample of a U<=1 problem is plain UUniFast's
+        assert uunifast_discard(PortableRandom(2), 5, 0.7) == uunifast(
+            PortableRandom(2), 5, 0.7
+        )
+
+    def test_infeasible_target_rejected(self):
+        with pytest.raises(ValueError):
+            uunifast_discard(PortableRandom(1), 3, 3.5)
+        with pytest.raises(ValueError):
+            uunifast_discard(PortableRandom(1), 4, 2.5, limit=0.5)
+
+    def test_tight_target_eventually_gives_up(self):
+        # U == n * limit has an acceptance set of measure zero
+        with pytest.raises(RuntimeError, match="attempts"):
+            uunifast_discard(PortableRandom(1), 3, 3.0, max_attempts=5)
+
+
+class TestMulticoreTaskset:
+    def test_total_utilization_above_one(self):
+        tasks = generate_multicore_taskset(seed=21, n=10,
+                                           total_utilization=2.5)
+        assert total_utilization(tasks) == pytest.approx(2.5, abs=1e-6)
+        for task in tasks:
+            assert task.utilization <= 1.0 + 1e-9
+            assert 0 < task.cost <= task.period
+
+    def test_per_task_limit(self):
+        tasks = generate_multicore_taskset(
+            seed=21, n=10, total_utilization=2.0, per_task_limit=0.4
+        )
+        assert all(t.utilization <= 0.4 + 1e-9 for t in tasks)
+
+    def test_reproducible(self):
+        a = generate_multicore_taskset(seed=5, n=6, total_utilization=1.5)
+        b = generate_multicore_taskset(seed=5, n=6, total_utilization=1.5)
+        assert a == b
 
 
 class TestTasksetGeneration:

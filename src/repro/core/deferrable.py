@@ -37,6 +37,7 @@ from .server import TaskServer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.enforcement import EnforcementConfig
+    from ..overload.config import OverloadConfig
 
 __all__ = ["DeferrableTaskServer"]
 
@@ -50,15 +51,19 @@ class DeferrableTaskServer(TaskServer):
         name: str = "DS",
         safety_margin: RelativeTime | None = None,
         enforcement: "EnforcementConfig | None" = None,
+        overload: "OverloadConfig | None" = None,
     ) -> None:
-        super().__init__(params, name, enforcement=enforcement)
+        super().__init__(params, name, enforcement=enforcement,
+                         overload=overload)
         # Section 7's anti-interruption margin (see PollingTaskServer)
         self.safety_margin_ns = (
             safety_margin.total_nanos if safety_margin is not None else 0
         )
         if self.safety_margin_ns < 0:
             raise ValueError("safety_margin must be non-negative")
-        self._queue: PendingQueue[HandlerRelease] = PendingQueue()
+        self._queue: PendingQueue[HandlerRelease] = PendingQueue(
+            **self._queue_bound_kwargs()
+        )
         self.capacity_ns = params.capacity_ns
         self.next_refill_ns = params.start.total_nanos + params.period_ns
         self._running = False
@@ -92,7 +97,9 @@ class DeferrableTaskServer(TaskServer):
     def _refill_tick(self, now_ns: int) -> None:
         vm = self._require_vm()
         self._charge_to(now_ns)
-        self.capacity_ns = self.params.capacity_ns
+        # scaled_capacity_ns == params.capacity_ns at scale 1.0, so
+        # degraded-mode scaling is invisible on the golden path
+        self.capacity_ns = self.scaled_capacity_ns
         self.record_capacity(now_ns, self.capacity_ns)
         vm.trace.add_event(
             now_ns / NS_PER_UNIT, TraceEventKind.REPLENISH, self.name,
@@ -114,7 +121,13 @@ class DeferrableTaskServer(TaskServer):
     # -- queueing and wake-up -------------------------------------------------------------
 
     def _enqueue(self, release: HandlerRelease) -> None:
-        self._queue.add(release)
+        shed = self._queue.add(release)
+        for victim in shed:
+            self._shed_release(
+                victim, f"queue bound ({self._queue._bound.policy})"
+            )
+        if release in shed:
+            return
         if not self._running:
             # "each time an aperiodic event occurs, if the server is not
             # already running, this event [wakeUp] is fired"
@@ -134,7 +147,7 @@ class DeferrableTaskServer(TaskServer):
         remaining capacity bridges the gap — in which case the budget is
         ``remaining + full capacity`` (the paper's end-of-period rule).
         """
-        full = self.params.capacity_ns
+        full = self.scaled_capacity_ns
         remaining = self.capacity_ns
         margin = self.safety_margin_ns
         time_to_refill = self.next_refill_ns - now_ns

@@ -21,6 +21,7 @@ from ..rtsj.async_event import AsyncEvent
 from ..rtsj.instructions import Compute, Instruction
 from ..rtsj.time_types import RelativeTime  # noqa: F401 (public API type)
 from ..sim.task import AperiodicJob
+from ..sim.trace import TraceEventKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .server import TaskServer
@@ -50,6 +51,13 @@ class ServableAsyncEventHandler:
         Optional factory returning a generator of VM instructions, for
         handlers that do more than burn a fixed cost.  When given, it
         overrides ``actual_cost``.
+    optional:
+        Marks the handler as expendable under overload: a server whose
+        overload detector is in degraded mode sheds releases of optional
+        handlers instead of queueing them (see ``repro.overload``).
+    value:
+        Optional completion value for D-OVER-style value-density
+        shedding; defaults to the declared cost (density 1).
     """
 
     def __init__(
@@ -59,6 +67,8 @@ class ServableAsyncEventHandler:
         actual_cost: RelativeTime | None = None,
         work: WorkFactory | None = None,
         name: str = "saeh",
+        optional: bool = False,
+        value: float | None = None,
     ) -> None:
         if cost.total_nanos <= 0:
             raise ValueError("declared cost must be positive")
@@ -69,6 +79,8 @@ class ServableAsyncEventHandler:
         self.server = server
         self.work = work
         self.name = name
+        self.optional = optional
+        self.value = value
         server.register_handler(self)
 
     @property
@@ -102,6 +114,11 @@ class HandlerRelease:
         self.handler = handler
         self.release_ns = release_ns
         self.release_id = next(_release_counter)
+        #: the firing ServableAsyncEvent (overload feedback path: a shed
+        #: or interrupted release reports failure to the source's breaker)
+        self.source: "ServableAsyncEvent | None" = None
+        #: completion value for value-density shedding
+        self.value = handler.value
         self.job = AperiodicJob(
             name=f"{handler.name}@{release_ns / 1_000_000:g}",
             release=release_ns / 1_000_000,
@@ -166,6 +183,9 @@ class ServableAsyncEvent(AsyncEvent):
         #: optional :class:`repro.faults.injectors.FireFaultInjector`;
         #: None (the default) keeps the golden-path fire() semantics
         self.fault_injector = None
+        #: optional :class:`repro.overload.CircuitBreaker` gating this
+        #: event source; None (the default) keeps golden-path fire()
+        self.breaker = None
 
     def add_servable_handler(self, handler: ServableAsyncEventHandler) -> None:
         """The overloaded ``addHandler(ServableAsyncEventHandler)``."""
@@ -214,8 +234,19 @@ class ServableAsyncEvent(AsyncEvent):
 
     def _deliver(self) -> None:
         super().fire()
+        if self.breaker is not None and self._servable:
+            vm = self._vm()
+            now = vm.now_ns / 1_000_000
+            if not self.breaker.allow(now):
+                # the firing never reaches the servers: record the
+                # rejection as a first-class shed on the event source
+                vm.trace.add_event(
+                    now, TraceEventKind.SHED, self.name,
+                    f"breaker open ({self.breaker.name})",
+                )
+                return
         for handler in self._servable:
-            handler.server.servable_event_released(handler)
+            handler.server.servable_event_released(handler, source=self)
 
     def _vm(self):
         for handler in self._servable:

@@ -25,14 +25,41 @@ class TaskServerParameters(ReleaseParameters):
         priority: int,
         start: AbsoluteTime | None = None,
     ) -> None:
+        if not isinstance(capacity, RelativeTime):
+            raise ValueError(
+                f"capacity must be a RelativeTime (use "
+                f"RelativeTime.from_units(...)), got {capacity!r}"
+            )
+        if not isinstance(period, RelativeTime):
+            raise ValueError(
+                f"period must be a RelativeTime (use "
+                f"RelativeTime.from_units(...)), got {period!r}"
+            )
         if capacity.total_nanos <= 0:
-            raise ValueError("server capacity must be positive")
+            raise ValueError(
+                f"server capacity must be positive, got {capacity!r}"
+            )
         if period.total_nanos <= 0:
-            raise ValueError("server period must be positive")
+            raise ValueError(
+                f"server period must be positive, got {period!r}"
+            )
         if capacity.total_nanos > period.total_nanos:
             raise ValueError(
                 f"server capacity {capacity!r} exceeds its period {period!r}"
             )
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise ValueError(
+                f"priority must be an int, got {priority!r}"
+            )
+        if start is not None:
+            if not isinstance(start, AbsoluteTime):
+                raise ValueError(
+                    f"start must be an AbsoluteTime, got {start!r}"
+                )
+            if start.total_nanos < 0:
+                raise ValueError(
+                    f"server start must be >= 0, got {start!r}"
+                )
         super().__init__(cost=capacity, deadline=period)
         self.capacity = capacity
         self.period = period

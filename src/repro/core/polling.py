@@ -34,6 +34,7 @@ from .server import TaskServer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.enforcement import EnforcementConfig
+    from ..overload.config import OverloadConfig
 
 __all__ = ["PollingTaskServer"]
 
@@ -48,8 +49,10 @@ class PollingTaskServer(TaskServer):
         queue: str = "fifo",
         safety_margin: RelativeTime | None = None,
         enforcement: "EnforcementConfig | None" = None,
+        overload: "OverloadConfig | None" = None,
     ) -> None:
-        super().__init__(params, name, enforcement=enforcement)
+        super().__init__(params, name, enforcement=enforcement,
+                         overload=overload)
         if queue not in ("fifo", "bucket"):
             raise ValueError(f"queue must be 'fifo' or 'bucket', got {queue!r}")
         self.queue_kind = queue
@@ -62,8 +65,11 @@ class PollingTaskServer(TaskServer):
         )
         if self.safety_margin_ns < 0:
             raise ValueError("safety_margin must be non-negative")
-        self._fifo: PendingQueue[HandlerRelease] = PendingQueue()
-        self._buckets = InstanceBucketQueue[HandlerRelease](params.capacity_ns)
+        bound = self._queue_bound_kwargs()
+        self._fifo: PendingQueue[HandlerRelease] = PendingQueue(**bound)
+        self._buckets = InstanceBucketQueue[HandlerRelease](
+            params.capacity_ns, **bound
+        )
         self._thread: RealtimeThread | None = None
         # prediction bookkeeping (bucket mode)
         self._current_activation = -1
@@ -90,13 +96,27 @@ class PollingTaskServer(TaskServer):
 
     def _enqueue(self, release: HandlerRelease) -> None:
         if self.queue_kind == "fifo":
-            self._fifo.add(release)
-        else:
-            placement = self._buckets.add(release)
-            release.placement = placement  # type: ignore[attr-defined]
-            release.predicted_finish_ns = self._predict_finish_ns(  # type: ignore[attr-defined]
-                placement, release.cost_ns
-            )
+            for victim in self._fifo.add(release):
+                self._shed_release(
+                    victim, f"queue bound ({self._fifo._bound.policy})"
+                )
+            return
+        placement, shed = self._buckets.offer(release)
+        for victim in shed:
+            if victim.cost_ns > self._buckets.capacity_ns:
+                # the Section 7 structure cannot place an oversized
+                # handler; record the rejection instead of raising
+                self._shed_release(victim, "oversized for bucket queue")
+            else:
+                self._shed_release(
+                    victim, f"queue bound ({self._buckets._bound.policy})"
+                )
+        if placement is None:
+            return
+        release.placement = placement  # type: ignore[attr-defined]
+        release.predicted_finish_ns = self._predict_finish_ns(  # type: ignore[attr-defined]
+            placement, release.cost_ns
+        )
 
     @property
     def pending_count(self) -> int:
@@ -128,7 +148,9 @@ class PollingTaskServer(TaskServer):
         vm = self._require_vm()
         while True:
             self._current_activation += 1
-            capacity_ns = self.params.capacity_ns
+            # scaled_capacity_ns == params.capacity_ns at scale 1.0, so
+            # degraded-mode scaling is invisible on the golden path
+            capacity_ns = self.scaled_capacity_ns
             self.record_capacity(vm.now_ns, capacity_ns)
             self._serving_bucket_index = self._buckets.head_instance
             self._instance_open = True

@@ -23,7 +23,16 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Generic, Iterator, TypeVar
 
-__all__ = ["CostedItem", "PendingQueue", "InstanceBucketQueue", "BucketPlacement"]
+__all__ = [
+    "CostedItem",
+    "PendingQueue",
+    "InstanceBucketQueue",
+    "BucketPlacement",
+    "SHED_POLICIES",
+]
+
+#: shedding policies accepted by bounded queues (see repro.overload)
+SHED_POLICIES = ("reject-new", "drop-oldest", "drop-lowest-value")
 
 
 class CostedItem:
@@ -35,11 +44,72 @@ class CostedItem:
 T = TypeVar("T", bound=CostedItem)
 
 
-class PendingQueue(Generic[T]):
-    """FIFO queue with cost-aware first-fit selection."""
+def _value_density(item) -> float:
+    """D-OVER-style value density: value per unit of declared cost.
 
-    def __init__(self) -> None:
+    The value is looked up on the item itself, then on its ``job``
+    record; an item without a value is worth its declared cost (density
+    1.0), so heterogeneous values are honoured when present and the
+    policy degrades to cost-agnostic FIFO shedding when absent.
+    """
+    value = getattr(item, "value", None)
+    if value is None:
+        job = getattr(item, "job", None)
+        value = getattr(job, "value", None) if job is not None else None
+    cost = max(item.cost_ns, 1)
+    return (value if value is not None else cost) / cost
+
+
+class _QueueBoundNs:
+    """A size/total-cost bound in the queue's own nanosecond domain."""
+
+    __slots__ = ("max_items", "max_cost_ns", "policy")
+
+    def __init__(self, max_items: int | None, max_cost_ns: int | None,
+                 policy: str) -> None:
+        if max_items is not None and max_items < 1:
+            raise ValueError(f"max_items must be >= 1, got {max_items}")
+        if max_cost_ns is not None and max_cost_ns <= 0:
+            raise ValueError(f"max_cost_ns must be > 0, got {max_cost_ns}")
+        if policy not in SHED_POLICIES:
+            raise ValueError(
+                f"policy must be one of {SHED_POLICIES}, got {policy!r}"
+            )
+        self.max_items = max_items
+        self.max_cost_ns = max_cost_ns
+        self.policy = policy
+
+    def fits(self, count: int, total_ns: int) -> bool:
+        if self.max_items is not None and count > self.max_items:
+            return False
+        if self.max_cost_ns is not None and total_ns > self.max_cost_ns:
+            return False
+        return True
+
+
+class PendingQueue(Generic[T]):
+    """FIFO queue with cost-aware first-fit selection.
+
+    Optionally *bounded* (``max_items`` and/or ``max_cost_ns`` with a
+    shedding ``policy`` from :data:`SHED_POLICIES`): :meth:`add` then
+    returns the list of items it shed to respect the bound — possibly
+    the new item itself — instead of growing without limit.  Unbounded
+    (the default), :meth:`add` always accepts and returns ``[]``.
+    """
+
+    def __init__(
+        self,
+        max_items: int | None = None,
+        max_cost_ns: int | None = None,
+        policy: str = "reject-new",
+    ) -> None:
         self._items: deque[T] = deque()
+        self._total_ns = 0
+        self._bound = (
+            _QueueBoundNs(max_items, max_cost_ns, policy)
+            if max_items is not None or max_cost_ns is not None
+            else None
+        )
 
     def __len__(self) -> int:
         return len(self._items)
@@ -51,9 +121,46 @@ class PendingQueue(Generic[T]):
     def empty(self) -> bool:
         return not self._items
 
-    def add(self, item: T) -> None:
-        """Append in release order."""
+    @property
+    def total_cost_ns(self) -> int:
+        """Sum of the queued items' declared costs."""
+        return self._total_ns
+
+    def add(self, item: T) -> list[T]:
+        """Append in release order; returns the items shed (if bounded).
+
+        Unbounded queues always accept and return ``[]``.  A bounded
+        queue sheds per its policy until the bound holds again:
+        ``reject-new`` sheds the incoming item itself, ``drop-oldest``
+        sheds from the head, ``drop-lowest-value`` sheds the item with
+        the lowest value density (ties: oldest first), which may be the
+        incoming one.
+        """
+        bound = self._bound
+        if bound is None:
+            self._items.append(item)
+            self._total_ns += item.cost_ns
+            return []
+        if bound.fits(len(self._items) + 1, self._total_ns + item.cost_ns):
+            self._items.append(item)
+            self._total_ns += item.cost_ns
+            return []
+        if bound.policy == "reject-new":
+            return [item]
         self._items.append(item)
+        self._total_ns += item.cost_ns
+        shed: list[T] = []
+        while self._items and not bound.fits(
+            len(self._items), self._total_ns
+        ):
+            if bound.policy == "drop-oldest":
+                victim = self._items[0]
+            else:  # drop-lowest-value
+                victim = min(self._items, key=_value_density)
+            self._items.remove(victim)
+            self._total_ns -= victim.cost_ns
+            shed.append(victim)
+        return shed
 
     def peek(self) -> T | None:
         """The head item (strict FIFO view), or ``None``."""
@@ -75,12 +182,13 @@ class PendingQueue(Generic[T]):
     def remove(self, item: T) -> None:
         """Remove a specific item (raises ``ValueError`` if absent)."""
         self._items.remove(item)
+        self._total_ns -= item.cost_ns
 
     def pop_first_fitting(self, limit_ns: int) -> T | None:
         """Remove and return the first fitting item."""
         item = self.choose_first_fitting(limit_ns)
         if item is not None:
-            self._items.remove(item)
+            self.remove(item)
         return item
 
 
@@ -121,16 +229,33 @@ class InstanceBucketQueue(Generic[T]):
     registration time stays valid.
     """
 
-    def __init__(self, capacity_ns: int) -> None:
+    def __init__(
+        self,
+        capacity_ns: int,
+        max_items: int | None = None,
+        max_cost_ns: int | None = None,
+        policy: str = "reject-new",
+    ) -> None:
         if capacity_ns <= 0:
             raise ValueError(f"capacity_ns must be > 0, got {capacity_ns}")
         self.capacity_ns = capacity_ns
         self._buckets: deque[_Bucket[T]] = deque()
         #: index (in absolute served-instance count) of the head bucket
         self._head_instance = 0
+        self._total_ns = 0
+        self._bound = (
+            _QueueBoundNs(max_items, max_cost_ns, policy)
+            if max_items is not None or max_cost_ns is not None
+            else None
+        )
 
     def __len__(self) -> int:
         return sum(len(b.items) for b in self._buckets)
+
+    @property
+    def total_cost_ns(self) -> int:
+        """Sum of the queued (not yet popped) items' declared costs."""
+        return self._total_ns
 
     @property
     def empty(self) -> bool:
@@ -172,7 +297,68 @@ class InstanceBucketQueue(Generic[T]):
         bucket.items.append(item)
         bucket.total_ns += item.cost_ns
         bucket.claimed_ns += item.cost_ns
+        self._total_ns += item.cost_ns
         return placement
+
+    def offer(self, item: T) -> tuple[BucketPlacement | None, list[T]]:
+        """Bound-aware :meth:`add`: ``(placement, shed_items)``.
+
+        Unlike :meth:`add`, an oversized item does not raise — it is
+        returned in the shed list with a ``None`` placement, so servers
+        can surface the rejection as a recorded decision instead of a
+        crash.  When a bound is configured and full, items are shed per
+        the policy; the incoming item itself may be shed (``reject-new``,
+        or ``drop-lowest-value`` when it has the lowest density), in
+        which case it appears in the shed list and callers must treat
+        the returned placement (if any) as void.
+
+        Shedding an already-placed item removes it *in place*: the
+        bucket keeps its ``claimed_ns``, so placements handed to other
+        handlers remain valid upper bounds.
+        """
+        if item.cost_ns > self.capacity_ns:
+            return None, [item]
+        bound = self._bound
+        if bound is None or bound.fits(
+            len(self) + 1, self._total_ns + item.cost_ns
+        ):
+            return self.add(item), []
+        if bound.policy == "reject-new":
+            return None, [item]
+        placement = self.add(item)
+        shed: list[T] = []
+        while self._buckets and not bound.fits(len(self), self._total_ns):
+            if bound.policy == "drop-oldest":
+                victim = self.pop_current()
+            else:  # drop-lowest-value
+                victim = min(
+                    (i for b in self._buckets for i in b.items),
+                    key=_value_density,
+                )
+                self._shed_in_place(victim)
+            shed.append(victim)
+        if item in shed:
+            placement = None
+        return placement, shed
+
+    def _shed_in_place(self, item: T) -> None:
+        """Remove a queued item, preserving its bucket's claim."""
+        for bucket in self._buckets:
+            if item in bucket.items:
+                bucket.items.remove(item)
+                bucket.total_ns -= item.cost_ns
+                self._total_ns -= item.cost_ns
+                self._prune_head()
+                return
+        raise ValueError("item not queued")
+
+    def _prune_head(self) -> None:
+        """Drop head buckets emptied by shedding (their leftover claim
+        would otherwise stall ``peek_current``; serving the next bucket
+        early only improves on its placement's upper bound)."""
+        while self._buckets and not self._buckets[0].items:
+            self._buckets.popleft()
+            self._head_instance += 1
 
     def peek_current(self) -> T | None:
         """Next handler in strict bucket order, or ``None``."""
@@ -186,6 +372,7 @@ class InstanceBucketQueue(Generic[T]):
         bucket = self._buckets[0]
         item = bucket.items.pop(0)
         bucket.total_ns -= item.cost_ns
+        self._total_ns -= item.cost_ns
         if not bucket.items:
             self._buckets.popleft()
             self._head_instance += 1

@@ -35,6 +35,8 @@ from .parameters import TaskServerParameters
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.enforcement import EnforcementConfig
+    from ..overload.config import OverloadConfig
+    from ..overload.detector import OverloadDetector
 
 __all__ = ["TaskServer"]
 
@@ -58,7 +60,8 @@ class TaskServer(Schedulable, ABC):
     """Abstract aperiodic task server over the emulated RTSJ runtime."""
 
     def __init__(self, params: TaskServerParameters, name: str,
-                 enforcement: "EnforcementConfig | None" = None) -> None:
+                 enforcement: "EnforcementConfig | None" = None,
+                 overload: "OverloadConfig | None" = None) -> None:
         super().__init__(scheduling=params.scheduling, release=params)
         self.params = params
         self.name = name
@@ -83,6 +86,17 @@ class TaskServer(Schedulable, ABC):
         #: (time tu, capacity tu) breakpoints of the budget account —
         #: the capacity curve the paper's figures chart
         self.capacity_history: list[tuple[float, float]] = []
+        #: overload management (bounded pending queue + degraded modes);
+        #: None keeps golden-path behaviour byte-identical
+        self.overload = overload
+        #: replenished-capacity multiplier, set by degraded-mode actions
+        #: (see repro.overload.detector.ServiceScaleAction); 1.0 = full
+        self.service_scale = 1.0
+        #: optional :class:`repro.overload.OverloadDetector` observing
+        #: this server's arrivals and sheds
+        self.overload_detector: "OverloadDetector | None" = None
+        #: releases shed by the queue bound / degraded mode, in order
+        self.shed_releases: list[HandlerRelease] = []
 
     # -- wiring ---------------------------------------------------------------
 
@@ -117,9 +131,75 @@ class TaskServer(Schedulable, ABC):
             if handler.cost_ns > self.params.capacity_ns:
                 self.oversized_handlers.append(handler)
 
+    # -- overload plumbing --------------------------------------------------------
+
+    def _queue_bound_kwargs(self) -> dict:
+        """The configured queue bound as pending-queue constructor kwargs
+        (tu costs converted to the core layer's nanoseconds)."""
+        bound = self.overload.queue_bound if self.overload else None
+        if bound is None or not bound.active:
+            return {}
+        return {
+            "max_items": bound.max_items,
+            "max_cost_ns": (
+                round(bound.max_cost * NS_PER_UNIT)
+                if bound.max_cost is not None else None
+            ),
+            "policy": bound.policy,
+        }
+
+    @property
+    def scaled_capacity_ns(self) -> int:
+        """The replenished capacity under the current service scale.
+
+        Never scaled below the costliest admissible handler: this
+        runtime's handlers are not resumable, so a capacity under every
+        declared cost would starve the server outright instead of
+        degrading it — degraded mode must stay live.
+        """
+        if self.service_scale == 1.0:
+            return self.params.capacity_ns
+        scaled = max(1, round(self.params.capacity_ns * self.service_scale))
+        floor = max(
+            (
+                h.cost_ns for h in self.handlers
+                if h.cost_ns <= self.params.capacity_ns
+            ),
+            default=0,
+        )
+        if floor:
+            # the Timed budget must strictly exceed the handler's
+            # consumed time (inflation included) — an exact tie resolves
+            # as an interrupt, not a completion
+            inflation = self.vm.overhead.handler_inflation_ns if self.vm else 0
+            floor += inflation + 1
+        return min(self.params.capacity_ns, max(scaled, floor))
+
+    def _shed_release(self, release: HandlerRelease, detail: str) -> None:
+        """Record one shed as a first-class decision: SHED trace event,
+        aborted job, detector + source-breaker feedback."""
+        vm = self._require_vm()
+        now = vm.now_ns / NS_PER_UNIT
+        release.job.state = JobState.ABORTED
+        if release.job.finish_time is None:
+            release.job.finish_time = now
+        vm.trace.add_event(
+            now, TraceEventKind.SHED, release.job.name, detail
+        )
+        self.shed_releases.append(release)
+        if self.overload_detector is not None:
+            self.overload_detector.note_shed(now)
+        source = release.source
+        if source is not None and source.breaker is not None:
+            source.breaker.record_failure(now)
+
     # -- the framework entry point ------------------------------------------------
 
-    def servable_event_released(self, handler: ServableAsyncEventHandler) -> None:
+    def servable_event_released(
+        self,
+        handler: ServableAsyncEventHandler,
+        source=None,
+    ) -> None:
         """Called by ``ServableAsyncEvent.fire()`` for each bound SAEH."""
         if handler not in self.handlers:
             raise ValueError(
@@ -129,6 +209,7 @@ class TaskServer(Schedulable, ABC):
         vm = self._require_vm()
         vm.add_isr_time(vm.overhead.release_ns)
         release = HandlerRelease(handler, vm.now_ns)
+        release.source = source
         self.releases.append(release)
         if self._shed_pending > 0:
             # skip-next-release recovery: shed this arrival outright
@@ -140,6 +221,14 @@ class TaskServer(Schedulable, ABC):
                 release.job.name, "release shed (skip-next-release)",
             )
             return
+        detector = self.overload_detector
+        if detector is not None:
+            detector.note_arrival(
+                vm.now_ns / NS_PER_UNIT, release.cost_ns / NS_PER_UNIT
+            )
+            if detector.degraded and handler.optional:
+                self._shed_release(release, "optional handler (degraded mode)")
+                return
         vm.trace.add_event(
             vm.now_ns / NS_PER_UNIT, TraceEventKind.RELEASE, release.job.name
         )
@@ -147,7 +236,9 @@ class TaskServer(Schedulable, ABC):
 
     @abstractmethod
     def _enqueue(self, release: HandlerRelease) -> None:
-        """Policy hook: queue the release (and wake the server if needed)."""
+        """Policy hook: queue the release (and wake the server if needed).
+        Implementations shed over-bound or unserveable releases through
+        :meth:`_shed_release`."""
 
     # -- feasibility ------------------------------------------------------------------
 
@@ -262,6 +353,12 @@ class TaskServer(Schedulable, ABC):
                 end_ns / NS_PER_UNIT, TraceEventKind.INTERRUPT, job.name,
                 f"budget={budget_ns / NS_PER_UNIT:g}tu",
             )
+        source = release.source
+        if source is not None and source.breaker is not None:
+            if ok:
+                source.breaker.record_success(end_ns / NS_PER_UNIT)
+            else:
+                source.breaker.record_failure(end_ns / NS_PER_UNIT)
         return ok, elapsed
 
     def _record_overrun(self, now_ns: int, subject: str, policy: str) -> None:

@@ -59,24 +59,30 @@ from ..sim import (
     aggregate,
     measure_run,
 )
+from ..overload.metrics import OverloadReport, measure_overload
 from ..sim.servers.base import AperiodicServer
 from ..sim.trace import ExecutionTrace
 from ..workload import GeneratedSystem, GenerationParameters, PAPER_SETS, RandomSystemGenerator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.enforcement import EnforcementConfig
-    from ..faults.injectors import FaultPlan
+    from ..faults.injectors import EventBurst, FaultPlan
+    from ..overload.config import OverloadConfig
 
 __all__ = [
     "ARMS",
     "SystemResult",
     "CampaignResult",
+    "OverloadCampaignResult",
+    "OverloadRun",
     "RunPolicy",
     "RunRecord",
     "RunTimeout",
+    "RunExhausted",
     "simulate_system",
     "execute_system",
     "run_campaign",
+    "run_overload_campaign",
 ]
 
 ARMS = ("ps_sim", "ps_exec", "ds_sim", "ds_exec")
@@ -84,6 +90,28 @@ ARMS = ("ps_sim", "ps_exec", "ds_sim", "ds_exec")
 
 class RunTimeout(Exception):
     """A single campaign run exceeded its wall-clock allowance."""
+
+
+class RunExhausted(Exception):
+    """Fail-fast: a run used up its retry budget without succeeding.
+
+    Raised (instead of a failure record being folded into the results)
+    when the active :class:`RunPolicy` has ``fail_fast=True``.  Carries
+    the final :class:`RunRecord` as a dict in ``args[0]`` so it survives
+    pickling across the worker-pool boundary.
+    """
+
+    @property
+    def record(self) -> "RunRecord":
+        return RunRecord.from_dict(self.args[0])
+
+    def __str__(self) -> str:
+        data = self.args[0]
+        return (
+            f"run {data['arm']} set={tuple(data['set_key'])} "
+            f"system={data['system_id']} gave up after "
+            f"{data['attempts']} attempt(s): {data['status']}"
+        )
 
 
 @dataclass(frozen=True)
@@ -99,13 +127,17 @@ class RunPolicy:
       stream cannot wedge the sweep;
     * ``checkpoint_path`` — JSONL file of per-run records; an existing
       file is loaded on start and completed runs are skipped, so an
-      interrupted campaign resumes instead of restarting.
+      interrupted campaign resumes instead of restarting;
+    * ``fail_fast`` — raise :class:`RunExhausted` the moment any run
+      exhausts its retry budget, instead of folding a failure record
+      into the results (the CLI maps this to a non-zero exit).
     """
 
     timeout_s: float | None = None
     max_retries: int = 0
     retry_seed_bump: int = 1
     checkpoint_path: Path | None = None
+    fail_fast: bool = False
 
     def __post_init__(self) -> None:
         if self.timeout_s is not None and self.timeout_s <= 0:
@@ -232,6 +264,8 @@ class SystemResult:
 
     metrics: RunMetrics
     trace: ExecutionTrace
+    #: the run's aperiodic job records (overload reporting input)
+    jobs: list[AperiodicJob] = field(default_factory=list)
 
 
 @dataclass
@@ -262,6 +296,7 @@ class CampaignResult:
 def simulate_system(system: GeneratedSystem,
                     policy: str = "polling",
                     enforcement: "EnforcementConfig | None" = None,
+                    overload: "OverloadConfig | None" = None,
                     ) -> SystemResult:
     """Run one system on RTSS with the ideal version of ``policy``.
 
@@ -269,7 +304,10 @@ def simulate_system(system: GeneratedSystem,
     requirement ("the server has to be the highest-priority task in the
     system"), regardless of the priority recorded in the spec.
     ``enforcement`` (optional) applies a cost-overrun policy to the
-    server and the periodic entities (see :mod:`repro.faults`).
+    server and the periodic entities (see :mod:`repro.faults`);
+    ``overload`` (optional) bounds the server's pending queue, gates
+    arrivals through a circuit breaker and drives degraded modes (see
+    :mod:`repro.overload`).
     """
     server_cls = _SIM_SERVERS[policy]
     sim = Simulation(FixedPriorityPolicy(), enforcement=enforcement)
@@ -282,6 +320,17 @@ def simulate_system(system: GeneratedSystem,
         spec, name=policy.upper(), enforcement=enforcement
     )
     server.attach(sim, horizon=system.horizon)
+    detector = None
+    if overload is not None and overload.active:
+        from ..faults.watchdog import DeadlineMissWatchdog
+        from ..overload import wire_sim_servers
+
+        watchdog = sim.watchdog
+        if watchdog is None and overload.detector is not None:
+            watchdog = DeadlineMissWatchdog().attach_sim(sim)
+        detector = wire_sim_servers(
+            overload, sim.trace, [server], watchdog=watchdog
+        )
     for spec in system.periodic_tasks:
         sim.add_periodic_task(spec)
     jobs: list[AperiodicJob] = []
@@ -295,7 +344,9 @@ def simulate_system(system: GeneratedSystem,
         jobs.append(job)
         sim.submit_aperiodic(job, server.submit)
     trace = sim.run(until=system.horizon)
-    return SystemResult(metrics=measure_run(jobs), trace=trace)
+    if detector is not None:
+        detector.finish(system.horizon)
+    return SystemResult(metrics=measure_run(jobs), trace=trace, jobs=jobs)
 
 
 def execute_system(
@@ -307,6 +358,7 @@ def execute_system(
     safety_margin: RelativeTime | None = None,
     enforcement: "EnforcementConfig | None" = None,
     timer_drift_ppm: float = 0.0,
+    overload: "OverloadConfig | None" = None,
 ) -> SystemResult:
     """Run one system's framework implementation on the emulated VM.
 
@@ -315,7 +367,9 @@ def execute_system(
     overhead model, reproducing the paper's "timers charged to fire the
     asynchronous events").  ``enforcement`` bounds handlers to their
     declared costs; ``timer_drift_ppm`` makes the VM's release timers
-    drift (see :mod:`repro.faults`).
+    drift (see :mod:`repro.faults`); ``overload`` bounds the server's
+    pending queue, installs one circuit breaker per event source and
+    drives degraded modes (see :mod:`repro.overload`).
     """
     vm = RTSJVirtualMachine(
         overhead=overhead if overhead is not None else OverheadModel(),
@@ -328,14 +382,26 @@ def execute_system(
     if policy == "polling":
         server: TaskServer = server_cls(
             params, queue=queue, safety_margin=safety_margin,
-            enforcement=enforcement,
+            enforcement=enforcement, overload=overload,
         )
     else:
         server = server_cls(
-            params, safety_margin=safety_margin, enforcement=enforcement
+            params, safety_margin=safety_margin, enforcement=enforcement,
+            overload=overload,
         )
     horizon_ns = round(system.horizon * NS_PER_UNIT)
     server.attach(vm, horizon_ns)
+    detector = None
+    if overload is not None and overload.active:
+        from ..faults.watchdog import DeadlineMissWatchdog
+        from ..overload import build_detector
+
+        watchdog = vm.watchdog
+        if watchdog is None and overload.detector is not None:
+            watchdog = DeadlineMissWatchdog().attach_vm(vm)
+        detector = build_detector(
+            overload, vm.trace, [server], watchdog=watchdog
+        )
 
     # periodic tasks run below the server: map their (arbitrary-scale)
     # spec priorities onto consecutive RTSJ priorities under the server's
@@ -359,6 +425,18 @@ def execute_system(
             )
         )
 
+    # The generated workload fires every ServableAsyncEvent exactly once,
+    # so per-event breakers could never accumulate a failure window; the
+    # campaign treats the whole generated stream as one logical source
+    # and shares a single breaker across it.  (Applications with
+    # recurring sources attach one breaker per event instead.)
+    stream_breaker = None
+    if overload is not None and overload.breaker is not None:
+        from ..overload import build_breaker
+
+        stream_breaker = build_breaker(
+            overload, vm.trace, "events-breaker", detector
+        )
     for event in system.events:
         handler = ServableAsyncEventHandler(
             cost=RelativeTime.from_units(event.declared_cost),
@@ -368,12 +446,17 @@ def execute_system(
         )
         sae = ServableAsyncEvent(name=f"e{event.event_id}")
         sae.add_servable_handler(handler)
+        sae.breaker = stream_breaker
         vm.schedule_timer_event(
             round(event.release * NS_PER_UNIT),
             lambda now, e=sae: e.fire(),
         )
     trace = vm.run(horizon_ns)
-    return SystemResult(metrics=server.run_metrics(), trace=trace)
+    if detector is not None:
+        detector.finish(horizon_ns / NS_PER_UNIT)
+    return SystemResult(
+        metrics=server.run_metrics(), trace=trace, jobs=server.jobs
+    )
 
 
 def _run_arm(
@@ -459,10 +542,13 @@ def _campaign_worker(task: tuple) -> RunRecord:
     (hardened, arm, params, system, overhead, enforcement, fault_plan,
      run_policy) = task
     if hardened:
-        return _guarded_run(
+        record = _guarded_run(
             arm, params, system, overhead, enforcement, fault_plan,
             run_policy,
         )
+        if run_policy.fail_fast and record.status != "ok":
+            raise RunExhausted(record.to_dict())
+        return record
     key = (params.task_density, params.std_deviation)
     metrics = _run_arm(arm, system, overhead, enforcement)
     return RunRecord(
@@ -604,4 +690,236 @@ def run_campaign(
         for arm in arms:
             if per_set[key][arm]:
                 result.tables[arm][key] = aggregate(per_set[key][arm])
+    return result
+
+
+# -- the overload campaign ---------------------------------------------------
+
+
+@dataclass
+class OverloadRun:
+    """One system's burst-arm outcome: baseline vs overloaded."""
+
+    arm: str
+    set_key: tuple[float, float]
+    system_id: int
+    baseline: RunMetrics
+    metrics: RunMetrics
+    report: OverloadReport
+
+
+@dataclass
+class OverloadCampaignResult:
+    """Per-run overload reports plus the usual hardening records."""
+
+    runs: list[OverloadRun] = field(default_factory=list)
+    records: list[RunRecord] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[RunRecord]:
+        return [r for r in self.records if r.status != "ok"]
+
+    def summary(self, arm: str) -> dict[str, float]:
+        """Mean overload behaviour of one arm across its runs."""
+        runs = [r for r in self.runs if r.arm == arm]
+        if not runs:
+            raise KeyError(f"no runs for arm {arm!r}")
+        finite = [
+            r.report.recovery_time for r in runs if r.report.recovered
+        ]
+        mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+        return {
+            "runs": float(len(runs)),
+            "shed_rate": mean([r.report.shed_rate for r in runs]),
+            "breaker_opens": float(
+                sum(r.report.breaker_opens for r in runs)
+            ),
+            "time_in_degraded": mean(
+                [r.report.time_in_degraded for r in runs]
+            ),
+            "recovered_fraction": len(finite) / len(runs),
+            "mean_recovery_time": mean(finite) if finite else float("inf"),
+            "periodic_deadline_misses": float(
+                sum(r.report.periodic_deadline_misses for r in runs)
+            ),
+            "baseline_aart": mean(
+                [r.baseline.average_response_time for r in runs]
+            ),
+            "burst_aart": mean(
+                [r.metrics.average_response_time for r in runs]
+            ),
+        }
+
+
+def default_overload_config() -> "OverloadConfig":
+    """The campaign's standard overload stack: a drop-oldest queue bound,
+    per-source breakers and a degraded-mode detector."""
+    from ..overload import (
+        BreakerConfig,
+        DetectorConfig,
+        OverloadConfig,
+        QueueBound,
+    )
+
+    return OverloadConfig(
+        queue_bound=QueueBound(max_items=6, policy="drop-oldest"),
+        breaker=BreakerConfig(),
+        detector=DetectorConfig(),
+    )
+
+
+def _run_overload_arm(
+    arm: str,
+    system: GeneratedSystem,
+    overhead: OverheadModel | None,
+    overload: "OverloadConfig | None",
+) -> SystemResult:
+    policy = "polling" if arm.startswith("ps") else "deferrable"
+    if arm.endswith("_sim"):
+        return simulate_system(system, policy, overload=overload)
+    return execute_system(system, policy, overhead, overload=overload)
+
+
+def _report_payload(report: OverloadReport, baseline: RunMetrics) -> dict:
+    from dataclasses import asdict
+
+    return {
+        "overload": asdict(report),
+        "baseline": {
+            "released": baseline.released,
+            "served": baseline.served,
+            "interrupted": baseline.interrupted,
+            "average_response_time": baseline.average_response_time,
+            "response_times": list(baseline.response_times),
+        },
+    }
+
+
+def _overload_run_from_record(record: RunRecord) -> OverloadRun | None:
+    if record.status != "ok" or record.payload is None:
+        return None
+    payload = record.payload
+    b = payload["baseline"]
+    return OverloadRun(
+        arm=record.arm,
+        set_key=record.set_key,
+        system_id=record.system_id,
+        baseline=RunMetrics(
+            released=b["released"],
+            served=b["served"],
+            interrupted=b["interrupted"],
+            average_response_time=b["average_response_time"],
+            response_times=tuple(b["response_times"]),
+        ),
+        metrics=record.metrics,
+        report=OverloadReport(**payload["overload"]),
+    )
+
+
+def _overload_worker(task: tuple) -> RunRecord:
+    """Pool entry point: baseline + burst run of one (arm, system)."""
+    (arm, params, clean, burst_system, overhead, overload,
+     run_policy) = task
+    key = (params.task_density, params.std_deviation)
+    policy = run_policy if run_policy is not None else RunPolicy()
+    status, last_error = "failed", ""
+    try:
+        with _time_limit(policy.timeout_s):
+            # the unfaulted baseline calibrates the recovery criterion
+            baseline = _run_overload_arm(arm, clean, overhead, None)
+            faulted = _run_overload_arm(arm, burst_system, overhead, overload)
+    except RunTimeout as exc:
+        status, last_error = "timeout", str(exc)
+    except Exception:
+        status, last_error = "failed", traceback.format_exc(limit=5)
+    else:
+        report = measure_overload(
+            faulted.trace,
+            faulted.jobs,
+            horizon=burst_system.horizon,
+            pre_burst_aart=baseline.metrics.average_response_time or None,
+        )
+        return RunRecord(
+            arm=arm, set_key=key, system_id=clean.system_id, status="ok",
+            metrics=faulted.metrics,
+            payload=_report_payload(report, baseline.metrics),
+        )
+    record = RunRecord(
+        arm=arm, set_key=key, system_id=clean.system_id,
+        status=status, error=last_error,
+    )
+    if run_policy is not None and run_policy.fail_fast:
+        raise RunExhausted(record.to_dict())
+    return record
+
+
+def run_overload_campaign(
+    sets: tuple[GenerationParameters, ...] = PAPER_SETS,
+    arms: tuple[str, ...] = ARMS,
+    overhead: OverheadModel | None = None,
+    overload: "OverloadConfig | None" = None,
+    burst: "EventBurst | None" = None,
+    run_policy: RunPolicy | None = None,
+    workers: int = 1,
+) -> OverloadCampaignResult:
+    """The burst-overload sweep: every system runs twice per arm.
+
+    First an unfaulted baseline (golden path, no overload machinery) to
+    calibrate pre-burst response times; then the same workload through
+    an :class:`~repro.faults.injectors.EventBurst` storm with the
+    ``overload`` stack armed.  Each run's trace is distilled into an
+    :class:`~repro.overload.metrics.OverloadReport` — shed rate, breaker
+    activity, time in degraded mode and post-burst recovery time —
+    reported alongside the paper's AART/AIR/ASR.  ``run_policy`` applies
+    the usual hardening (timeout, checkpoint/resume, ``fail_fast``);
+    ``workers > 1`` fans runs over a process pool with fold-back in
+    sequential order.
+    """
+    from ..faults.injectors import EventBurst, FaultPlan
+
+    if overload is None:
+        overload = default_overload_config()
+    if burst is None:
+        burst = EventBurst(extra=3, probability=0.5, spacing=0.05)
+    policy = run_policy if run_policy is not None else RunPolicy()
+    checkpointed = (
+        _load_checkpoint(policy.checkpoint_path)
+        if policy.checkpoint_path is not None
+        else {}
+    )
+    worker_policy = _replace(policy, checkpoint_path=None)
+
+    order: list[tuple[GenerationParameters, str, int, bool]] = []
+    pending: list[tuple | None] = []
+    for params in sets:
+        key = (params.task_density, params.std_deviation)
+        systems = RandomSystemGenerator(params).generate()
+        plan = FaultPlan(injectors=(burst,), seed=params.seed)
+        for system in systems:
+            burst_system = plan.apply(system)
+            for arm in arms:
+                cached = (arm, key, system.system_id) in checkpointed
+                order.append((params, arm, system.system_id, cached))
+                pending.append(
+                    None if cached else (
+                        arm, params, system, burst_system, overhead,
+                        overload, worker_policy,
+                    )
+                )
+    fresh = iter(_parallel_map(
+        _overload_worker, [t for t in pending if t is not None], workers
+    ))
+
+    result = OverloadCampaignResult()
+    for slot, (params, arm, system_id, cached) in zip(pending, order):
+        key = (params.task_density, params.std_deviation)
+        if cached:
+            record = checkpointed[(arm, key, system_id)]
+        else:
+            record = next(fresh)
+            _append_checkpoint(policy.checkpoint_path, record)
+        result.records.append(record)
+        run = _overload_run_from_record(record)
+        if run is not None:
+            result.runs.append(run)
     return result

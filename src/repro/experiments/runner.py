@@ -10,8 +10,10 @@ Usage::
     repro-experiments --workers 4 all             # parallel campaign
     repro-experiments multicore --cores 4 --placement wf
     repro-experiments multicore --cores 2 --global-sched edf
+    repro-experiments overload --queue-bound 6 --shed-policy drop-oldest
 
-Exit status is non-zero if any shape check fails.
+Exit status is non-zero if any shape check fails, 2 when ``--fail-fast``
+stops the sweep on the first run that exhausts its retry budget.
 """
 
 from __future__ import annotations
@@ -20,15 +22,16 @@ import argparse
 import sys
 from pathlib import Path
 
+from ..overload import SHED_POLICIES as _SHED_POLICIES
 from ..rtsj import OverheadModel
-from .campaign import RunPolicy, run_campaign
+from .campaign import RunExhausted, RunPolicy, run_campaign
 from .figures import render_all_figures
 from .tables import TABLE_ARMS, format_comparison, format_table, shape_checks
 
 __all__ = ["main"]
 
 _TARGETS = ("all", "table2", "table3", "table4", "table5", "figures",
-            "checks", "report", "multicore")
+            "checks", "report", "multicore", "overload")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -76,6 +79,28 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", type=int, default=1, metavar="N",
         help="fan campaign runs out over N worker processes "
              "(results are bit-identical to a sequential sweep)",
+    )
+    parser.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort the whole sweep (exit status 2) as soon as one run "
+             "exhausts its retry budget instead of recording it and "
+             "carrying on",
+    )
+    overload_group = parser.add_argument_group("overload target")
+    overload_group.add_argument(
+        "--queue-bound", type=int, default=None, metavar="N",
+        help="bound every server's pending queue to N releases "
+             "(default: 6)",
+    )
+    overload_group.add_argument(
+        "--shed-policy", choices=_SHED_POLICIES, default=None,
+        help="what to shed when the queue bound is hit "
+             "(default: drop-oldest)",
+    )
+    overload_group.add_argument(
+        "--breaker-window", type=float, default=None, metavar="TU",
+        help="sliding window (in tu) over which per-source circuit "
+             "breakers count failures",
     )
     multicore = parser.add_argument_group("multicore target")
     multicore.add_argument(
@@ -126,23 +151,36 @@ def main(argv: list[str] | None = None) -> int:
         args.timeout is not None
         or args.retries
         or args.checkpoint is not None
+        or args.fail_fast
     ):
         try:
             run_policy = RunPolicy(
                 timeout_s=args.timeout,
                 max_retries=args.retries,
                 checkpoint_path=args.checkpoint,
+                fail_fast=args.fail_fast,
             )
         except ValueError as exc:
             parser.error(str(exc))
 
-    if args.target == "multicore":
-        return _run_multicore(args, run_policy)
+    try:
+        if args.target == "multicore":
+            return _run_multicore(args, run_policy)
+        if args.target == "overload":
+            return _run_overload(args, run_policy, overhead)
+    except RunExhausted as exc:
+        print(f"fail-fast: {exc}", file=sys.stderr)
+        return 2
 
     if wants_tables:
-        campaign = run_campaign(
-            overhead=overhead, run_policy=run_policy, workers=args.workers
-        )
+        try:
+            campaign = run_campaign(
+                overhead=overhead, run_policy=run_policy,
+                workers=args.workers,
+            )
+        except RunExhausted as exc:
+            print(f"fail-fast: {exc}", file=sys.stderr)
+            return 2
         if campaign.failures:
             print(f"WARNING: {len(campaign.failures)} run(s) failed:")
             for record in campaign.failures:
@@ -241,6 +279,68 @@ def _run_multicore(args: argparse.Namespace, run_policy) -> int:
                 encoding="utf-8",
             )
             print(f"wrote {path}")
+    return 1 if failures else 0
+
+
+def _run_overload(args: argparse.Namespace, run_policy,
+                  overhead) -> int:
+    """The ``overload`` target: burst-fault sweeps with the overload
+    stack armed, reporting shed/breaker/degraded-mode behaviour next to
+    the usual response-time metrics."""
+    from dataclasses import replace
+
+    from .campaign import default_overload_config, run_overload_campaign
+
+    overload = default_overload_config()
+    if args.queue_bound is not None:
+        if args.queue_bound < 1:
+            print(f"--queue-bound must be >= 1, got {args.queue_bound}",
+                  file=sys.stderr)
+            return 1
+        overload = replace(
+            overload,
+            queue_bound=replace(
+                overload.queue_bound, max_items=args.queue_bound
+            ),
+        )
+    if args.shed_policy is not None:
+        overload = replace(
+            overload,
+            queue_bound=replace(
+                overload.queue_bound, policy=args.shed_policy
+            ),
+        )
+    if args.breaker_window is not None:
+        if args.breaker_window <= 0:
+            print(
+                f"--breaker-window must be > 0, got {args.breaker_window}",
+                file=sys.stderr,
+            )
+            return 1
+        overload = replace(
+            overload,
+            breaker=replace(overload.breaker, window=args.breaker_window),
+        )
+
+    result = run_overload_campaign(
+        overhead=overhead, overload=overload, run_policy=run_policy,
+        workers=args.workers,
+    )
+    arms = sorted({run.arm for run in result.runs})
+    for arm in arms:
+        summary = result.summary(arm)
+        print(f"{arm}:")
+        for key, value in summary.items():
+            print(f"  {key:>24s}: {value:.4g}")
+        print()
+    failures = result.failures
+    if failures:
+        print(f"WARNING: {len(failures)} run(s) failed:")
+        for record in failures:
+            print(
+                f"  [{record.status}] {record.arm} set={record.set_key} "
+                f"system={record.system_id}"
+            )
     return 1 if failures else 0
 
 

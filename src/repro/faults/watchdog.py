@@ -54,6 +54,10 @@ class DeadlineMissWatchdog:
         self.tripped = False
         self.tripped_at: float | None = None
         self._trace: ExecutionTrace | None = None
+        #: ``fn(kind, now, subject)`` invoked on every notification
+        #: (kind is "miss" or "overrun"); unlike ``on_trip`` this fires
+        #: each time, so overload detectors can track rates
+        self.listeners: list[Callable[[str, float, str], None]] = []
 
     # -- wiring ------------------------------------------------------------
 
@@ -70,11 +74,20 @@ class DeadlineMissWatchdog:
         self._trace = vm.trace
         return self
 
+    def add_listener(
+        self, listener: Callable[[str, float, str], None]
+    ) -> "DeadlineMissWatchdog":
+        """Subscribe to every miss/overrun notification (rate signals)."""
+        self.listeners.append(listener)
+        return self
+
     # -- notifications -----------------------------------------------------
 
     def notify_miss(self, now: float, subject: str) -> None:
         self.misses += 1
         self.by_subject[subject] += 1
+        for listener in self.listeners:
+            listener("miss", now, subject)
         if (
             self.miss_threshold is not None
             and self.misses >= self.miss_threshold
@@ -84,6 +97,8 @@ class DeadlineMissWatchdog:
     def notify_overrun(self, now: float, subject: str) -> None:
         self.overruns += 1
         self.by_subject[subject] += 1
+        for listener in self.listeners:
+            listener("overrun", now, subject)
         if (
             self.overrun_threshold is not None
             and self.overruns >= self.overrun_threshold

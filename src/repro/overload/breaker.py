@@ -1,0 +1,151 @@
+"""Per-event-source circuit breakers.
+
+A :class:`CircuitBreaker` watches one event source (a
+``ServableAsyncEvent`` on the execution arm, a whole server's arrival
+stream on the ideal-simulator arm) and cuts it off at the source when it
+keeps producing failures — sheds, cost overruns, budget interrupts —
+faster than the service layer can absorb them.  Classic three-state
+machine:
+
+* **closed** — firings flow through; failures are timestamped into a
+  sliding window; ``failure_threshold`` failures inside ``window`` tu
+  *trip* the breaker (``BREAKER_OPEN`` trace event).
+* **open** — every firing is rejected at the source (cheap: the release
+  never reaches a queue) until ``cooldown`` tu have passed.
+* **half-open** — after the cooldown, up to ``half_open_probes`` probe
+  firings are let through; a probe that is *served* closes the breaker
+  (``BREAKER_CLOSE``), a probe that fails re-opens it for another
+  cooldown.
+
+Rejections issued while open do **not** count as failures (they would
+otherwise hold the breaker open forever), so a breaker always re-closes
+after the source quiesces: cooldown elapses, the next firing probes, the
+probe succeeds.  All times are in tu; callers in the nanosecond domain
+convert before calling.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import TYPE_CHECKING
+
+from ..sim.trace import ExecutionTrace, TraceEventKind
+from .config import BreakerConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .detector import OverloadDetector
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Sliding-window circuit breaker for one event source."""
+
+    def __init__(
+        self,
+        config: BreakerConfig,
+        name: str = "breaker",
+        trace: ExecutionTrace | None = None,
+        detector: "OverloadDetector | None" = None,
+    ) -> None:
+        self.config = config
+        self.name = name
+        self.trace = trace
+        self.detector = detector
+        self.state = BreakerState.CLOSED
+        self._failures: deque[float] = deque()
+        self._opened_at: float | None = None
+        self._probes_in_flight = 0
+        #: lifetime counters (campaign reporting)
+        self.open_count = 0
+        self.close_count = 0
+        self.rejected = 0
+
+    @property
+    def is_open(self) -> bool:
+        """Passive state check — unlike :meth:`allow`, never transitions
+        to half-open and never counts a rejection (routers use this to
+        steer around an open breaker without consuming its probes)."""
+        return self.state is BreakerState.OPEN
+
+    # -- the gate ----------------------------------------------------------
+
+    def allow(self, now: float) -> bool:
+        """Gate one firing; ``False`` means reject it at the source."""
+        if self.state is BreakerState.OPEN:
+            assert self._opened_at is not None
+            if now - self._opened_at >= self.config.cooldown:
+                self.state = BreakerState.HALF_OPEN
+                self._probes_in_flight = 0
+            else:
+                self.rejected += 1
+                return False
+        if self.state is BreakerState.HALF_OPEN:
+            if self._probes_in_flight >= self.config.half_open_probes:
+                self.rejected += 1
+                return False
+            self._probes_in_flight += 1
+        return True
+
+    # -- outcome feedback --------------------------------------------------
+
+    def record_success(self, now: float) -> None:
+        """A release from this source was served to completion."""
+        if self.state is BreakerState.HALF_OPEN:
+            self._close(now)
+
+    def record_failure(self, now: float) -> None:
+        """A release from this source was shed, cut or overran."""
+        if self.state is BreakerState.HALF_OPEN:
+            # the probe failed: straight back to open, fresh cooldown
+            self._open(now, "probe failed")
+            return
+        if self.state is BreakerState.OPEN:
+            return
+        window = self.config.window
+        self._failures.append(now)
+        while self._failures and self._failures[0] < now - window:
+            self._failures.popleft()
+        if len(self._failures) >= self.config.failure_threshold:
+            self._open(
+                now,
+                f"{len(self._failures)} failures in {window:g}tu",
+            )
+
+    # -- transitions -------------------------------------------------------
+
+    def _open(self, now: float, reason: str) -> None:
+        self.state = BreakerState.OPEN
+        self._opened_at = now
+        self._failures.clear()
+        self.open_count += 1
+        if self.trace is not None:
+            self.trace.add_event(
+                now, TraceEventKind.BREAKER_OPEN, self.name, reason
+            )
+        if self.detector is not None:
+            self.detector.note_breaker_open(now)
+
+    def _close(self, now: float) -> None:
+        self.state = BreakerState.CLOSED
+        self._opened_at = None
+        self._failures.clear()
+        self._probes_in_flight = 0
+        self.close_count += 1
+        if self.trace is not None:
+            self.trace.add_event(
+                now, TraceEventKind.BREAKER_CLOSE, self.name, "probe served"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<CircuitBreaker {self.name} {self.state.value} "
+            f"opens={self.open_count} closes={self.close_count}>"
+        )

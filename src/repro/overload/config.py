@@ -1,0 +1,172 @@
+"""Configuration objects for the overload-management subsystem.
+
+Everything here is *off by default*: an :class:`OverloadConfig` with all
+fields ``None`` (or simply passing ``overload=None`` anywhere the knob
+exists) leaves every queue unbounded, every breaker absent and every
+detector disarmed — the golden-path traces are byte-identical to a build
+without this subsystem.
+
+Time-valued fields are expressed in **time units** (tu, the unit traces
+and the ideal simulator use; 1 tu = 1 ms on the emulated VM).  The RTSJ
+execution layer converts to nanoseconds at the wiring point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "SHED_POLICIES",
+    "QueueBound",
+    "BreakerConfig",
+    "DetectorConfig",
+    "OverloadConfig",
+]
+
+#: pluggable shedding policies for bounded pending queues:
+#:
+#: * ``reject-new``       — the arriving release is shed (admission-style);
+#: * ``drop-oldest``      — the head of the queue is shed to make room,
+#:                          bounding staleness (newest data wins);
+#: * ``drop-lowest-value``— the queued release with the lowest D-OVER
+#:                          style value density (value / cost, value
+#:                          defaulting to the declared cost) is shed; the
+#:                          arrival itself is shed when *it* is the
+#:                          lowest-density candidate.
+SHED_POLICIES = ("reject-new", "drop-oldest", "drop-lowest-value")
+
+
+@dataclass(frozen=True)
+class QueueBound:
+    """A size and/or total-declared-cost bound on a pending queue.
+
+    ``max_items`` bounds the number of queued releases; ``max_cost``
+    bounds their cumulative declared cost (tu).  Either may be ``None``
+    (unbounded on that axis); both ``None`` disables the bound entirely.
+    """
+
+    max_items: int | None = None
+    max_cost: float | None = None
+    policy: str = "reject-new"
+
+    def __post_init__(self) -> None:
+        if self.max_items is not None and self.max_items < 1:
+            raise ValueError(f"max_items must be >= 1, got {self.max_items}")
+        if self.max_cost is not None and self.max_cost <= 0:
+            raise ValueError(f"max_cost must be > 0, got {self.max_cost}")
+        if self.policy not in SHED_POLICIES:
+            raise ValueError(
+                f"policy must be one of {SHED_POLICIES}, got {self.policy!r}"
+            )
+
+    @property
+    def active(self) -> bool:
+        return self.max_items is not None or self.max_cost is not None
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Per-event-source circuit breaker parameters.
+
+    The breaker trips open after ``failure_threshold`` failures
+    (sheds / overruns / budget interrupts) inside a sliding
+    ``window`` tu.  While open, every firing is rejected at the source
+    for ``cooldown`` tu; the breaker then lets ``half_open_probes``
+    probe firings through — a served probe closes it, a failed probe
+    re-opens it for another cooldown.
+    """
+
+    failure_threshold: int = 3
+    window: float = 10.0
+    cooldown: float = 20.0
+    half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.window <= 0:
+            raise ValueError(f"window must be > 0, got {self.window}")
+        if self.cooldown <= 0:
+            raise ValueError(f"cooldown must be > 0, got {self.cooldown}")
+        if self.half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {self.half_open_probes}"
+            )
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Overload detector thresholds and degraded-mode knobs.
+
+    The detector estimates the aperiodic *demand utilization* (declared
+    cost arriving per tu, over a sliding ``window``) and the shed /
+    deadline-miss rate.  Crossing ``high_watermark`` demand (or seeing
+    ``miss_threshold`` misses, or ``shed_threshold`` sheds, inside the
+    window) enters degraded mode; the system returns to normal once the
+    demand estimate stays at or below ``low_watermark`` — with a clean
+    miss/shed window — for ``quiescence`` consecutive tu.
+
+    Degraded mode shrinks the aperiodic service share to
+    ``service_scale`` of the configured server capacity and sheds
+    releases of handlers marked *optional*.
+    """
+
+    window: float = 10.0
+    high_watermark: float = 0.5
+    low_watermark: float = 0.25
+    miss_threshold: int | None = None
+    shed_threshold: int | None = 1
+    quiescence: float = 10.0
+    service_scale: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError(f"window must be > 0, got {self.window}")
+        if self.high_watermark <= 0:
+            raise ValueError(
+                f"high_watermark must be > 0, got {self.high_watermark}"
+            )
+        if not 0 <= self.low_watermark <= self.high_watermark:
+            raise ValueError(
+                "low_watermark must satisfy 0 <= low <= high, got "
+                f"{self.low_watermark} vs {self.high_watermark}"
+            )
+        if self.miss_threshold is not None and self.miss_threshold < 1:
+            raise ValueError(
+                f"miss_threshold must be >= 1, got {self.miss_threshold}"
+            )
+        if self.shed_threshold is not None and self.shed_threshold < 1:
+            raise ValueError(
+                f"shed_threshold must be >= 1, got {self.shed_threshold}"
+            )
+        if self.quiescence < 0:
+            raise ValueError(
+                f"quiescence must be >= 0, got {self.quiescence}"
+            )
+        if not 0 < self.service_scale <= 1:
+            raise ValueError(
+                f"service_scale must be in (0, 1], got {self.service_scale}"
+            )
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """The full overload-management stack for one run.
+
+    All three stages default to ``None`` (disabled); any subset may be
+    enabled independently.
+    """
+
+    queue_bound: QueueBound | None = None
+    breaker: BreakerConfig | None = None
+    detector: DetectorConfig | None = None
+
+    @property
+    def active(self) -> bool:
+        return (
+            (self.queue_bound is not None and self.queue_bound.active)
+            or self.breaker is not None
+            or self.detector is not None
+        )

@@ -1,0 +1,165 @@
+"""Overload-campaign reporting: shed rate, breaker activity, recovery.
+
+Everything is computed from the shared trace format plus the run's job
+records, so the same report works for the ideal-simulator arm and the
+emulated-RTSJ execution arm (and for per-core SMP traces, which reuse the
+format).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..sim.trace import ExecutionTrace, TraceEventKind
+
+__all__ = ["OverloadReport", "measure_overload"]
+
+#: SHED events whose detail starts with one of these came from the
+#: breaker gate rather than a queue bound
+_BREAKER_DETAIL = "breaker open"
+
+
+@dataclass(frozen=True)
+class OverloadReport:
+    """Overload behaviour of one run (all times in tu)."""
+
+    released: int
+    shed: int
+    breaker_rejections: int
+    breaker_opens: int
+    breaker_closes: int
+    mode_changes: int
+    time_in_degraded: float
+    periodic_deadline_misses: int
+    #: time from the last overload signal to full recovery (mode normal,
+    #: breakers closed, response times back at the pre-burst level);
+    #: 0.0 when the run never sheds, ``inf`` when recovery was not
+    #: observed inside the horizon
+    recovery_time: float
+    pre_burst_aart: float | None = None
+
+    @property
+    def shed_rate(self) -> float:
+        """Sheds (queue + breaker) per released aperiodic event."""
+        if not self.released:
+            return 0.0
+        return self.shed / self.released
+
+    @property
+    def recovered(self) -> bool:
+        return math.isfinite(self.recovery_time)
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "shed_rate": self.shed_rate,
+            "breaker_opens": float(self.breaker_opens),
+            "time_in_degraded": self.time_in_degraded,
+            "recovery_time": self.recovery_time,
+        }
+
+
+def measure_overload(
+    trace: ExecutionTrace,
+    jobs=(),
+    horizon: float | None = None,
+    pre_burst_aart: float | None = None,
+    aart_tolerance: float = 0.5,
+    released: int | None = None,
+) -> OverloadReport:
+    """Distill one run's overload behaviour from its trace.
+
+    ``jobs`` are the run's aperiodic job records (for released counts and
+    the response-time recovery criterion); ``pre_burst_aart`` is the
+    average response time of an unfaulted baseline run of the same
+    system — recovery then additionally requires a completion whose
+    response time is back within ``(1 + aart_tolerance) *
+    pre_burst_aart``.
+    """
+    end = horizon if horizon is not None else trace.makespan
+    sheds = trace.events_of(TraceEventKind.SHED)
+    opens = trace.events_of(TraceEventKind.BREAKER_OPEN)
+    closes = trace.events_of(TraceEventKind.BREAKER_CLOSE)
+    modes = trace.events_of(TraceEventKind.MODE_CHANGE)
+    misses = trace.events_of(TraceEventKind.DEADLINE_MISS)
+    breaker_rejections = sum(
+        1 for e in sheds if e.detail.startswith(_BREAKER_DETAIL)
+    )
+
+    # degraded-time account from the MODE_CHANGE alternation
+    time_in_degraded = 0.0
+    entered: float | None = None
+    for event in modes:
+        if event.detail.startswith("degraded"):
+            if entered is None:
+                entered = event.time
+        elif entered is not None:
+            time_in_degraded += event.time - entered
+            entered = None
+    if entered is not None:
+        time_in_degraded += max(0.0, end - entered)
+
+    # recovery: from the last overload signal to the instant every
+    # recovery criterion is met
+    signals = [e.time for e in sheds] + [e.time for e in opens]
+    signals += [e.time for e in modes if e.detail.startswith("degraded")]
+    if not signals:
+        recovery = 0.0
+    else:
+        last_signal = max(signals)
+        candidates: list[float] = []
+        recovered = True
+        if opens:
+            later_closes = [e.time for e in closes if e.time >= opens[-1].time]
+            if later_closes:
+                candidates.append(min(later_closes))
+            else:
+                recovered = False
+        if any(e.detail.startswith("degraded") for e in modes):
+            normals = [
+                e.time for e in modes
+                if e.detail.startswith("normal") and e.time >= last_signal
+            ]
+            if normals:
+                candidates.append(min(normals))
+            else:
+                recovered = False
+        if pre_burst_aart is not None and jobs:
+            target = pre_burst_aart * (1.0 + aart_tolerance)
+            back = [
+                job.finish_time
+                for job in jobs
+                if job.response_time is not None
+                and job.finish_time is not None
+                and job.finish_time >= last_signal
+                and job.response_time <= target
+            ]
+            if back:
+                candidates.append(min(back))
+            else:
+                recovered = False
+        if not recovered:
+            recovery = math.inf
+        else:
+            recovery = max(candidates, default=last_signal) - last_signal
+            recovery = max(recovery, 0.0)
+
+    if released is None:
+        # breaker rejections happen before a job record exists, so they
+        # are counted on top of the job list
+        released = (
+            len(jobs) + breaker_rejections if jobs
+            else len(trace.events_of(TraceEventKind.RELEASE))
+        )
+    return OverloadReport(
+        released=released,
+        shed=len(sheds),
+        breaker_rejections=breaker_rejections,
+        breaker_opens=len(opens),
+        breaker_closes=len(closes),
+        mode_changes=len(modes),
+        time_in_degraded=time_in_degraded,
+        periodic_deadline_misses=len(misses),
+        recovery_time=recovery,
+        pre_burst_aart=pre_burst_aart,
+    )

@@ -120,6 +120,10 @@ _MARKERS = {
     TraceEventKind.OVERRUN: ("⚠", "#b8860b"),
     TraceEventKind.FAULT: ("☇", "#8e44ad"),
     TraceEventKind.WATCHDOG: ("◉", "#c0392b"),
+    TraceEventKind.SHED: ("⤓", "#d65f5f"),
+    TraceEventKind.BREAKER_OPEN: ("⊘", "#c0392b"),
+    TraceEventKind.BREAKER_CLOSE: ("⊙", "#2a7a2a"),
+    TraceEventKind.MODE_CHANGE: ("⇄", "#b8860b"),
 }
 
 

@@ -24,8 +24,18 @@ from ...workload.spec import ServerSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ...faults.enforcement import EnforcementConfig
+    from ...overload.breaker import CircuitBreaker
+    from ...overload.config import OverloadConfig
+    from ...overload.detector import OverloadDetector
 
 __all__ = ["AperiodicServer"]
+
+
+def _density(job: AperiodicJob) -> float:
+    """D-OVER-style value density (value per declared tu; default 1)."""
+    cost = max(job.declared_cost, 1e-12)
+    value = job.value if job.value is not None else cost
+    return value / cost
 
 
 class AperiodicServer(Entity):
@@ -40,11 +50,24 @@ class AperiodicServer(Entity):
     """
 
     def __init__(self, spec: ServerSpec, name: str | None = None,
-                 enforcement: "EnforcementConfig | None" = None) -> None:
+                 enforcement: "EnforcementConfig | None" = None,
+                 overload: "OverloadConfig | None" = None) -> None:
         self.spec = spec
         self.name = name if name is not None else type(self).__name__
         self.priority = spec.priority
         self.enforcement = enforcement
+        #: overload management (queue bound / degraded modes); None keeps
+        #: golden-path behaviour byte-identical
+        self.overload = overload
+        #: replenished-capacity multiplier, set by degraded-mode actions
+        self.service_scale = 1.0
+        #: optional :class:`repro.overload.CircuitBreaker` gating this
+        #: server's arrivals (the sim arm's per-source breaker)
+        self.breaker: "CircuitBreaker | None" = None
+        #: optional :class:`repro.overload.OverloadDetector`
+        self.overload_detector: "OverloadDetector | None" = None
+        #: jobs shed by the queue bound / breaker / degraded mode
+        self.shed: list[AperiodicJob] = []
         self.pending: deque[AperiodicJob] = deque()
         self.capacity: float = 0.0
         self.completed: list[AperiodicJob] = []
@@ -103,9 +126,71 @@ class AperiodicServer(Entity):
                 "release shed (skip-next-release)",
             )
             return
+        if self.breaker is not None and not self.breaker.allow(now):
+            # rejected at the source: no RELEASE, no queue churn (and no
+            # record_failure — a gate rejection is not a probe failure)
+            job.state = JobState.ABORTED
+            job.finish_time = now
+            self.shed.append(job)
+            self._sim.trace.add_event(
+                now, TraceEventKind.SHED, job.name,
+                f"breaker open ({self.breaker.name})",
+            )
+            return
+        detector = self.overload_detector
+        if detector is not None:
+            detector.note_arrival(now, job.declared_cost)
+            if detector.degraded and getattr(job, "optional", False):
+                self._shed_job(now, job, "optional handler (degraded mode)")
+                return
         self.pending.append(job)
         self._sim.trace.add_event(now, TraceEventKind.RELEASE, job.name)
+        if self._enforce_queue_bound(now, job):
+            return
         self._on_arrival(now, job)
+
+    def _enforce_queue_bound(self, now: float, newcomer: AperiodicJob) -> bool:
+        """Shed per the configured bound; True when ``newcomer`` was shed."""
+        bound = self.overload.queue_bound if self.overload else None
+        if bound is None or not bound.active:
+            return False
+
+        def over() -> bool:
+            if bound.max_items is not None and len(self.pending) > bound.max_items:
+                return True
+            if bound.max_cost is not None:
+                total = sum(j.declared_cost for j in self.pending)
+                if total > bound.max_cost + EPS:
+                    return True
+            return False
+
+        newcomer_shed = False
+        while self.pending and over():
+            if bound.policy == "reject-new":
+                victim = newcomer
+            elif bound.policy == "drop-oldest":
+                victim = self.pending[0]
+            else:  # drop-lowest-value
+                victim = min(self.pending, key=_density)
+            self.pending.remove(victim)
+            self._shed_job(now, victim, f"queue bound ({bound.policy})")
+            newcomer_shed = newcomer_shed or victim is newcomer
+            if bound.policy == "reject-new":
+                break
+        return newcomer_shed
+
+    def _shed_job(self, now: float, job: AperiodicJob, detail: str) -> None:
+        """Record one shed as a first-class decision."""
+        assert self._sim is not None
+        job.state = JobState.ABORTED
+        if job.finish_time is None:
+            job.finish_time = now
+        self.shed.append(job)
+        self._sim.trace.add_event(now, TraceEventKind.SHED, job.name, detail)
+        if self.overload_detector is not None:
+            self.overload_detector.note_shed(now)
+        if self.breaker is not None:
+            self.breaker.record_failure(now)
 
     def _on_arrival(self, now: float, job: AperiodicJob) -> None:
         """Policy hook: a job just joined the pending queue."""
@@ -167,6 +252,8 @@ class AperiodicServer(Entity):
             job.finish_time = now
             self.completed.append(job)
             sim.trace.add_event(now, TraceEventKind.COMPLETION, job.name)
+            if self.breaker is not None:
+                self.breaker.record_success(now)
         else:
             left = self._enforcement_left(job)
             if left is not None and left <= EPS:
@@ -202,6 +289,8 @@ class AperiodicServer(Entity):
             sim.trace.add_event(
                 now, TraceEventKind.ABORT, job.name, "cost overrun"
             )
+            if self.breaker is not None:
+                self.breaker.record_failure(now)
         if config.sheds_next:
             self._shed_pending += 1
 

@@ -33,6 +33,9 @@ class IdealDeferrableServer(AperiodicServer):
             k += 1
 
     def _replenish_full(self, now: float) -> None:
-        # full (not incremental) restoration, the classic DS rule
+        # full (not incremental) restoration, the classic DS rule; the
+        # service scale (1.0 on the golden path, float-identical) shrinks
+        # the restored budget while an overload detector holds the system
+        # in degraded mode
         self.capacity = 0.0
-        self._replenish(now, self.spec.capacity)
+        self._replenish(now, self.spec.capacity * self.service_scale)

@@ -34,7 +34,8 @@ class IdealPollingServer(AperiodicServer):
 
     def _activate(self, now: float) -> None:
         if self.pending:
-            self.capacity = self.spec.capacity
+            # * 1.0 is float-identical, so the golden path is unchanged
+            self.capacity = self.spec.capacity * self.service_scale
             assert self._sim is not None
             self._sim.trace.add_event(
                 now, TraceEventKind.REPLENISH, self.name,

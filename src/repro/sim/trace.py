@@ -37,6 +37,10 @@ class TraceEventKind(enum.Enum):
     FAULT = "fault"                  # injected fault (drop, burst, delay)
     WATCHDOG = "watchdog"            # deadline-miss watchdog tripped
     MIGRATION = "migration"          # entity moved between cores (SMP)
+    SHED = "shed"                    # overload: a release was shed
+    BREAKER_OPEN = "breaker_open"    # circuit breaker tripped open
+    BREAKER_CLOSE = "breaker_close"  # circuit breaker recovered (closed)
+    MODE_CHANGE = "mode_change"      # overload detector switched modes
 
 
 @dataclass(frozen=True)

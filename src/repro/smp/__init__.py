@@ -26,6 +26,7 @@ from .partition import (
     partition_tasks,
 )
 from .policies import (
+    AperiodicRouter,
     GlobalEDFPolicy,
     GlobalFixedPriorityPolicy,
     MulticorePolicy,
@@ -45,6 +46,7 @@ from .campaign import (
     MulticoreSystemResult,
     build_multicore_system,
     run_multicore_campaign,
+    run_multicore_overload_campaign,
     run_multicore_system,
 )
 from .tables import format_multicore_campaign, format_multicore_table
@@ -55,6 +57,7 @@ __all__ = [
     "Partition",
     "PartitionError",
     "partition_tasks",
+    "AperiodicRouter",
     "GlobalEDFPolicy",
     "GlobalFixedPriorityPolicy",
     "MulticorePolicy",
@@ -70,6 +73,7 @@ __all__ = [
     "MulticoreSystemResult",
     "build_multicore_system",
     "run_multicore_campaign",
+    "run_multicore_overload_campaign",
     "run_multicore_system",
     "format_multicore_campaign",
     "format_multicore_table",

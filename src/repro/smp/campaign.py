@@ -52,6 +52,7 @@ from .metrics import (
 )
 from .partition import Partition, partition_tasks
 from .policies import (
+    AperiodicRouter,
     GlobalEDFPolicy,
     GlobalFixedPriorityPolicy,
     PartitionedPolicy,
@@ -59,7 +60,8 @@ from .policies import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.enforcement import EnforcementConfig
-    from ..faults.injectors import FaultPlan
+    from ..faults.injectors import EventBurst, FaultPlan
+    from ..overload.config import OverloadConfig
     from ..experiments.campaign import RunPolicy
 
 __all__ = [
@@ -70,6 +72,7 @@ __all__ = [
     "build_multicore_system",
     "run_multicore_system",
     "run_multicore_campaign",
+    "run_multicore_overload_campaign",
 ]
 
 #: the four standard arms (plus best-fit) of the multicore evaluation
@@ -135,6 +138,8 @@ class MulticoreSystemResult:
     metrics: MulticoreRunMetrics
     trace: ExecutionTrace
     partition: Partition | None = None
+    #: the run's aperiodic job records (overload reports read these)
+    jobs: list[AperiodicJob] = field(default_factory=list)
 
 
 @dataclass
@@ -227,12 +232,17 @@ def run_multicore_system(
     mode: str,
     server: str | None = "polling",
     enforcement: "EnforcementConfig | None" = None,
+    overload: "OverloadConfig | None" = None,
 ) -> MulticoreSystemResult:
     """Run one generated system under one multicore arm.
 
     ``server`` selects the per-core (partitioned) or migratable (global)
     aperiodic server family — ``"polling"``, ``"deferrable"`` or ``None``
     to drop the aperiodic stream entirely (pure periodic scheduling).
+    ``overload`` wires the full overload stack (queue bounds, per-server
+    circuit breakers, the degraded-mode detector and, in partitioned
+    modes, overload-aware routing); ``None`` keeps the golden path
+    byte-identical.
     """
     if mode not in MULTICORE_MODES:
         raise ValueError(
@@ -246,9 +256,9 @@ def run_multicore_system(
     if mode in _HEURISTIC_OF_MODE:
         return _run_partitioned(
             system, n_cores, _HEURISTIC_OF_MODE[mode], mode, server,
-            enforcement,
+            enforcement, overload,
         )
-    return _run_global(system, n_cores, mode, server, enforcement)
+    return _run_global(system, n_cores, mode, server, enforcement, overload)
 
 
 def _make_jobs(system: GeneratedSystem) -> list[AperiodicJob]:
@@ -263,6 +273,21 @@ def _make_jobs(system: GeneratedSystem) -> list[AperiodicJob]:
     ]
 
 
+def _wire_overload(sim, servers, overload):
+    """Attach the overload stack to one multicore run (or do nothing)."""
+    if overload is None or not overload.active or not servers:
+        return None
+    from ..faults.watchdog import DeadlineMissWatchdog
+    from ..overload import wire_sim_servers
+
+    watchdog = sim.watchdog
+    if watchdog is None and overload.detector is not None:
+        watchdog = DeadlineMissWatchdog().attach_sim(sim)
+    return wire_sim_servers(
+        overload, sim.trace, servers, watchdog=watchdog
+    )
+
+
 def _run_partitioned(
     system: GeneratedSystem,
     n_cores: int,
@@ -270,6 +295,7 @@ def _run_partitioned(
     mode: str,
     server: str | None,
     enforcement: "EnforcementConfig | None",
+    overload: "OverloadConfig | None" = None,
 ) -> MulticoreSystemResult:
     tasks = list(system.periodic_tasks)
     reserve = (
@@ -304,20 +330,32 @@ def _run_partitioned(
             servers.append(instance)
     for task_spec in tasks:
         sim.add_periodic_task(task_spec)
+    detector = _wire_overload(sim, servers, overload)
     jobs = _make_jobs(system)
     core_of_job: dict[str, int] = {}
     if server is not None:
-        for i, job in enumerate(jobs):
-            core = i % n_cores  # deterministic round-robin routing
-            core_of_job[job.name] = core
-            sim.submit_aperiodic(job, servers[core].submit)
+        if overload is not None and overload.active:
+            # overload-aware routing decides at release time, when the
+            # breaker and queue state it steers around actually exists
+            router = AperiodicRouter(servers, overload)
+            core_of_job = router.core_of_job
+            for job in jobs:
+                sim.submit_aperiodic(job, router.route)
+        else:
+            for i, job in enumerate(jobs):
+                core = i % n_cores  # deterministic round-robin routing
+                core_of_job[job.name] = core
+                sim.submit_aperiodic(job, servers[core].submit)
     trace = sim.run(until=system.horizon)
+    if detector is not None:
+        detector.finish(system.horizon)
     metrics = measure_multicore_run(
         jobs, trace, n_cores, system.horizon,
         core_of_job=core_of_job if server is not None else None,
     )
     return MulticoreSystemResult(
-        mode=mode, metrics=metrics, trace=trace, partition=partition
+        mode=mode, metrics=metrics, trace=trace, partition=partition,
+        jobs=jobs,
     )
 
 
@@ -327,6 +365,7 @@ def _run_global(
     mode: str,
     server: str | None,
     enforcement: "EnforcementConfig | None",
+    overload: "OverloadConfig | None" = None,
 ) -> MulticoreSystemResult:
     tasks = list(system.periodic_tasks)
     top = max((t.priority for t in tasks), default=0)
@@ -354,13 +393,20 @@ def _run_global(
         instance.attach(sim, horizon=system.horizon)
     for task_spec in tasks:
         sim.add_periodic_task(task_spec)
+    detector = _wire_overload(
+        sim, [instance] if instance is not None else [], overload
+    )
     jobs = _make_jobs(system)
     if instance is not None:
         for job in jobs:
             sim.submit_aperiodic(job, instance.submit)
     trace = sim.run(until=system.horizon)
+    if detector is not None:
+        detector.finish(system.horizon)
     metrics = measure_multicore_run(jobs, trace, n_cores, system.horizon)
-    return MulticoreSystemResult(mode=mode, metrics=metrics, trace=trace)
+    return MulticoreSystemResult(
+        mode=mode, metrics=metrics, trace=trace, jobs=jobs
+    )
 
 
 # -- the campaign -----------------------------------------------------------
@@ -389,7 +435,12 @@ def _guarded_mc_run(
     """One hardened run -> a RunRecord (metrics carry the aggregate)."""
     import traceback
 
-    from ..experiments.campaign import RunRecord, RunTimeout, _time_limit
+    from ..experiments.campaign import (
+        RunExhausted,
+        RunRecord,
+        RunTimeout,
+        _time_limit,
+    )
 
     key = (float(params.n_cores), float(params.total_utilization))
     policy = run_policy
@@ -425,10 +476,149 @@ def _guarded_mc_run(
             current = build_multicore_system(bumped, system_id)
             if fault_plan is not None:
                 current = fault_plan.apply(current)
-    return RunRecord(
+    record = RunRecord(
         arm=mode, set_key=key, system_id=system_id,
         status=status, attempts=attempts, error=last_error,
     )
+    if policy is not None and policy.fail_fast:
+        raise RunExhausted(record.to_dict())
+    return record
+
+
+def _mc_overload_worker(task: tuple):
+    """Pool entry point: baseline + burst run of one (mode, system)."""
+    import traceback
+
+    from ..experiments.campaign import (
+        RunExhausted,
+        RunPolicy,
+        RunRecord,
+        RunTimeout,
+        _report_payload,
+        _time_limit,
+    )
+    from ..overload.metrics import measure_overload
+
+    (mode, params, clean, burst_system, server, overload, run_policy) = task
+    key = (float(params.n_cores), float(params.total_utilization))
+    policy = run_policy if run_policy is not None else RunPolicy()
+    status, last_error = "failed", ""
+    try:
+        with _time_limit(policy.timeout_s):
+            # the unfaulted baseline calibrates the recovery criterion
+            baseline = run_multicore_system(
+                clean, params.n_cores, mode, server=server
+            )
+            faulted = run_multicore_system(
+                burst_system, params.n_cores, mode, server=server,
+                overload=overload,
+            )
+    except RunTimeout as exc:
+        status, last_error = "timeout", str(exc)
+    except Exception:
+        status, last_error = "failed", traceback.format_exc(limit=5)
+    else:
+        report = measure_overload(
+            faulted.trace,
+            faulted.jobs,
+            horizon=burst_system.horizon,
+            pre_burst_aart=(
+                baseline.metrics.aggregate.average_response_time or None
+            ),
+        )
+        return RunRecord(
+            arm=mode, set_key=key, system_id=clean.system_id, status="ok",
+            metrics=faulted.metrics.aggregate,
+            payload=_report_payload(report, baseline.metrics.aggregate),
+        )
+    record = RunRecord(
+        arm=mode, set_key=key, system_id=clean.system_id,
+        status=status, error=last_error,
+    )
+    if run_policy is not None and run_policy.fail_fast:
+        raise RunExhausted(record.to_dict())
+    return record
+
+
+def run_multicore_overload_campaign(
+    params: MulticoreParameters,
+    modes: tuple[str, ...] = MULTICORE_MODES,
+    server: str | None = "polling",
+    overload: "OverloadConfig | None" = None,
+    burst: "EventBurst | None" = None,
+    run_policy: "RunPolicy | None" = None,
+    workers: int = 1,
+):
+    """The multicore burst-overload sweep: every system runs twice per arm.
+
+    The multicore twin of
+    :func:`repro.experiments.campaign.run_overload_campaign`: an unfaulted
+    baseline calibrates pre-burst response times, then the same workload
+    runs through an :class:`~repro.faults.injectors.EventBurst` storm with
+    the ``overload`` stack armed — per-server queue bounds and breakers,
+    the degraded-mode detector, and (partitioned modes) overload-aware
+    routing that steers arrivals around open breakers and full queues.
+    Returns an :class:`~repro.experiments.campaign.OverloadCampaignResult`.
+    """
+    from ..experiments.campaign import (
+        OverloadCampaignResult,
+        RunPolicy,
+        _append_checkpoint,
+        _load_checkpoint,
+        _overload_run_from_record,
+        _parallel_map,
+        default_overload_config,
+    )
+    from ..faults.injectors import EventBurst, FaultPlan
+
+    for mode in modes:
+        if mode not in MULTICORE_MODES:
+            raise ValueError(
+                f"unknown mode {mode!r}; choose from {MULTICORE_MODES}"
+            )
+    if overload is None:
+        overload = default_overload_config()
+    if burst is None:
+        burst = EventBurst(extra=3, probability=0.5, spacing=0.05)
+    policy = run_policy if run_policy is not None else RunPolicy()
+    checkpointed = (
+        _load_checkpoint(policy.checkpoint_path)
+        if policy.checkpoint_path is not None else {}
+    )
+    worker_policy = _replace(policy, checkpoint_path=None)
+    key = (float(params.n_cores), float(params.total_utilization))
+    plan = FaultPlan(injectors=(burst,), seed=params.seed)
+
+    order: list[tuple[str, int, bool]] = []
+    pending: list[tuple | None] = []
+    for system_id in range(params.nb_systems):
+        clean = build_multicore_system(params, system_id)
+        burst_system = plan.apply(clean)
+        for mode in modes:
+            cached = (mode, key, system_id) in checkpointed
+            order.append((mode, system_id, cached))
+            pending.append(
+                None if cached else (
+                    mode, params, clean, burst_system, server, overload,
+                    worker_policy,
+                )
+            )
+    fresh = iter(_parallel_map(
+        _mc_overload_worker, [t for t in pending if t is not None], workers
+    ))
+
+    result = OverloadCampaignResult()
+    for slot, (mode, system_id, cached) in zip(pending, order):
+        if cached:
+            record = checkpointed[(mode, key, system_id)]
+        else:
+            record = next(fresh)
+            _append_checkpoint(policy.checkpoint_path, record)
+        result.records.append(record)
+        run = _overload_run_from_record(record)
+        if run is not None:
+            result.runs.append(run)
+    return result
 
 
 def run_multicore_campaign(

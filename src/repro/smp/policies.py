@@ -23,15 +23,21 @@ property the Grolleau-style periodicity tests pin down.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
 
 from ..sim.engine import Entity, SchedulingPolicy
 from ..sim.schedulers.fp import FixedPriorityPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..overload.config import OverloadConfig
+    from ..sim.servers.base import AperiodicServer
 
 __all__ = [
     "MulticorePolicy",
     "GlobalFixedPriorityPolicy",
     "GlobalEDFPolicy",
     "PartitionedPolicy",
+    "AperiodicRouter",
 ]
 
 
@@ -108,6 +114,75 @@ class GlobalEDFPolicy(_GlobalPolicy):
 
     def _rank(self, entity: Entity, now: float) -> float:
         return entity.current_deadline(now)
+
+
+class AperiodicRouter:
+    """Routes aperiodic arrivals onto the per-core servers.
+
+    The golden path is plain round-robin — byte-identical to the
+    historical ``i % n_cores`` placement when the decision points walk the
+    jobs in submission order.  With an :class:`OverloadConfig` the router
+    becomes overload-aware: a server whose circuit breaker is OPEN (a
+    passive state check — probing is the breaker's own job, not the
+    router's) or whose pending queue already sits at its bound is skipped,
+    and when every server is saturated the arrival falls back to the
+    least-loaded one, letting that server's own shedding policy decide.
+
+    Routing decisions are made at *release* time (``route`` is the submit
+    callback), so they see live breaker and queue state.
+    """
+
+    def __init__(
+        self,
+        servers: "list[AperiodicServer]",
+        overload: "OverloadConfig | None" = None,
+    ) -> None:
+        if not servers:
+            raise ValueError("AperiodicRouter needs at least one server")
+        self.servers = list(servers)
+        self.overload = overload
+        #: job name -> core index, filled as arrivals are routed
+        self.core_of_job: dict[str, int] = {}
+        self._next = 0
+
+    def pick(self, job) -> int:
+        """Choose the core (= server index) for one arriving job."""
+        n = len(self.servers)
+        start = self._next
+        self._next = (start + 1) % n
+        if self.overload is None or not self.overload.active:
+            return start
+        for offset in range(n):
+            k = (start + offset) % n
+            if self._admissible(self.servers[k]):
+                return k
+        return min(range(n), key=lambda k: self._load(self.servers[k]))
+
+    def route(self, now: float, job) -> None:
+        """Submit callback: pick a server, record the core, hand over."""
+        k = self.pick(job)
+        self.core_of_job[job.name] = k
+        self.servers[k].submit(now, job)
+
+    def _admissible(self, server) -> bool:
+        breaker = getattr(server, "breaker", None)
+        if breaker is not None and breaker.is_open:
+            return False
+        bound = self.overload.queue_bound if self.overload else None
+        if bound is not None and bound.active:
+            pending = server.pending
+            if bound.max_items is not None and len(pending) >= bound.max_items:
+                return False
+            if (
+                bound.max_cost is not None
+                and self._load(server) >= bound.max_cost
+            ):
+                return False
+        return True
+
+    @staticmethod
+    def _load(server) -> float:
+        return sum(job.declared_cost for job in server.pending)
 
 
 class PartitionedPolicy(MulticorePolicy):

@@ -68,6 +68,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.enforcement import EnforcementConfig
     from ..faults.injectors import EventBurst, FaultPlan
     from ..overload.config import OverloadConfig
+    from ..verify.violations import VerificationReport
 
 __all__ = [
     "ARMS",
@@ -266,6 +267,8 @@ class SystemResult:
     trace: ExecutionTrace
     #: the run's aperiodic job records (overload reporting input)
     jobs: list[AperiodicJob] = field(default_factory=list)
+    #: monitor verdicts when the run was verified (``verify=True``)
+    report: "VerificationReport | None" = None
 
 
 @dataclass
@@ -297,6 +300,7 @@ def simulate_system(system: GeneratedSystem,
                     policy: str = "polling",
                     enforcement: "EnforcementConfig | None" = None,
                     overload: "OverloadConfig | None" = None,
+                    verify: bool = False,
                     ) -> SystemResult:
     """Run one system on RTSS with the ideal version of ``policy``.
 
@@ -307,10 +311,11 @@ def simulate_system(system: GeneratedSystem,
     server and the periodic entities (see :mod:`repro.faults`);
     ``overload`` (optional) bounds the server's pending queue, gates
     arrivals through a circuit breaker and drives degraded modes (see
-    :mod:`repro.overload`).
+    :mod:`repro.overload`); ``verify`` attaches the standard
+    :mod:`repro.verify` monitor battery and fills ``SystemResult.report``
+    (off = the byte-identical golden path).
     """
     server_cls = _SIM_SERVERS[policy]
-    sim = Simulation(FixedPriorityPolicy(), enforcement=enforcement)
     top = max(
         (t.priority for t in system.periodic_tasks),
         default=system.server.priority,
@@ -318,6 +323,19 @@ def simulate_system(system: GeneratedSystem,
     spec = _replace(system.server, priority=max(system.server.priority, top + 1))
     server: AperiodicServer = server_cls(
         spec, name=policy.upper(), enforcement=enforcement
+    )
+    monitors = None
+    if verify:
+        from ..verify import monitors_for_system
+
+        monitors = monitors_for_system(
+            system, servers=(server,), policy="fp",
+            # enforcement cuts execution short and degraded modes rescale
+            # service, so exact-demand accounting only holds without both
+            check_demand=enforcement is None and overload is None,
+        )
+    sim = Simulation(
+        FixedPriorityPolicy(), enforcement=enforcement, monitors=monitors
     )
     server.attach(sim, horizon=system.horizon)
     detector = None
@@ -346,7 +364,13 @@ def simulate_system(system: GeneratedSystem,
     trace = sim.run(until=system.horizon)
     if detector is not None:
         detector.finish(system.horizon)
-    return SystemResult(metrics=measure_run(jobs), trace=trace, jobs=jobs)
+    report = (
+        trace.finish_monitors(system.horizon) if monitors is not None
+        else None
+    )
+    return SystemResult(
+        metrics=measure_run(jobs), trace=trace, jobs=jobs, report=report
+    )
 
 
 def execute_system(
@@ -359,6 +383,7 @@ def execute_system(
     enforcement: "EnforcementConfig | None" = None,
     timer_drift_ppm: float = 0.0,
     overload: "OverloadConfig | None" = None,
+    verify: bool = False,
 ) -> SystemResult:
     """Run one system's framework implementation on the emulated VM.
 
@@ -371,9 +396,28 @@ def execute_system(
     pending queue, installs one circuit breaker per event source and
     drives degraded modes (see :mod:`repro.overload`).
     """
+    monitored = None
+    if verify:
+        # the VM charges ISR/dispatch overheads and its servers are
+        # non-resumable, so only the scheduling-agnostic monitors apply
+        from ..verify.invariants import (
+            BreakerMonitor,
+            MonitoredTrace,
+            MonotoneClockMonitor,
+            NonOverlapMonitor,
+            ReleaseAccountingMonitor,
+        )
+
+        monitored = MonitoredTrace([
+            NonOverlapMonitor(),
+            MonotoneClockMonitor(),
+            BreakerMonitor(),
+            ReleaseAccountingMonitor(check_demand=False),
+        ])
     vm = RTSJVirtualMachine(
         overhead=overhead if overhead is not None else OverheadModel(),
         timer_drift_ppm=timer_drift_ppm,
+        trace=monitored,
     )
     params = TaskServerParameters.from_spec(
         system.server, priority=server_priority
@@ -454,8 +498,13 @@ def execute_system(
     trace = vm.run(horizon_ns)
     if detector is not None:
         detector.finish(horizon_ns / NS_PER_UNIT)
+    report = (
+        monitored.finish_monitors(horizon_ns / NS_PER_UNIT)
+        if monitored is not None else None
+    )
     return SystemResult(
-        metrics=server.run_metrics(), trace=trace, jobs=server.jobs
+        metrics=server.run_metrics(), trace=trace, jobs=server.jobs,
+        report=report,
     )
 
 
@@ -464,13 +513,22 @@ def _run_arm(
     system: GeneratedSystem,
     overhead: OverheadModel | None,
     enforcement: "EnforcementConfig | None",
+    verify: bool = False,
 ) -> RunMetrics:
     policy = "polling" if arm.startswith("ps") else "deferrable"
     if arm.endswith("_sim"):
-        return simulate_system(system, policy, enforcement=enforcement).metrics
-    return execute_system(
-        system, policy, overhead, enforcement=enforcement
-    ).metrics
+        result = simulate_system(
+            system, policy, enforcement=enforcement, verify=verify
+        )
+    else:
+        result = execute_system(
+            system, policy, overhead, enforcement=enforcement, verify=verify
+        )
+    if result.report is not None and not result.report.ok:
+        from ..verify.violations import VerificationError
+
+        raise VerificationError(result.report.summary())
+    return result.metrics
 
 
 def _load_checkpoint(path: Path) -> dict[tuple, RunRecord]:
@@ -540,17 +598,20 @@ def _parallel_map(fn, tasks: list, workers: int) -> list:
 def _campaign_worker(task: tuple) -> RunRecord:
     """Pool entry point for one (arm, system) run of the paper campaign."""
     (hardened, arm, params, system, overhead, enforcement, fault_plan,
-     run_policy) = task
+     run_policy, verify) = task
     if hardened:
         record = _guarded_run(
             arm, params, system, overhead, enforcement, fault_plan,
-            run_policy,
+            run_policy, verify,
         )
         if run_policy.fail_fast and record.status != "ok":
             raise RunExhausted(record.to_dict())
         return record
     key = (params.task_density, params.std_deviation)
-    metrics = _run_arm(arm, system, overhead, enforcement)
+    # verification is opt-in: keep the historical 4-argument call shape
+    # when it is off so stand-ins with the old signature stay usable
+    metrics = _run_arm(arm, system, overhead, enforcement,
+                       *((verify,) if verify else ()))
     return RunRecord(
         arm=arm, set_key=key, system_id=system.system_id,
         status="ok", metrics=metrics,
@@ -565,6 +626,7 @@ def _guarded_run(
     enforcement: "EnforcementConfig | None",
     fault_plan: "FaultPlan | None",
     run_policy: RunPolicy,
+    verify: bool = False,
 ) -> RunRecord:
     """Run one (arm, system) with timeout, bounded retry and seed-bump.
 
@@ -581,7 +643,8 @@ def _guarded_run(
         attempts += 1
         try:
             with _time_limit(run_policy.timeout_s):
-                metrics = _run_arm(arm, current, overhead, enforcement)
+                metrics = _run_arm(arm, current, overhead, enforcement,
+                                   *((verify,) if verify else ()))
             return RunRecord(
                 arm=arm, set_key=key, system_id=system.system_id,
                 status="ok", attempts=attempts, metrics=metrics,
@@ -613,6 +676,7 @@ def run_campaign(
     enforcement: "EnforcementConfig | None" = None,
     run_policy: RunPolicy | None = None,
     workers: int = 1,
+    verify: bool = False,
 ) -> CampaignResult:
     """Run the full evaluation; returns per-arm tables keyed like the
     paper's ``(density, std)`` columns.
@@ -664,7 +728,7 @@ def run_campaign(
                 pending.append(
                     None if cached else (
                         hardened, arm, params, system, overhead,
-                        enforcement, fault_plan, worker_policy,
+                        enforcement, fault_plan, worker_policy, verify,
                     )
                 )
     fresh = iter(_parallel_map(

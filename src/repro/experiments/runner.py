@@ -31,7 +31,7 @@ from .tables import TABLE_ARMS, format_comparison, format_table, shape_checks
 __all__ = ["main"]
 
 _TARGETS = ("all", "table2", "table3", "table4", "table5", "figures",
-            "checks", "report", "multicore", "overload")
+            "checks", "report", "multicore", "overload", "verify")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -85,6 +85,34 @@ def main(argv: list[str] | None = None) -> int:
         help="abort the whole sweep (exit status 2) as soon as one run "
              "exhausts its retry budget instead of recording it and "
              "carrying on",
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="attach the runtime-verification monitors to every campaign "
+             "run; a run with violations is recorded as failed",
+    )
+    verify_group = parser.add_argument_group("verify target")
+    verify_group.add_argument(
+        "--chaos-systems", type=int, default=50, metavar="N",
+        help="number of seeded chaos scenarios (default: 50)",
+    )
+    verify_group.add_argument(
+        "--chaos-seed", type=int, default=20260806, metavar="SEED",
+        help="master seed of the chaos campaign (default: 20260806)",
+    )
+    verify_group.add_argument(
+        "--no-multicore", action="store_true",
+        help="drop the multicore chaos flavors (smaller smoke budget)",
+    )
+    verify_group.add_argument(
+        "--no-shrink", action="store_true",
+        help="keep failing systems as-is instead of shrinking them to "
+             "minimal witnesses",
+    )
+    verify_group.add_argument(
+        "--mutations", action="store_true",
+        help="also run the mutation self-test proving every monitor "
+             "family non-vacuous",
     )
     overload_group = parser.add_argument_group("overload target")
     overload_group.add_argument(
@@ -168,6 +196,8 @@ def main(argv: list[str] | None = None) -> int:
             return _run_multicore(args, run_policy)
         if args.target == "overload":
             return _run_overload(args, run_policy, overhead)
+        if args.target == "verify":
+            return _run_verify(args)
     except RunExhausted as exc:
         print(f"fail-fast: {exc}", file=sys.stderr)
         return 2
@@ -176,7 +206,7 @@ def main(argv: list[str] | None = None) -> int:
         try:
             campaign = run_campaign(
                 overhead=overhead, run_policy=run_policy,
-                workers=args.workers,
+                workers=args.workers, verify=args.verify,
             )
         except RunExhausted as exc:
             print(f"fail-fast: {exc}", file=sys.stderr)
@@ -256,7 +286,8 @@ def _run_multicore(args: argparse.Namespace, run_policy) -> int:
         nb_systems=args.systems,
     )
     result = run_multicore_campaign(
-        params, modes=modes, run_policy=run_policy, workers=args.workers
+        params, modes=modes, run_policy=run_policy, workers=args.workers,
+        verify=args.verify,
     )
     print(format_multicore_campaign(result.tables))
     failures = [r for r in result.records if r.status != "ok"]
@@ -279,6 +310,44 @@ def _run_multicore(args: argparse.Namespace, run_policy) -> int:
                 encoding="utf-8",
             )
             print(f"wrote {path}")
+    return 1 if failures else 0
+
+
+def _run_verify(args: argparse.Namespace) -> int:
+    """The ``verify`` target: the seeded chaos campaign (and, with
+    ``--mutations``, the monitor non-vacuity self-test)."""
+    from ..verify.chaos import run_chaos_campaign
+
+    if args.chaos_systems < 1:
+        print(f"--chaos-systems must be >= 1, got {args.chaos_systems}",
+              file=sys.stderr)
+        return 1
+    failures = 0
+    result = run_chaos_campaign(
+        n_systems=args.chaos_systems,
+        seed=args.chaos_seed,
+        multicore=not args.no_multicore,
+        shrink=not args.no_shrink,
+    )
+    print(result.summary())
+    for run in result.failures:
+        if run.witness_note:
+            print(f"  witness #{run.index}: {run.witness_note}")
+        for violation in run.violations[:5]:
+            print(f"    {violation}")
+    failures += len(result.failures)
+    if args.mutations:
+        from ..verify.mutations import run_mutation_selftest
+
+        print("\nMutation self-test (each monitor family must catch "
+              "its seeded bug):")
+        for outcome in run_mutation_selftest():
+            status = "ok  " if outcome.caught else "FAIL"
+            caught = sorted(outcome.kinds & outcome.expected)
+            print(f"  [{status}] {outcome.name}: "
+                  f"{', '.join(caught) if caught else 'nothing caught'}")
+            if not outcome.caught:
+                failures += 1
     return 1 if failures else 0
 
 

@@ -274,7 +274,8 @@ class Simulation:
     def __init__(self, policy: SchedulingPolicy,
                  trace: ExecutionTrace | None = None,
                  on_deadline_miss: str = "continue",
-                 enforcement: "EnforcementConfig | None" = None) -> None:
+                 enforcement: "EnforcementConfig | None" = None,
+                 monitors: "list | None" = None) -> None:
         if on_deadline_miss not in ("continue", "abort"):
             raise ValueError(
                 "on_deadline_miss must be 'continue' (soft: late jobs keep "
@@ -287,6 +288,16 @@ class Simulation:
         self.enforcement = enforcement
         #: optional repro.faults.watchdog.DeadlineMissWatchdog
         self.watchdog = None
+        if monitors:
+            # opt-in runtime verification: the trace itself becomes the
+            # streaming feed (see repro.verify); off = byte-identical
+            if trace is not None:
+                raise ValueError(
+                    "pass either trace= or monitors=, not both"
+                )
+            from ..verify.invariants import MonitoredTrace
+
+            trace = MonitoredTrace(list(monitors))
         self.trace = trace if trace is not None else ExecutionTrace()
         self.queue = EventQueue()
         self.entities: list[Entity] = []
@@ -385,6 +396,9 @@ class Simulation:
 
         # clip the clock to the horizon for reporting purposes
         self.now = min(max(self.now, until), until)
+        finish_monitors = getattr(self.trace, "finish_monitors", None)
+        if finish_monitors is not None:
+            finish_monitors(self.now)
         self.trace.validate()
         return self.trace
 

@@ -124,6 +124,7 @@ _MARKERS = {
     TraceEventKind.BREAKER_OPEN: ("⊘", "#c0392b"),
     TraceEventKind.BREAKER_CLOSE: ("⊙", "#2a7a2a"),
     TraceEventKind.MODE_CHANGE: ("⇄", "#b8860b"),
+    TraceEventKind.VIOLATION: ("✖", "#e0115f"),
 }
 
 
@@ -183,7 +184,9 @@ def svg_gantt(
                 continue
             row = job_row.get(event.subject)
             if row is None:
-                continue
+                if event.kind is not TraceEventKind.VIOLATION:
+                    continue
+                row = 0  # unattributable violations flag the top row
             glyph, colour = marker
             y = 10 + row * row_height
             parts.append(
@@ -221,6 +224,9 @@ def _esc(text: str) -> str:
 
 #: glyph + colour for migrations on the per-core renderer
 _MIGRATION_MARKER = ("⇄", "#1f618d")
+
+#: glyph + colour for sanitizer violations on the per-core renderer
+_VIOLATION_MARKER = ("✖", "#e0115f")
 
 
 def svg_gantt_cores(
@@ -300,6 +306,17 @@ def svg_gantt_cores(
                     f'<text x="{x(event.time) - 4:.1f}" y="{y - 2:.1f}" '
                     f'fill="{colour}" font-size="10">{glyph}'
                     f"<title>migration: {_esc(event.subject)} "
+                    f"{_esc(event.detail)} at {event.time:g}</title></text>"
+                )
+            elif event.kind is TraceEventKind.VIOLATION:
+                # the monitor cannot always attribute a core; flag the
+                # instant above the top lane so it is never missed
+                glyph, colour = _VIOLATION_MARKER
+                parts.append(
+                    f'<text x="{x(event.time) - 4:.1f}" '
+                    f'y="{lane_y(0) - 2:.1f}" fill="{colour}" '
+                    f'font-size="10">{glyph}'
+                    f"<title>violation: {_esc(event.subject)} "
                     f"{_esc(event.detail)} at {event.time:g}</title></text>"
                 )
     # time axis with unit ticks

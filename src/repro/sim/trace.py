@@ -41,6 +41,7 @@ class TraceEventKind(enum.Enum):
     BREAKER_OPEN = "breaker_open"    # circuit breaker tripped open
     BREAKER_CLOSE = "breaker_close"  # circuit breaker recovered (closed)
     MODE_CHANGE = "mode_change"      # overload detector switched modes
+    VIOLATION = "violation"          # a verification monitor fired
 
 
 @dataclass(frozen=True)

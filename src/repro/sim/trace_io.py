@@ -9,6 +9,7 @@ be archived, diffed across versions, and re-rendered without re-running.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 
 from .trace import ExecutionTrace, Segment, TraceEvent, TraceEventKind
@@ -38,7 +39,13 @@ def trace_to_dict(trace: ExecutionTrace) -> dict:
 
 
 def trace_from_dict(data: dict) -> ExecutionTrace:
-    """Rebuild a trace from :func:`trace_to_dict` output."""
+    """Rebuild a trace from :func:`trace_to_dict` output.
+
+    Forward-compatible on event kinds: a trace written by a newer build
+    may carry kinds this build does not know; such events are skipped
+    with a warning instead of failing the whole load, so old tooling can
+    still render and diff newer traces.
+    """
     schema = data.get("schema")
     if schema != _SCHEMA_VERSION:
         raise ValueError(
@@ -51,13 +58,27 @@ def trace_from_dict(data: dict) -> ExecutionTrace:
                 s.get("core"))
         for s in data["segments"]
     ]
-    trace.events = [
-        TraceEvent(
-            e["time"], TraceEventKind(e["kind"]), e["subject"],
-            e.get("detail", ""),
+    events: list[TraceEvent] = []
+    unknown: dict[str, int] = {}
+    for e in data["events"]:
+        try:
+            kind = TraceEventKind(e["kind"])
+        except ValueError:
+            unknown[e["kind"]] = unknown.get(e["kind"], 0) + 1
+            continue
+        events.append(
+            TraceEvent(e["time"], kind, e["subject"], e.get("detail", ""))
         )
-        for e in data["events"]
-    ]
+    if unknown:
+        detail = ", ".join(
+            f"{kind!r} x{count}" for kind, count in sorted(unknown.items())
+        )
+        warnings.warn(
+            f"skipped {sum(unknown.values())} trace event(s) of unknown "
+            f"kind(s): {detail}",
+            stacklevel=2,
+        )
+    trace.events = events
     trace.validate()
     return trace
 

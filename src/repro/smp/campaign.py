@@ -63,6 +63,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.injectors import EventBurst, FaultPlan
     from ..overload.config import OverloadConfig
     from ..experiments.campaign import RunPolicy
+    from ..verify.violations import VerificationReport
 
 __all__ = [
     "MULTICORE_MODES",
@@ -140,6 +141,8 @@ class MulticoreSystemResult:
     partition: Partition | None = None
     #: the run's aperiodic job records (overload reports read these)
     jobs: list[AperiodicJob] = field(default_factory=list)
+    #: verification outcome when the run was monitored (``verify=True``)
+    report: "VerificationReport | None" = None
 
 
 @dataclass
@@ -233,6 +236,7 @@ def run_multicore_system(
     server: str | None = "polling",
     enforcement: "EnforcementConfig | None" = None,
     overload: "OverloadConfig | None" = None,
+    verify: bool = False,
 ) -> MulticoreSystemResult:
     """Run one generated system under one multicore arm.
 
@@ -242,7 +246,10 @@ def run_multicore_system(
     ``overload`` wires the full overload stack (queue bounds, per-server
     circuit breakers, the degraded-mode detector and, in partitioned
     modes, overload-aware routing); ``None`` keeps the golden path
-    byte-identical.
+    byte-identical.  ``verify=True`` attaches the runtime-verification
+    monitor battery (:mod:`repro.verify`) — per-core non-overlap,
+    ordering legality scoped by the placement, server capacity
+    conservation — and stores the outcome on the result's ``report``.
     """
     if mode not in MULTICORE_MODES:
         raise ValueError(
@@ -256,9 +263,11 @@ def run_multicore_system(
     if mode in _HEURISTIC_OF_MODE:
         return _run_partitioned(
             system, n_cores, _HEURISTIC_OF_MODE[mode], mode, server,
-            enforcement, overload,
+            enforcement, overload, verify,
         )
-    return _run_global(system, n_cores, mode, server, enforcement, overload)
+    return _run_global(
+        system, n_cores, mode, server, enforcement, overload, verify
+    )
 
 
 def _make_jobs(system: GeneratedSystem) -> list[AperiodicJob]:
@@ -296,6 +305,7 @@ def _run_partitioned(
     server: str | None,
     enforcement: "EnforcementConfig | None",
     overload: "OverloadConfig | None" = None,
+    verify: bool = False,
 ) -> MulticoreSystemResult:
     tasks = list(system.periodic_tasks)
     reserve = (
@@ -310,11 +320,6 @@ def _run_partitioned(
     core_of = dict(partition.core_of)
     for k, name in enumerate(server_names):
         core_of[name] = k
-    sim = MulticoreSimulation(
-        PartitionedPolicy(core_of, n_cores),
-        n_cores=n_cores,
-        enforcement=enforcement,
-    )
     servers = []
     if server is not None:
         spec = ServerSpec(
@@ -323,11 +328,25 @@ def _run_partitioned(
             priority=top + 1,  # highest on its core, the paper's invariant
         )
         for name in server_names:
-            instance = _SERVER_CLASSES[server](
+            servers.append(_SERVER_CLASSES[server](
                 spec, name=name, enforcement=enforcement
-            )
-            instance.attach(sim, horizon=system.horizon)
-            servers.append(instance)
+            ))
+    monitors = None
+    if verify:
+        from ..verify import monitors_for_system
+
+        monitors = monitors_for_system(
+            system, servers=tuple(servers), policy="fp", core_of=core_of,
+            check_demand=enforcement is None and overload is None,
+        )
+    sim = MulticoreSimulation(
+        PartitionedPolicy(core_of, n_cores),
+        n_cores=n_cores,
+        enforcement=enforcement,
+        monitors=monitors,
+    )
+    for instance in servers:
+        instance.attach(sim, horizon=system.horizon)
     for task_spec in tasks:
         sim.add_periodic_task(task_spec)
     detector = _wire_overload(sim, servers, overload)
@@ -353,9 +372,13 @@ def _run_partitioned(
         jobs, trace, n_cores, system.horizon,
         core_of_job=core_of_job if server is not None else None,
     )
+    report = (
+        trace.finish_monitors(system.horizon) if monitors is not None
+        else None
+    )
     return MulticoreSystemResult(
         mode=mode, metrics=metrics, trace=trace, partition=partition,
-        jobs=jobs,
+        jobs=jobs, report=report,
     )
 
 
@@ -366,6 +389,7 @@ def _run_global(
     server: str | None,
     enforcement: "EnforcementConfig | None",
     overload: "OverloadConfig | None" = None,
+    verify: bool = False,
 ) -> MulticoreSystemResult:
     tasks = list(system.periodic_tasks)
     top = max((t.priority for t in tasks), default=0)
@@ -373,8 +397,6 @@ def _run_global(
         GlobalFixedPriorityPolicy() if mode == "global-fp"
         else GlobalEDFPolicy()
     )
-    sim = MulticoreSimulation(policy, n_cores=n_cores,
-                              enforcement=enforcement)
     instance = None
     if server is not None:
         # one migratable server; global modes pool the per-core bandwidth
@@ -390,6 +412,19 @@ def _run_global(
             else _GlobalDeferrableServer
         )
         instance = cls(spec, name=server.upper(), enforcement=enforcement)
+    monitors = None
+    if verify:
+        from ..verify import monitors_for_system
+
+        monitors = monitors_for_system(
+            system,
+            servers=(instance,) if instance is not None else (),
+            policy="fp" if mode == "global-fp" else "edf",
+            check_demand=enforcement is None and overload is None,
+        )
+    sim = MulticoreSimulation(policy, n_cores=n_cores,
+                              enforcement=enforcement, monitors=monitors)
+    if instance is not None:
         instance.attach(sim, horizon=system.horizon)
     for task_spec in tasks:
         sim.add_periodic_task(task_spec)
@@ -404,8 +439,12 @@ def _run_global(
     if detector is not None:
         detector.finish(system.horizon)
     metrics = measure_multicore_run(jobs, trace, n_cores, system.horizon)
+    report = (
+        trace.finish_monitors(system.horizon) if monitors is not None
+        else None
+    )
     return MulticoreSystemResult(
-        mode=mode, metrics=metrics, trace=trace, jobs=jobs
+        mode=mode, metrics=metrics, trace=trace, jobs=jobs, report=report
     )
 
 
@@ -415,10 +454,10 @@ def _run_global(
 def _mc_worker(task: tuple) -> "object":
     """Pool entry point: run one (mode, system) with guard rails."""
     (mode, params, system_id, system, server, enforcement, fault_plan,
-     run_policy) = task
+     run_policy, verify) = task
     return _guarded_mc_run(
         mode, params, system_id, system, server, enforcement, fault_plan,
-        run_policy,
+        run_policy, verify,
     )
 
 
@@ -431,6 +470,7 @@ def _guarded_mc_run(
     enforcement: "EnforcementConfig | None",
     fault_plan: "FaultPlan | None",
     run_policy: "RunPolicy | None",
+    verify: bool = False,
 ):
     """One hardened run -> a RunRecord (metrics carry the aggregate)."""
     import traceback
@@ -441,6 +481,7 @@ def _guarded_mc_run(
         RunTimeout,
         _time_limit,
     )
+    from ..verify.violations import VerificationError
 
     key = (float(params.n_cores), float(params.total_utilization))
     policy = run_policy
@@ -457,8 +498,10 @@ def _guarded_mc_run(
             with _time_limit(timeout_s):
                 result = run_multicore_system(
                     current, params.n_cores, mode, server=server,
-                    enforcement=enforcement,
+                    enforcement=enforcement, verify=verify,
                 )
+                if result.report is not None and not result.report.ok:
+                    raise VerificationError(result.report.summary())
             return RunRecord(
                 arm=mode, set_key=key, system_id=system_id,
                 status="ok", attempts=attempts,
@@ -629,6 +672,7 @@ def run_multicore_campaign(
     fault_plan: "FaultPlan | None" = None,
     run_policy: "RunPolicy | None" = None,
     workers: int = 1,
+    verify: bool = False,
 ) -> MulticoreCampaignResult:
     """Run every generated system under every multicore arm.
 
@@ -678,7 +722,7 @@ def run_multicore_campaign(
                 continue
             pending.append(
                 (mode, params, system_id, system, server, enforcement,
-                 fault_plan, worker_policy)
+                 fault_plan, worker_policy, verify)
             )
     fresh = _parallel_map(
         _mc_worker, [t for t in pending if t is not None], workers

@@ -66,6 +66,7 @@ class MulticoreSimulation:
         trace: ExecutionTrace | None = None,
         on_deadline_miss: str = "continue",
         enforcement: "EnforcementConfig | None" = None,
+        monitors: "list | None" = None,
     ) -> None:
         if n_cores <= 0:
             raise ValueError(f"n_cores must be >= 1, got {n_cores}")
@@ -79,6 +80,16 @@ class MulticoreSimulation:
         self.on_deadline_miss = on_deadline_miss
         self.enforcement = enforcement
         self.watchdog = None
+        if monitors:
+            # opt-in runtime verification (see repro.verify); off =
+            # byte-identical golden path
+            if trace is not None:
+                raise ValueError(
+                    "pass either trace= or monitors=, not both"
+                )
+            from ..verify.invariants import MonitoredTrace
+
+            trace = MonitoredTrace(list(monitors))
         self.trace = trace if trace is not None else ExecutionTrace()
         self.queue = EventQueue()
         self.entities: list[Entity] = []
@@ -185,6 +196,9 @@ class MulticoreSimulation:
                         assignment[core].on_budget_exhausted(slice_end, self)
 
         self.now = min(max(self.now, until), until)
+        finish_monitors = getattr(self.trace, "finish_monitors", None)
+        if finish_monitors is not None:
+            finish_monitors(self.now)
         self.trace.validate()
         return self.trace
 

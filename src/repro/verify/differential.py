@@ -1,0 +1,133 @@
+"""Differential checking: the simulator arm vs the emulated-RTSJ arm.
+
+The paper's Tables 2-5 compare the *ideal* literature servers (RTSS
+simulation) against the *framework* implementations (emulated RTSJ VM).
+The two arms legitimately diverge — the RTSJ servers are non-resumable
+and the VM charges runtime overheads — but the divergence is bounded and
+one-sided: with overheads disabled the implementation can be slower
+(AART up) and serve fewer jobs (ASR down), never meaningfully faster.
+A regression in either arm shows up as divergence beyond tolerance, in
+either direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rtsj import OverheadModel
+from ..workload.spec import GeneratedSystem
+from .violations import VerificationReport
+
+__all__ = ["DifferentialTolerance", "differential_check"]
+
+
+@dataclass(frozen=True)
+class DifferentialTolerance:
+    """Calibrated allowances between the two arms (zero-overhead VM).
+
+    ``aart_ratio`` bounds how much slower the implementation's average
+    response may be, as a multiple of the ideal's (plus ``aart_slack``
+    absolute slack for tiny samples); ``aart_speedup`` bounds the other
+    direction — the implementation beating the ideal signals a broken
+    ideal arm.  ``asr_drop`` / ``air_rise`` bound the served/interrupted
+    ratios, which move when the non-resumable servers abandon work the
+    ideal ones would finish.
+    """
+
+    aart_ratio: float = 2.5
+    aart_slack: float = 1.0
+    # non-resumable service can legitimately beat the ideal on single
+    # jobs (unspent budget the resumable server would have drained), so
+    # the speedup alarm needs headroom beyond per-job noise
+    aart_speedup: float = 0.30
+    asr_drop: float = 0.35
+    air_rise: float = 0.60
+
+    def __post_init__(self) -> None:
+        if self.aart_ratio < 1.0:
+            raise ValueError(
+                f"aart_ratio must be >= 1, got {self.aart_ratio}"
+            )
+
+
+def differential_check(
+    system: GeneratedSystem,
+    policy: str = "polling",
+    tolerance: DifferentialTolerance | None = None,
+    report: VerificationReport | None = None,
+) -> VerificationReport:
+    """Run both arms on one system and flag metric divergence.
+
+    The VM runs with :meth:`OverheadModel.zero` so the only legitimate
+    differences are structural (non-resumable service, polling instants
+    vs immediate service).  Metrics compared: AART (average aperiodic
+    response time), ASR (served ratio) and AIR (interrupted ratio).
+    """
+    from ..experiments.campaign import execute_system, simulate_system
+
+    if tolerance is None:
+        tolerance = DifferentialTolerance()
+    if report is None:
+        report = VerificationReport()
+    ideal = simulate_system(system, policy=policy).metrics
+    impl = execute_system(
+        system, policy=policy, overhead=OverheadModel.zero()
+    ).metrics
+    tag = (f"system={system.system_id}",)
+    if ideal.released != impl.released:
+        report.record(
+            "released-count-divergence", system.horizon, tag,
+            f"ideal released {ideal.released}, implementation "
+            f"{impl.released}",
+        )
+        return report  # the arms did not even see the same workload
+    if ideal.released == 0:
+        return report
+    if ideal.average_response_time is not None:
+        bound = (
+            ideal.average_response_time * tolerance.aart_ratio
+            + tolerance.aart_slack
+        )
+        if (
+            impl.average_response_time is not None
+            and impl.average_response_time > bound
+        ):
+            report.record(
+                "aart-divergence", system.horizon, tag,
+                f"implementation AART {impl.average_response_time:g} "
+                f"exceeds {bound:g} (ideal {ideal.average_response_time:g} "
+                f"x{tolerance.aart_ratio:g} + {tolerance.aart_slack:g})",
+            )
+        if (
+            impl.average_response_time is not None
+            # AART averages over *served* jobs: when the non-resumable
+            # implementation abandons the slow tail its average drops
+            # legitimately, so the speedup check needs matched samples
+            and impl.served == ideal.served
+            and impl.average_response_time
+            < ideal.average_response_time * (1.0 - tolerance.aart_speedup)
+            - 1e-9
+        ):
+            report.record(
+                "aart-speedup", system.horizon, tag,
+                f"implementation AART {impl.average_response_time:g} beats "
+                f"the ideal {ideal.average_response_time:g} — the ideal "
+                "arm is leaving service on the table",
+            )
+    ideal_asr = ideal.served / ideal.released
+    impl_asr = impl.served / impl.released
+    if impl_asr < ideal_asr - tolerance.asr_drop:
+        report.record(
+            "asr-divergence", system.horizon, tag,
+            f"implementation ASR {impl_asr:.3f} vs ideal "
+            f"{ideal_asr:.3f} (allowed drop {tolerance.asr_drop:g})",
+        )
+    ideal_air = ideal.interrupted / ideal.released
+    impl_air = impl.interrupted / impl.released
+    if impl_air > ideal_air + tolerance.air_rise:
+        report.record(
+            "air-divergence", system.horizon, tag,
+            f"implementation AIR {impl_air:.3f} vs ideal "
+            f"{ideal_air:.3f} (allowed rise {tolerance.air_rise:g})",
+        )
+    return report

@@ -1,0 +1,272 @@
+"""Analytical oracles: observed behaviour vs the paper's closed forms.
+
+After a run finishes, these compare what the trace/metrics actually
+recorded against independent predictions:
+
+* :func:`polling_response_oracle` — the on-line Polling Server bound of
+  Section 7 (equations (1)-(5) via
+  :func:`repro.core.response_time.ideal_ps_finish_time`): under FIFO
+  service with the server above every periodic task, each aperiodic
+  job's finish instant is *exactly* the busy-period recurrence, so any
+  divergence is a scheduler or accounting bug;
+* :func:`admission_oracle` — the same workload replayed through
+  :class:`repro.core.admission.IdealPSAdmissionController`: every job
+  the controller admits must be observed finishing at the predicted
+  response time;
+* :func:`rta_oracle` — worst observed periodic response times vs the
+  Joseph & Pandya recurrence with the server as an interference source
+  (:func:`repro.analysis.server_analysis.analyse_with_server`); when
+  the analysis declares the set schedulable, no observed response may
+  exceed its bound.
+
+Oracles emit :class:`~repro.verify.violations.Violation` records on a
+report; they never assert.  Every oracle checks its own preconditions
+(no enforcement, no overload shedding, truthful declared costs) and
+silently skips systems outside its theory.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..analysis.server_analysis import analyse_with_server
+from ..core.admission import IdealPSAdmissionController
+from ..core.response_time import ideal_ps_finish_time
+from ..sim.trace import ExecutionTrace, TraceEventKind
+from ..workload.spec import GeneratedSystem
+from .violations import VerificationReport
+
+__all__ = [
+    "polling_response_oracle",
+    "admission_oracle",
+    "rta_oracle",
+    "predicted_polling_finishes",
+]
+
+_EPS = 1e-9
+#: slack allowed between the closed form and the discrete-event kernel
+_TOL = 1e-6
+
+
+def _truthful(system: GeneratedSystem) -> bool:
+    """True when every event's actual cost equals its declared cost."""
+    return all(
+        event.actual_cost is None
+        or abs(event.actual_cost - event.declared_cost) <= _EPS
+        for event in system.events
+    )
+
+
+def predicted_polling_finishes(system: GeneratedSystem) -> dict[str, float]:
+    """Finish instant of every aperiodic job under an ideal Polling
+    Server at top priority with FIFO service (the ``ps_sim`` arm).
+
+    The busy-period recurrence: a job arriving at or after the previous
+    predicted finish opens a new busy period (with the full capacity
+    live iff the arrival coincides with a server activation, i.e. a
+    period multiple — the server forfeits idle budget); a job arriving
+    inside the busy period just extends its demand.  Each prefix demand
+    is pushed through equations (1)-(4)'s
+    :func:`~repro.core.response_time.ideal_ps_finish_time`.
+    """
+    capacity = system.server.capacity
+    period = system.server.period
+    finishes: dict[str, float] = {}
+    busy_start = -math.inf
+    busy_cs = 0.0
+    demand = 0.0
+    last_finish = -math.inf
+    for event in sorted(system.events, key=lambda e: (e.release, e.event_id)):
+        if event.release >= last_finish - _EPS:
+            busy_start = event.release
+            demand = 0.0
+            phase = busy_start / period
+            on_boundary = abs(phase - round(phase)) * period <= _EPS
+            busy_cs = capacity if on_boundary else 0.0
+        demand += event.cost
+        finish = ideal_ps_finish_time(
+            busy_start, demand, busy_cs, capacity, period
+        )
+        finishes[f"h{event.event_id}"] = finish
+        last_finish = finish
+    return finishes
+
+
+def _observed_finishes(trace: ExecutionTrace,
+                       names: set[str]) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for event in trace.events:
+        if event.kind is TraceEventKind.COMPLETION and event.subject in names:
+            out.setdefault(event.subject, event.time)
+    return out
+
+
+def polling_response_oracle(
+    system: GeneratedSystem,
+    trace: ExecutionTrace,
+    report: VerificationReport | None = None,
+    tol: float = _TOL,
+) -> VerificationReport:
+    """Check a ``ps_sim`` trace against the Section 7 closed form.
+
+    Preconditions (checked, skip-not-fail): truthful declared costs and
+    an untouched event stream — enforcement, fault injection or overload
+    shedding take the run outside the theory, so systems carrying SHED /
+    OVERRUN / FAULT / MODE_CHANGE events are skipped.
+    """
+    if report is None:
+        report = VerificationReport()
+    if not _truthful(system):
+        return report
+    skip_kinds = (TraceEventKind.SHED, TraceEventKind.OVERRUN,
+                  TraceEventKind.FAULT, TraceEventKind.MODE_CHANGE)
+    if any(e.kind in skip_kinds for e in trace.events):
+        return report
+    predicted = predicted_polling_finishes(system)
+    observed = _observed_finishes(trace, set(predicted))
+    for job, finish in predicted.items():
+        seen = observed.get(job)
+        if finish <= system.horizon + tol:
+            if seen is None:
+                self_detail = (
+                    f"equations (1)-(4) predict completion at {finish:g} "
+                    f"within the horizon {system.horizon:g}, none observed"
+                )
+                report.record("unserved-within-bound", finish, (job,),
+                              self_detail)
+            elif abs(seen - finish) > tol:
+                report.record(
+                    "response-time-mismatch", seen, (job,),
+                    f"observed finish {seen:g}, equations (1)-(4) "
+                    f"predict {finish:g}",
+                )
+        elif seen is not None and seen < finish - tol:
+            report.record(
+                "served-beyond-bound", seen, (job,),
+                f"observed finish {seen:g} beats the analytical "
+                f"completion {finish:g} (bound not tight or not sound)",
+            )
+    return report
+
+
+def admission_oracle(
+    system: GeneratedSystem,
+    trace: ExecutionTrace,
+    relative_deadline: float | None = None,
+    report: VerificationReport | None = None,
+    tol: float = _TOL,
+) -> VerificationReport:
+    """Replay the stream through the ideal-PS admission controller and
+    check every admitted job's observed finish against its prediction.
+
+    The controller models deadline-ordered service, the ideal server is
+    FIFO; with one *uniform* relative deadline the two orders coincide
+    (absolute deadlines follow arrival order), so the prediction is an
+    upper bound on the FIFO finish — ``cs_t=0`` and the never-pruned
+    backlog only make it more pessimistic.  The replay stops at the
+    first rejection: a rejected job still runs in the real system, so
+    later predictions would drop demand the server actually serves.
+    """
+    if report is None:
+        report = VerificationReport()
+    if not _truthful(system):
+        return report
+    if any(e.kind in (TraceEventKind.SHED, TraceEventKind.OVERRUN,
+                      TraceEventKind.FAULT, TraceEventKind.MODE_CHANGE)
+           for e in trace.events):
+        return report
+    controller = IdealPSAdmissionController(
+        capacity=system.server.capacity, period=system.server.period
+    )
+    names = {f"h{e.event_id}" for e in system.events}
+    observed = _observed_finishes(trace, names)
+    if relative_deadline is None:
+        worst = max((e.cost for e in system.events), default=0.0)
+        relative_deadline = max(
+            4.0 * system.server.period,
+            8.0 * worst * system.server.period / system.server.capacity,
+        )
+    for event in sorted(system.events, key=lambda e: (e.release, e.event_id)):
+        name = f"h{event.event_id}"
+        decision = controller.test(
+            event.release, event.cost, relative_deadline, cs_t=0.0
+        )
+        if not decision.accepted:
+            break
+        predicted_finish = event.release + decision.predicted_response_time
+        seen = observed.get(name)
+        if predicted_finish > system.horizon + tol:
+            continue  # admitted, but the horizon cuts the run short
+        if seen is None:
+            report.record(
+                "admitted-not-served", predicted_finish, (name,),
+                f"admitted with predicted finish {predicted_finish:g}, "
+                "never completed",
+            )
+        elif seen > predicted_finish + tol:
+            report.record(
+                "admission-bound-exceeded", seen, (name,),
+                f"admitted with predicted finish {predicted_finish:g}, "
+                f"observed {seen:g}",
+            )
+    return report
+
+
+def rta_oracle(
+    system: GeneratedSystem,
+    trace: ExecutionTrace,
+    policy: str = "polling",
+    report: VerificationReport | None = None,
+    tol: float = _TOL,
+) -> VerificationReport:
+    """Observed periodic response times vs the server-aware RTA.
+
+    The server is modelled as the top-priority interference source —
+    plain periodic for a Polling Server, the double-hit curve for a
+    Deferrable Server (paper S2.1/S2.2).  Only tasks the analysis
+    declares schedulable are checked; an unschedulable verdict is not a
+    violation (the analysis is sufficient, not necessary).
+    """
+    if report is None:
+        report = VerificationReport()
+    tasks = list(system.periodic_tasks)
+    if not tasks:
+        return report
+    if any(e.kind in (TraceEventKind.OVERRUN, TraceEventKind.FAULT,
+                      TraceEventKind.MODE_CHANGE)
+           for e in trace.events):
+        return report
+    top = max(t.priority for t in tasks)
+    server = type(system.server)(
+        capacity=system.server.capacity,
+        period=system.server.period,
+        priority=top + 1,
+    )
+    result = analyse_with_server(tasks, server, policy)
+    releases: dict[str, float] = {}
+    worst: dict[str, float] = {}
+    witness: dict[str, int] = {}
+    for index, event in enumerate(trace.events):
+        task_name = event.subject.split("#", 1)[0]
+        if event.kind is TraceEventKind.RELEASE:
+            releases[event.subject] = event.time
+        elif event.kind is TraceEventKind.COMPLETION:
+            release = releases.get(event.subject)
+            if release is None:
+                continue
+            response = event.time - release
+            if response > worst.get(task_name, -math.inf):
+                worst[task_name] = response
+                witness[task_name] = index
+    for response in result.responses:
+        if not response.schedulable or response.response_time is None:
+            continue
+        observed = worst.get(response.task.name)
+        if observed is not None and observed > response.response_time + tol:
+            report.record(
+                "rta-bound-exceeded", 0.0, (response.task.name,),
+                f"worst observed response {observed:g} exceeds the "
+                f"RTA bound {response.response_time:g}",
+                witness=(witness[response.task.name],),
+            )
+    return report

@@ -1,0 +1,81 @@
+"""Structured verification outcomes.
+
+A monitor or oracle never asserts: it records a :class:`Violation` on a
+shared :class:`VerificationReport`.  A violation carries enough context
+to locate the failing window on a Gantt chart — the kind of rule broken,
+the instant it was detected, the entities involved and the indices of
+the witnessing trace events/segments — so a chaos-campaign failure can
+be replayed, shrunk and rendered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Violation", "VerificationReport", "VerificationError"]
+
+
+class VerificationError(AssertionError):
+    """Raised by :meth:`VerificationReport.raise_if_violations`."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant or missed analytical bound.
+
+    ``kind`` is a stable machine-readable tag (``"fp-inversion"``,
+    ``"capacity-overdraw"``, ...); ``time`` is the instant the rule was
+    observed broken; ``entities`` names the tasks/servers/jobs involved;
+    ``witness`` holds indices into ``trace.events`` (when the evidence is
+    point events) so the failing window is mechanically recoverable.
+    """
+
+    kind: str
+    time: float
+    entities: tuple[str, ...] = ()
+    detail: str = ""
+    witness: tuple[int, ...] = ()
+
+    def __str__(self) -> str:
+        who = ",".join(self.entities) or "-"
+        text = f"[{self.kind}] t={self.time:g} {who}"
+        if self.detail:
+            text += f": {self.detail}"
+        return text
+
+
+@dataclass
+class VerificationReport:
+    """Accumulates violations across every monitor watching one run."""
+
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def record(self, kind: str, time: float,
+               entities: tuple[str, ...] = (), detail: str = "",
+               witness: tuple[int, ...] = ()) -> Violation:
+        violation = Violation(kind, time, entities, detail, witness)
+        self.violations.append(violation)
+        return violation
+
+    def kinds(self) -> set[str]:
+        """Distinct violation kinds recorded (mutation tests key on this)."""
+        return {v.kind for v in self.violations}
+
+    def summary(self, limit: int = 10) -> str:
+        """Human-readable digest, at most ``limit`` violations spelled out."""
+        if self.ok:
+            return "verification ok (0 violations)"
+        lines = [f"{len(self.violations)} violation(s):"]
+        for violation in self.violations[:limit]:
+            lines.append(f"  {violation}")
+        if len(self.violations) > limit:
+            lines.append(f"  ... and {len(self.violations) - limit} more")
+        return "\n".join(lines)
+
+    def raise_if_violations(self) -> None:
+        if not self.ok:
+            raise VerificationError(self.summary())

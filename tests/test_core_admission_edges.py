@@ -1,0 +1,143 @@
+"""Edge cases for on-line admission control (paper Sections 2 & 7).
+
+Complements ``test_core_admission.py`` with the corner conditions the
+verification layer leans on: degenerate server parameters, decisions
+exactly on the deadline boundary, and the determinism of rejection
+ordering under repeated identical workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BucketAdmissionController,
+    IdealPSAdmissionController,
+    PollingTaskServer,
+    TaskServerParameters,
+)
+from repro.rtsj import OverheadModel, RelativeTime, RTSJVirtualMachine
+from conftest import M
+
+
+def bucket_setup(capacity=4.0, period=6.0, horizon=60.0):
+    vm = RTSJVirtualMachine(overhead=OverheadModel.zero())
+    params = TaskServerParameters(
+        RelativeTime.from_units(capacity), RelativeTime.from_units(period),
+        priority=30,
+    )
+    server = PollingTaskServer(params, queue="bucket")
+    server.attach(vm, round(horizon * M))
+    return vm, server, BucketAdmissionController(server)
+
+
+class TestDegenerateParameters:
+    def test_zero_capacity_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="0 < capacity"):
+            IdealPSAdmissionController(capacity=0.0, period=6.0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="0 < capacity"):
+            IdealPSAdmissionController(capacity=-1.0, period=6.0)
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(ValueError, match="0 < capacity"):
+            IdealPSAdmissionController(capacity=1.0, period=0.0)
+
+    def test_capacity_equal_to_period_is_legal(self):
+        # a 100%-bandwidth server is the limit case, not an error
+        ctrl = IdealPSAdmissionController(capacity=6.0, period=6.0)
+        d = ctrl.test(now=0.0, cost=3.0, relative_deadline=6.0, cs_t=6.0)
+        assert d.accepted
+
+
+class TestExactBoundary:
+    def test_ideal_accepts_on_exact_deadline(self):
+        # cs(t)=4 at t=0: a 2tu event finishes at exactly t=2
+        ctrl = IdealPSAdmissionController(capacity=4.0, period=6.0)
+        d = ctrl.test(now=0.0, cost=2.0, relative_deadline=2.0, cs_t=4.0)
+        assert d.accepted
+        assert d.margin == pytest.approx(0.0)
+
+    def test_ideal_rejects_just_under_the_boundary(self):
+        ctrl = IdealPSAdmissionController(capacity=4.0, period=6.0)
+        d = ctrl.test(
+            now=0.0, cost=2.0, relative_deadline=2.0 - 1e-9, cs_t=4.0
+        )
+        assert not d.accepted
+        assert ctrl.backlog == []
+
+    def test_bucket_accepts_on_exact_deadline(self):
+        # empty queue at t=1: served by the instance at 6, finish 8 -> 7
+        vm, server, ctrl = bucket_setup()
+        decisions = []
+        vm.schedule_event(
+            1 * M,
+            lambda now: decisions.append(
+                ctrl.test(RelativeTime(2, 0), RelativeTime(7, 0))
+            ),
+        )
+        vm.run(20 * M)
+        (d,) = decisions
+        assert d.accepted
+        assert d.predicted_response_time == pytest.approx(7.0)
+        assert d.margin == pytest.approx(0.0)
+
+    def test_bucket_rejects_one_nano_under(self):
+        vm, server, ctrl = bucket_setup()
+        decisions = []
+        vm.schedule_event(
+            1 * M,
+            lambda now: decisions.append(
+                ctrl.test(RelativeTime(2, 0), RelativeTime(6, M - 1))
+            ),
+        )
+        vm.run(20 * M)
+        (d,) = decisions
+        assert not d.accepted
+
+
+class TestRejectionOrderingDeterminism:
+    ARRIVALS = [
+        (2.0, 10.0),
+        (3.0, 4.0),   # rejected: backlog demand pushes it past 4tu
+        (2.0, 14.0),
+        (5.0, 6.0),   # rejected
+        (1.0, 20.0),
+    ]
+
+    def _run(self):
+        ctrl = IdealPSAdmissionController(capacity=4.0, period=6.0)
+        for cost, deadline in self.ARRIVALS:
+            ctrl.test(now=0.0, cost=cost, relative_deadline=deadline,
+                      cs_t=4.0)
+        return ctrl
+
+    def test_identical_workload_gives_identical_decisions(self):
+        a, b = self._run(), self._run()
+        assert [d.accepted for d in a.decisions] \
+            == [d.accepted for d in b.decisions]
+        assert [d.predicted_response_time for d in a.decisions] \
+            == [d.predicted_response_time for d in b.decisions]
+
+    def test_rejections_leave_later_decisions_untouched(self):
+        """A rejected event must not count against later arrivals: the
+        decision stream with rejections interleaved equals the stream
+        over only the accepted arrivals."""
+        full = self._run()
+        accepted_only = IdealPSAdmissionController(capacity=4.0, period=6.0)
+        expected = []
+        for (cost, deadline), decision in zip(self.ARRIVALS, full.decisions):
+            if decision.accepted:
+                expected.append(accepted_only.test(
+                    now=0.0, cost=cost, relative_deadline=deadline, cs_t=4.0
+                ))
+        kept = [d for d in full.decisions if d.accepted]
+        assert [d.predicted_response_time for d in kept] \
+            == [d.predicted_response_time for d in expected]
+        assert full.backlog == accepted_only.backlog
+
+    def test_backlog_stays_deadline_sorted(self):
+        ctrl = self._run()
+        deadlines = [d for _, d in ctrl.backlog]
+        assert deadlines == sorted(deadlines)

@@ -57,6 +57,27 @@ class TestTraceIO:
         b.add_event(5.0, TraceEventKind.RELEASE, "x")
         assert any("event count" in p for p in diff_traces(a, b))
 
+    def test_unknown_event_kinds_skipped_with_warning(self):
+        """Forward compatibility: a trace written by a newer build may
+        carry event kinds this build does not know."""
+        data = trace_to_dict(sample_trace())
+        data["events"].append(
+            {"time": 3.0, "kind": "quantum-entangle", "subject": "h1",
+             "detail": ""}
+        )
+        data["events"].append(
+            {"time": 3.5, "kind": "quantum-entangle", "subject": "h2",
+             "detail": ""}
+        )
+        with pytest.warns(UserWarning, match="quantum-entangle.*x2"):
+            rebuilt = trace_from_dict(data)
+        # the known events all survive, the unknown ones are dropped
+        assert diff_traces(sample_trace(), rebuilt) == []
+
+    def test_known_kinds_load_without_warning(self, recwarn):
+        trace_from_dict(trace_to_dict(sample_trace()))
+        assert len(recwarn) == 0
+
 
 BASE_CONFIG = {
     "policy": "fp",

@@ -1,0 +1,118 @@
+"""Tests for the chaos campaign, shrinking and the differential checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify.chaos import (
+    CHAOS_FLAVORS,
+    run_chaos_campaign,
+    shrink_failure,
+)
+from repro.verify.differential import DifferentialTolerance, differential_check
+from repro.verify.mutations import _selftest_system
+from repro.verify.violations import VerificationReport
+
+
+class TestChaosCampaign:
+    def test_small_seeded_campaign_is_clean(self):
+        result = run_chaos_campaign(n_systems=12, seed=20260806,
+                                    shrink=False)
+        assert result.ok, result.summary()
+        assert len(result.runs) == 12
+        assert "12 run(s), 0 failure(s)" in result.summary()
+
+    def test_campaign_is_deterministic(self):
+        a = run_chaos_campaign(n_systems=8, seed=99, shrink=False)
+        b = run_chaos_campaign(n_systems=8, seed=99, shrink=False)
+        assert [(r.flavor, r.seed, r.ok) for r in a.runs] \
+            == [(r.flavor, r.seed, r.ok) for r in b.runs]
+        assert a.summary() == b.summary()
+
+    def test_seeds_differ_between_scenarios(self):
+        result = run_chaos_campaign(n_systems=8, seed=7, shrink=False)
+        seeds = [r.seed for r in result.runs]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_flavors_cycle_through_the_roster(self):
+        n = len(CHAOS_FLAVORS)
+        result = run_chaos_campaign(n_systems=n, seed=3, shrink=False)
+        assert [r.flavor for r in result.runs] == list(CHAOS_FLAVORS)
+
+    def test_no_multicore_drops_mc_flavors(self):
+        result = run_chaos_campaign(n_systems=10, seed=5, shrink=False,
+                                    multicore=False)
+        assert all(not r.flavor.startswith("mc-") for r in result.runs)
+
+    def test_progress_callback_fires_per_scenario(self):
+        seen = []
+        run_chaos_campaign(n_systems=4, seed=1, shrink=False,
+                           progress=seen.append)
+        assert len(seen) == 4
+
+
+class TestShrink:
+    def test_shrinks_to_a_minimal_witness(self):
+        system = _selftest_system()
+        assert len(system.periodic_tasks) == 2
+        assert len(system.events) > 1
+
+        def check(candidate):
+            # "fails" whenever any aperiodic event is left: the minimal
+            # witness is one event and no tasks
+            report = VerificationReport()
+            if candidate.events:
+                report.record("synthetic", 0.0, ("x",), "still failing")
+            return report
+
+        shrunk, spent = shrink_failure(system, check, budget=60)
+        assert len(shrunk.events) == 1
+        assert len(shrunk.periodic_tasks) == 0
+        assert 0 < spent <= 60
+
+    def test_budget_caps_the_rerun_count(self):
+        system = _selftest_system()
+
+        def check(candidate):
+            report = VerificationReport()
+            if candidate.events:
+                report.record("synthetic", 0.0, ("x",), "still failing")
+            return report
+
+        _shrunk, spent = shrink_failure(system, check, budget=3)
+        assert spent <= 3
+
+    def test_raising_candidate_counts_as_not_reproducing(self):
+        system = _selftest_system()
+        original_events = len(system.events)
+
+        def check(candidate):
+            if len(candidate.events) < original_events:
+                raise RuntimeError("reduced system cannot even run")
+            report = VerificationReport()
+            report.record("synthetic", 0.0, ("x",), "fails at full size")
+            return report
+
+        shrunk, _spent = shrink_failure(system, check, budget=60)
+        # nothing could be removed: every reduction raised
+        assert len(shrunk.events) == original_events
+
+
+class TestDifferential:
+    def test_arms_agree_on_a_clean_system(self):
+        report = differential_check(_selftest_system())
+        assert report.ok, report.summary()
+
+    def test_zero_tolerance_flags_structural_divergence(self):
+        tight = DifferentialTolerance(
+            aart_ratio=1.0, aart_slack=0.0, aart_speedup=0.0,
+            asr_drop=0.0, air_rise=0.0,
+        )
+        report = differential_check(_selftest_system(), tolerance=tight)
+        # the non-resumable execution arm never matches the ideal
+        # simulator exactly; zero tolerance must surface that
+        assert not report.ok
+
+    def test_ratio_below_one_rejected(self):
+        with pytest.raises(ValueError, match="aart_ratio"):
+            DifferentialTolerance(aart_ratio=0.5)

@@ -1,0 +1,49 @@
+"""The mutation self-test: every monitor family is non-vacuous."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify.mutations import (
+    MUTATIONS,
+    mutation,
+    run_mutation_selftest,
+)
+
+
+def test_unknown_mutation_rejected():
+    with pytest.raises(KeyError, match="unknown mutation"):
+        mutation("segfault-on-tuesdays")
+
+
+def test_registry_covers_every_monitor_family():
+    expected_kinds = set()
+    for _factory, kinds in MUTATIONS.values():
+        expected_kinds |= kinds
+    # at least one mutation per family: ordering (FP + EDF), capacity,
+    # accounting, breaker, clock, oracle-visible service
+    assert {"fp-inversion", "edf-inversion", "capacity-overdraw",
+            "over-replenish", "overlap",
+            "breaker-close-without-open"} <= expected_kinds
+
+
+def test_mutations_restore_the_pristine_code():
+    from repro.sim.schedulers.fp import FixedPriorityPolicy
+
+    original = FixedPriorityPolicy.select
+    with mutation("fp-inversion"):
+        assert FixedPriorityPolicy.select is not original
+    assert FixedPriorityPolicy.select is original
+
+
+def test_selftest_catches_every_mutation():
+    outcomes = run_mutation_selftest()
+    assert len(outcomes) == len(MUTATIONS)
+    for outcome in outcomes:
+        assert outcome.baseline_ok, (
+            f"{outcome.name}: scenario is not clean on pristine code"
+        )
+        assert outcome.caught, (
+            f"{outcome.name}: expected one of {sorted(outcome.expected)}, "
+            f"monitors reported {sorted(outcome.kinds)}"
+        )

@@ -1,9 +1,16 @@
 """Infrastructure benchmarks: simulator kernel and VM throughput.
 
 Not a paper table — these pin the cost of the two substrates so that
-regressions in the event kernels are visible: RTSS processing a dense
-periodic set over a long horizon, and the emulated RTSJ VM running the
-full Table 1 configuration with events.
+regressions in the event kernels are visible: RTSS processing dense and
+wide periodic sets over long horizons, and the emulated RTSJ VM running
+the full Table 1 configuration with events.
+
+``bench_rtss_kernel_dense_periodic`` runs the kernel in its throughput
+configuration (``kernel="fast"``, ``trace_mode="compact"``); the
+``*_default`` companions pin the byte-identical default path so a
+regression in either mode is visible on its own.  The committed
+before/after medians live in ``benchmarks/BENCH_engine.json`` and are
+guarded by the ``bench-smoke`` CI job (see docs/performance.md).
 """
 
 from __future__ import annotations
@@ -12,24 +19,66 @@ from repro.experiments import SCENARIOS, run_scenario_execution
 from repro.sim import FixedPriorityPolicy, Simulation, TraceEventKind
 from repro.workload.spec import PeriodicTaskSpec
 
+DENSE_TASKS = [(1, 5), (2, 8), (1, 10), (3, 20), (2, 25)]
+DENSE_UNTIL = 5000.0
+# 40 low-utilisation tasks: stresses ready-set maintenance rather than
+# per-slice bookkeeping (the dense set stresses the opposite).
+WIDE_TASKS = [(0.2 + (i % 7) * 0.1, 20 + (i * 13) % 60) for i in range(40)]
+WIDE_UNTIL = 3000.0
+
+
+def _build(tasks, base_priority, **knobs):
+    sim = Simulation(FixedPriorityPolicy(), **knobs)
+    for i, (cost, period) in enumerate(tasks):
+        sim.add_periodic_task(
+            PeriodicTaskSpec(f"t{i}", cost=cost, period=period,
+                             priority=base_priority - i)
+        )
+    return sim
+
 
 def bench_rtss_kernel_dense_periodic(benchmark):
     def run():
-        sim = Simulation(FixedPriorityPolicy())
-        for i, (cost, period) in enumerate(
-            [(1, 5), (2, 8), (1, 10), (3, 20), (2, 25)]
-        ):
-            sim.add_periodic_task(
-                PeriodicTaskSpec(f"t{i}", cost=cost, period=period,
-                                 priority=10 - i)
-            )
-        return sim.run(until=5000)
+        return _build(DENSE_TASKS, 10, kernel="fast",
+                      trace_mode="compact").run(until=DENSE_UNTIL)
 
     trace = benchmark(run)
     assert trace.events_of(TraceEventKind.DEADLINE_MISS) == []
+    # sanity: the fast path reports the same workload totals as the
+    # reference kernel on the same task set
+    ref = _build(DENSE_TASKS, 10, kernel="reference").run(until=DENSE_UNTIL)
+    assert len(trace.events_of(TraceEventKind.RELEASE)) == len(
+        ref.events_of(TraceEventKind.RELEASE)
+    )
+    assert abs(trace.busy_time() - ref.busy_time()) < 1e-6
     releases = len(trace.events_of(TraceEventKind.RELEASE))
     print(f"\nprocessed {releases} releases, "
-          f"{len(trace.segments)} segments over 5000 tu")
+          f"{len(trace.segments)} segments over {DENSE_UNTIL:g} tu")
+
+
+def bench_rtss_kernel_dense_periodic_default(benchmark):
+    def run():
+        return _build(DENSE_TASKS, 10).run(until=DENSE_UNTIL)
+
+    trace = benchmark(run)
+    assert trace.events_of(TraceEventKind.DEADLINE_MISS) == []
+
+
+def bench_rtss_kernel_wide_taskset(benchmark):
+    def run():
+        return _build(WIDE_TASKS, 50, kernel="fast",
+                      trace_mode="compact").run(until=WIDE_UNTIL)
+
+    trace = benchmark(run)
+    assert trace.events_of(TraceEventKind.DEADLINE_MISS) == []
+
+
+def bench_rtss_kernel_wide_taskset_default(benchmark):
+    def run():
+        return _build(WIDE_TASKS, 50).run(until=WIDE_UNTIL)
+
+    trace = benchmark(run)
+    assert trace.events_of(TraceEventKind.DEADLINE_MISS) == []
 
 
 def bench_rtsj_vm_scenario_pipeline(benchmark):

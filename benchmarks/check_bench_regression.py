@@ -1,0 +1,60 @@
+"""Gate the engine-throughput fast path against the committed baseline.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_throughput.py \
+        --benchmark-json=bench-results.json -q
+    python benchmarks/check_bench_regression.py bench-results.json
+
+Reads the ``guards`` section of ``benchmarks/BENCH_engine.json``.  Each
+guard names a fast-path benchmark and its default-kernel companion from
+the *same* pytest-benchmark run and requires the fast/default median
+ratio to stay under ``max_ratio`` (the baseline ratio plus 25%).
+Comparing a ratio measured within one process keeps the gate meaningful
+across machines and noisy CI runners, where absolute millisecond
+baselines are not.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+BASELINE = pathlib.Path(__file__).with_name("BENCH_engine.json")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    results = json.loads(pathlib.Path(argv[1]).read_text())
+    baseline = json.loads(BASELINE.read_text())
+    medians = {
+        bench["name"]: bench["stats"]["median"]
+        for bench in results["benchmarks"]
+    }
+    failures = 0
+    for guard in baseline["guards"]:
+        fast, default = guard["fast"], guard["default"]
+        if fast not in medians or default not in medians:
+            print(f"SKIP  {fast}: benchmark missing from results")
+            continue
+        ratio = medians[fast] / medians[default]
+        verdict = "ok" if ratio <= guard["max_ratio"] else "REGRESSION"
+        print(
+            f"{verdict:>10}  {fast}: fast/default median ratio "
+            f"{ratio:.3f} (baseline {guard['baseline_ratio']:.3f}, "
+            f"max {guard['max_ratio']:.3f})"
+        )
+        if ratio > guard["max_ratio"]:
+            failures += 1
+    if failures:
+        print(f"\n{failures} guard(s) regressed by more than 25%")
+        return 1
+    print("\nall benchmark guards within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

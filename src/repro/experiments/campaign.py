@@ -61,7 +61,7 @@ from ..sim import (
 )
 from ..overload.metrics import OverloadReport, measure_overload
 from ..sim.servers.base import AperiodicServer
-from ..sim.trace import ExecutionTrace
+from ..sim.trace import CompactTrace, ExecutionTrace
 from ..workload import GeneratedSystem, GenerationParameters, PAPER_SETS, RandomSystemGenerator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -301,6 +301,8 @@ def simulate_system(system: GeneratedSystem,
                     enforcement: "EnforcementConfig | None" = None,
                     overload: "OverloadConfig | None" = None,
                     verify: bool = False,
+                    trace_mode: str | None = None,
+                    kernel: str = "auto",
                     ) -> SystemResult:
     """Run one system on RTSS with the ideal version of ``policy``.
 
@@ -313,7 +315,10 @@ def simulate_system(system: GeneratedSystem,
     arrivals through a circuit breaker and drives degraded modes (see
     :mod:`repro.overload`); ``verify`` attaches the standard
     :mod:`repro.verify` monitor battery and fills ``SystemResult.report``
-    (off = the byte-identical golden path).
+    (off = the byte-identical golden path).  ``trace_mode``/``kernel``
+    select the columnar trace and the kernel fast path (see
+    docs/performance.md); the defaults are byte-identical to the
+    historical behaviour.
     """
     server_cls = _SIM_SERVERS[policy]
     top = max(
@@ -335,7 +340,8 @@ def simulate_system(system: GeneratedSystem,
             check_demand=enforcement is None and overload is None,
         )
     sim = Simulation(
-        FixedPriorityPolicy(), enforcement=enforcement, monitors=monitors
+        FixedPriorityPolicy(), enforcement=enforcement, monitors=monitors,
+        trace_mode=trace_mode, kernel=kernel,
     )
     server.attach(sim, horizon=system.horizon)
     detector = None
@@ -384,6 +390,7 @@ def execute_system(
     timer_drift_ppm: float = 0.0,
     overload: "OverloadConfig | None" = None,
     verify: bool = False,
+    trace_mode: str | None = None,
 ) -> SystemResult:
     """Run one system's framework implementation on the emulated VM.
 
@@ -402,13 +409,18 @@ def execute_system(
         # non-resumable, so only the scheduling-agnostic monitors apply
         from ..verify.invariants import (
             BreakerMonitor,
+            MonitoredCompactTrace,
             MonitoredTrace,
             MonotoneClockMonitor,
             NonOverlapMonitor,
             ReleaseAccountingMonitor,
         )
 
-        monitored = MonitoredTrace([
+        monitored_cls = (
+            MonitoredCompactTrace if trace_mode == "compact"
+            else MonitoredTrace
+        )
+        monitored = monitored_cls([
             NonOverlapMonitor(),
             MonotoneClockMonitor(),
             BreakerMonitor(),
@@ -417,7 +429,10 @@ def execute_system(
     vm = RTSJVirtualMachine(
         overhead=overhead if overhead is not None else OverheadModel(),
         timer_drift_ppm=timer_drift_ppm,
-        trace=monitored,
+        trace=(
+            monitored if monitored is not None
+            else CompactTrace() if trace_mode == "compact" else None
+        ),
     )
     params = TaskServerParameters.from_spec(
         system.server, priority=server_priority
@@ -514,21 +529,40 @@ def _run_arm(
     overhead: OverheadModel | None,
     enforcement: "EnforcementConfig | None",
     verify: bool = False,
+    trace_mode: str | None = None,
+    kernel: str = "auto",
 ) -> RunMetrics:
     policy = "polling" if arm.startswith("ps") else "deferrable"
     if arm.endswith("_sim"):
         result = simulate_system(
-            system, policy, enforcement=enforcement, verify=verify
+            system, policy, enforcement=enforcement, verify=verify,
+            trace_mode=trace_mode, kernel=kernel,
         )
     else:
         result = execute_system(
-            system, policy, overhead, enforcement=enforcement, verify=verify
+            system, policy, overhead, enforcement=enforcement, verify=verify,
+            trace_mode=trace_mode,
         )
     if result.report is not None and not result.report.ok:
         from ..verify.violations import VerificationError
 
         raise VerificationError(result.report.summary())
     return result.metrics
+
+
+def _arm_extras(verify: bool, trace_mode: str | None,
+                kernel: str) -> tuple:
+    """Positional extras for a ``_run_arm`` call.
+
+    The performance/verification knobs are opt-in: with everything at its
+    default the historical 4-argument call shape is kept, so test
+    stand-ins with the old signature stay usable.
+    """
+    if trace_mode is not None or kernel != "auto":
+        return (verify, trace_mode, kernel)
+    if verify:
+        return (verify,)
+    return ()
 
 
 def _load_checkpoint(path: Path) -> dict[tuple, RunRecord]:
@@ -598,20 +632,18 @@ def _parallel_map(fn, tasks: list, workers: int) -> list:
 def _campaign_worker(task: tuple) -> RunRecord:
     """Pool entry point for one (arm, system) run of the paper campaign."""
     (hardened, arm, params, system, overhead, enforcement, fault_plan,
-     run_policy, verify) = task
+     run_policy, verify, trace_mode, kernel) = task
     if hardened:
         record = _guarded_run(
             arm, params, system, overhead, enforcement, fault_plan,
-            run_policy, verify,
+            run_policy, verify, trace_mode, kernel,
         )
         if run_policy.fail_fast and record.status != "ok":
             raise RunExhausted(record.to_dict())
         return record
     key = (params.task_density, params.std_deviation)
-    # verification is opt-in: keep the historical 4-argument call shape
-    # when it is off so stand-ins with the old signature stay usable
     metrics = _run_arm(arm, system, overhead, enforcement,
-                       *((verify,) if verify else ()))
+                       *_arm_extras(verify, trace_mode, kernel))
     return RunRecord(
         arm=arm, set_key=key, system_id=system.system_id,
         status="ok", metrics=metrics,
@@ -627,6 +659,8 @@ def _guarded_run(
     fault_plan: "FaultPlan | None",
     run_policy: RunPolicy,
     verify: bool = False,
+    trace_mode: str | None = None,
+    kernel: str = "auto",
 ) -> RunRecord:
     """Run one (arm, system) with timeout, bounded retry and seed-bump.
 
@@ -644,7 +678,7 @@ def _guarded_run(
         try:
             with _time_limit(run_policy.timeout_s):
                 metrics = _run_arm(arm, current, overhead, enforcement,
-                                   *((verify,) if verify else ()))
+                                   *_arm_extras(verify, trace_mode, kernel))
             return RunRecord(
                 arm=arm, set_key=key, system_id=system.system_id,
                 status="ok", attempts=attempts, metrics=metrics,
@@ -677,6 +711,8 @@ def run_campaign(
     run_policy: RunPolicy | None = None,
     workers: int = 1,
     verify: bool = False,
+    trace_mode: str | None = None,
+    kernel: str = "auto",
 ) -> CampaignResult:
     """Run the full evaluation; returns per-arm tables keyed like the
     paper's ``(density, std)`` columns.
@@ -729,6 +765,7 @@ def run_campaign(
                     None if cached else (
                         hardened, arm, params, system, overhead,
                         enforcement, fault_plan, worker_policy, verify,
+                        trace_mode, kernel,
                     )
                 )
     fresh = iter(_parallel_map(

@@ -91,6 +91,11 @@ def main(argv: list[str] | None = None) -> int:
         help="attach the runtime-verification monitors to every campaign "
              "run; a run with violations is recorded as failed",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run the target under cProfile and print the hottest "
+             "kernel frames (sorted by total time) afterwards",
+    )
     verify_group = parser.add_argument_group("verify target")
     verify_group.add_argument(
         "--chaos-systems", type=int, default=50, metavar="N",
@@ -113,6 +118,17 @@ def main(argv: list[str] | None = None) -> int:
         "--mutations", action="store_true",
         help="also run the mutation self-test proving every monitor "
              "family non-vacuous",
+    )
+    verify_group.add_argument(
+        "--kernel", choices=("auto", "reference", "fast"), default="auto",
+        help="simulator kernel for the chaos checkers (default: auto; "
+             "the dover/differential flavors always run default knobs)",
+    )
+    verify_group.add_argument(
+        "--trace-mode", choices=("object", "compact"), default=None,
+        dest="trace_mode",
+        help="trace representation for the chaos checkers "
+             "(default: object)",
     )
     overload_group = parser.add_argument_group("overload target")
     overload_group.add_argument(
@@ -159,6 +175,32 @@ def main(argv: list[str] | None = None) -> int:
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
 
+    if args.profile:
+        return _run_profiled(args, parser)
+    return _dispatch(args, parser)
+
+
+def _run_profiled(args: argparse.Namespace,
+                  parser: argparse.ArgumentParser) -> int:
+    """Run the selected target under cProfile and dump a pstats summary
+    of the hottest ``repro`` frames (sorted by total time)."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    status = 1
+    try:
+        status = profiler.runcall(_dispatch, args, parser)
+    finally:
+        profiler.disable()
+        print("\nprofile: hottest kernel frames (by total time)")
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("tottime").print_stats(r"repro[/\\]", 25)
+    return status
+
+
+def _dispatch(args: argparse.Namespace,
+              parser: argparse.ArgumentParser) -> int:
     if args.target == "report":
         from .report import generate_report, markdown_report
 
@@ -328,6 +370,8 @@ def _run_verify(args: argparse.Namespace) -> int:
         seed=args.chaos_seed,
         multicore=not args.no_multicore,
         shrink=not args.no_shrink,
+        kernel=args.kernel,
+        trace_mode=args.trace_mode,
     )
     print(result.summary())
     for run in result.failures:

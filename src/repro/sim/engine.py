@@ -11,8 +11,23 @@ the kernel advances virtual time from decision point to decision point:
 
 All state changes happen through timed callbacks and budget-exhaustion
 hooks, which keeps the kernel itself policy-agnostic and fully
-deterministic: ties are broken by an explicit ``order`` then by insertion
-sequence.
+deterministic: ties are broken by an explicit ``order``, then ``suborder``,
+then by insertion sequence.
+
+Two orthogonal performance knobs (see docs/performance.md):
+
+* ``kernel=`` — ``"auto"`` (default) uses the incrementally-maintained
+  ready index for plain fixed-priority policies and lazy periodic-release
+  scheduling, both of which are byte-identical to the reference semantics
+  by construction; ``"reference"`` forces the historical O(n)
+  rebuild-everything path (the oracle the equivalence tests compare
+  against); ``"fast"`` additionally enables the EDF deadline heap and
+  deadline-sentinel elision, which preserve the *semantic* trace (same
+  events and segments after time-normalisation) but may reorder
+  same-instant bookkeeping.
+* ``trace_mode=`` — ``"object"`` (default) records the historical
+  :class:`~repro.sim.trace.ExecutionTrace`; ``"compact"`` records a
+  columnar :class:`~repro.sim.trace.CompactTrace` with the same query API.
 """
 
 from __future__ import annotations
@@ -20,10 +35,11 @@ from __future__ import annotations
 import heapq
 import math
 from abc import ABC, abstractmethod
+from collections import deque
 from typing import Callable, TYPE_CHECKING
 
 from .task import Job, JobState, PeriodicJob, PeriodicTask
-from .trace import ExecutionTrace, TraceEventKind
+from .trace import CompactTrace, ExecutionTrace, TraceEventKind
 from ..workload.spec import PeriodicTaskSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -31,6 +47,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "EPS",
+    "KERNEL_MODES",
+    "TRACE_MODES",
     "EventQueue",
     "Entity",
     "SchedulingPolicy",
@@ -41,21 +59,40 @@ __all__ = [
 #: tolerance for floating-point time comparison
 EPS = 1e-9
 
+#: accepted values of the ``kernel=`` knob
+KERNEL_MODES = ("auto", "reference", "fast")
+#: accepted values of the ``trace_mode=`` knob
+TRACE_MODES = ("object", "compact")
+
+# members resolved once at import: the per-release entity hot paths
+# record thousands of these per run
+_RELEASE = TraceEventKind.RELEASE
+_START = TraceEventKind.START
+_COMPLETION = TraceEventKind.COMPLETION
+_PREEMPTION = TraceEventKind.PREEMPTION
+_PENDING = JobState.PENDING
+_COMPLETED = JobState.COMPLETED
+
 
 class EventQueue:
     """A deterministic time-ordered callback queue.
 
     Callbacks scheduled for the same instant run in ascending ``order``,
-    then in insertion sequence.  ``order`` lets callers pin down semantics
-    such as "budget accounting before replenishment before releases".
+    then ``suborder``, then in insertion sequence.  ``order`` lets callers
+    pin down semantics such as "budget accounting before replenishment
+    before releases"; ``suborder`` lets lazily-scheduled callbacks of one
+    family reproduce the tie-break an eager scheduler would have produced
+    (the lazy periodic-release path keys it by task registration index).
     """
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, int, Callable[[float], None]]] = []
+        self._heap: list[
+            tuple[float, int, int, int, Callable[[float], None]]
+        ] = []
         self._seq = 0
 
     def schedule(self, time: float, callback: Callable[[float], None],
-                 order: int = 0) -> None:
+                 order: int = 0, suborder: int = 0) -> None:
         """Schedule ``callback(time)`` to run at ``time``."""
         if not math.isfinite(time):
             raise ValueError(
@@ -64,7 +101,7 @@ class EventQueue:
             )
         if time < -EPS:
             raise ValueError(f"cannot schedule in negative time: {time}")
-        heapq.heappush(self._heap, (time, order, self._seq, callback))
+        heapq.heappush(self._heap, (time, order, suborder, self._seq, callback))
         self._seq += 1
 
     def peek_time(self) -> float | None:
@@ -74,8 +111,30 @@ class EventQueue:
     def pop_due(self, now: float) -> Callable[[float], None] | None:
         """Pop the earliest callback if it is due at ``now`` (within EPS)."""
         if self._heap and self._heap[0][0] <= now + EPS:
-            return heapq.heappop(self._heap)[3]
+            return heapq.heappop(self._heap)[4]
         return None
+
+    def pop_batch_due(
+        self, now: float
+    ) -> list[tuple[float, int, int, int, Callable[[float], None]]]:
+        """Drain every callback due at ``now`` in one heap pass.
+
+        Returns the full (time, order, suborder, seq, callback) entries in
+        execution order; entries a caller cannot run yet can be pushed
+        back verbatim with :meth:`push_entry`.
+        """
+        heap = self._heap
+        limit = now + EPS
+        due: list[tuple[float, int, int, int, Callable[[float], None]]] = []
+        while heap and heap[0][0] <= limit:
+            due.append(heapq.heappop(heap))
+        return due
+
+    def push_entry(
+        self, entry: tuple[float, int, int, int, Callable[[float], None]]
+    ) -> None:
+        """Return an entry obtained from :meth:`pop_batch_due` to the queue."""
+        heapq.heappush(self._heap, entry)
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -87,6 +146,13 @@ class Entity(ABC):
     #: larger numbers mean higher priority (fixed-priority policies)
     priority: int = 0
     name: str = "entity"
+    #: True when the entity notifies its kernel on every readiness change
+    #: (see :meth:`PeriodicTaskEntity._queue_changed`), allowing the
+    #: kernel to keep it in the incrementally-maintained ready index
+    #: instead of re-polling it at every decision point
+    kernel_indexable: bool = False
+    #: registration position, assigned by :meth:`Simulation.register_entity`
+    _kernel_index: int = 0
 
     @abstractmethod
     def ready(self, now: float) -> bool:
@@ -144,17 +210,28 @@ class PeriodicTaskEntity(Entity):
     rather than being lost, and each missed deadline is recorded.
     """
 
+    kernel_indexable = True
+
     def __init__(self, task: PeriodicTask) -> None:
         self.task = task
         self.name = task.name
         self.priority = task.priority
-        self._queue: list[PeriodicJob] = []
+        self._queue: deque[PeriodicJob] = deque()
         #: releases still to shed after a skip-next-release overrun
         self._shed_pending = 0
         self._sim: "Simulation | None" = None  # bound at registration
+        #: ready-index bookkeeping (see Simulation._entity_queue_changed)
+        self._in_ready_heap = False
+        self._ready_stamp = 0
 
     def ready(self, now: float) -> bool:
         return bool(self._queue)
+
+    def _queue_changed(self, sim: "Simulation | None") -> None:
+        """Tell the owning kernel the pending queue just mutated."""
+        notify = getattr(sim, "_entity_queue_changed", None)
+        if notify is not None:
+            notify(self)
 
     def _enforcement_left(self, job: PeriodicJob,
                           sim: "Simulation") -> float | None:
@@ -191,7 +268,7 @@ class PeriodicTaskEntity(Entity):
         job = self._queue[0]
         if job.start_time is None:
             job.start_time = start
-            sim.trace.add_event(start, TraceEventKind.START, job.name)
+            sim.trace.add_event(start, _START, job.name)
         job.consume(duration)
         config = sim.enforcement
         if (
@@ -215,16 +292,18 @@ class PeriodicTaskEntity(Entity):
             # before the job's true demand did
             self._enforce_overrun(now, job, sim)
             return
-        self._queue.pop(0)
-        job.state = JobState.COMPLETED
+        self._queue.popleft()
+        self._queue_changed(sim)
+        job.state = _COMPLETED
         job.finish_time = now
-        sim.trace.add_event(now, TraceEventKind.COMPLETION, job.name)
+        sim.trace.add_event(now, _COMPLETION, job.name)
 
     def _enforce_overrun(self, now: float, job: PeriodicJob,
                          sim: "Simulation") -> None:
         config = sim.enforcement
         assert config is not None and config.cuts_execution
-        self._queue.pop(0)
+        self._queue.popleft()
+        self._queue_changed(sim)
         job.finish_time = now
         sim.record_overrun(
             now, job.name,
@@ -244,6 +323,7 @@ class PeriodicTaskEntity(Entity):
 
     def release(self, now: float, job: PeriodicJob, sim: "Simulation") -> None:
         """Timed callback: a new activation arrives."""
+        job._owner_entity = self  # type: ignore[attr-defined]
         if self._shed_pending > 0:
             self._shed_pending -= 1
             job.state = JobState.ABORTED
@@ -253,9 +333,40 @@ class PeriodicTaskEntity(Entity):
                 "release shed (skip-next-release)",
             )
             return
-        job.state = JobState.PENDING
+        job.state = _PENDING
         self._queue.append(job)
-        sim.trace.add_event(now, TraceEventKind.RELEASE, job.name)
+        self._queue_changed(sim)
+        sim.trace.add_event(now, _RELEASE, job.name)
+
+    def remove_queued_job(self, job: PeriodicJob,
+                          sim: "Simulation") -> bool:
+        """Drop one pending job (firm-deadline abort); True when removed.
+
+        The head is removed in O(1); mid-queue removal (a backlogged
+        activation expiring behind the head) takes one linear pass of the
+        deque, which is the indexed-removal path ``collections.deque``
+        offers."""
+        queue = self._queue
+        if not queue:
+            return False
+        if queue[0] is job:
+            queue.popleft()
+        else:
+            try:
+                queue.remove(job)
+            except ValueError:
+                return False
+        self._queue_changed(sim)
+        return True
+
+
+# canonical PeriodicTaskEntity hooks, stashed so the kernel's inlined
+# fast paths can tell when one has been replaced (tests patch them to
+# inject bugs; instrumentation may wrap them) and fall back to calling
+# the method instead of reproducing its behaviour inline
+_EXACT_RELEASE = PeriodicTaskEntity.release
+_EXACT_CONSUME = PeriodicTaskEntity.consume
+_EXACT_EXHAUSTED = PeriodicTaskEntity.on_budget_exhausted
 
 
 class Simulation:
@@ -275,14 +386,27 @@ class Simulation:
                  trace: ExecutionTrace | None = None,
                  on_deadline_miss: str = "continue",
                  enforcement: "EnforcementConfig | None" = None,
-                 monitors: "list | None" = None) -> None:
+                 monitors: "list | None" = None,
+                 kernel: str = "auto",
+                 trace_mode: str | None = None) -> None:
         if on_deadline_miss not in ("continue", "abort"):
             raise ValueError(
                 "on_deadline_miss must be 'continue' (soft: late jobs keep "
                 f"running) or 'abort' (firm: drop them), got {on_deadline_miss!r}"
             )
+        if kernel not in KERNEL_MODES:
+            raise ValueError(
+                f"kernel must be one of {KERNEL_MODES}, got {kernel!r}"
+            )
+        if trace_mode is not None and trace_mode not in TRACE_MODES:
+            raise ValueError(
+                f"trace_mode must be one of {TRACE_MODES}, got {trace_mode!r}"
+            )
+        if trace is not None and trace_mode is not None:
+            raise ValueError("pass either trace= or trace_mode=, not both")
         self.policy = policy
         self.on_deadline_miss = on_deadline_miss
+        self.kernel = kernel
         #: cost-overrun enforcement applied to periodic entities (see
         #: repro.faults.enforcement); None = paper-faithful golden path
         self.enforcement = enforcement
@@ -295,10 +419,21 @@ class Simulation:
                 raise ValueError(
                     "pass either trace= or monitors=, not both"
                 )
-            from ..verify.invariants import MonitoredTrace
+            from ..verify.invariants import (
+                MonitoredCompactTrace,
+                MonitoredTrace,
+            )
 
-            trace = MonitoredTrace(list(monitors))
-        self.trace = trace if trace is not None else ExecutionTrace()
+            trace = (
+                MonitoredCompactTrace(list(monitors))
+                if trace_mode == "compact"
+                else MonitoredTrace(list(monitors))
+            )
+        elif trace is None:
+            trace = (
+                CompactTrace() if trace_mode == "compact" else ExecutionTrace()
+            )
+        self.trace = trace
         self.queue = EventQueue()
         self.entities: list[Entity] = []
         self.now = 0.0
@@ -312,6 +447,14 @@ class Simulation:
         #: callbacks invoked as fn(start, end, entity) after every
         #: executed processor slice (used by exchange-based servers)
         self.segment_observers: list[Callable[[float, float, Entity], None]] = []
+        # -- ready-index state (see _entity_queue_changed) ----------------
+        #: None (reference scan) | "fp" (exact) | "edf" (fast mode only)
+        self._index_mode: str | None = None
+        self._ready_heap: list = []
+        self._volatile: list[Entity] = []
+        #: fast mode: periodic deadline sentinels elided, misses emitted
+        #: post-hoc (decided at run() time, once the watchdog is known)
+        self._elide_deadlines = False
 
     # -- construction ------------------------------------------------------
 
@@ -319,6 +462,7 @@ class Simulation:
         """Add a processor competitor (registration order breaks ties)."""
         if self._ran:
             raise RuntimeError("cannot register entities after run()")
+        entity._kernel_index = len(self.entities)
         if getattr(entity, "_sim", "unbound") is None:
             # entities that track their simulation (periodic adapters,
             # detached servers) are bound here
@@ -327,7 +471,7 @@ class Simulation:
 
     def add_periodic_task(self, spec: PeriodicTaskSpec,
                           horizon: float | None = None) -> PeriodicTask:
-        """Register a periodic task; releases are pre-scheduled up to the
+        """Register a periodic task; releases are scheduled up to the
         horizon given here or to :meth:`run`'s ``until``."""
         task = PeriodicTask(spec)
         entity = PeriodicTaskEntity(task)
@@ -358,42 +502,36 @@ class Simulation:
         if self._ran:
             raise RuntimeError("a Simulation can only be run once")
         self._ran = True
+        self._setup_ready_index()
+        self._elide_deadlines = (
+            self.kernel == "fast"
+            and self.on_deadline_miss == "continue"
+            and self.watchdog is None
+            and not hasattr(self.trace, "finish_monitors")
+        )
         self._schedule_periodic_releases(until)
 
-        while self.now < until - EPS:
-            self._drain_due_events()
-            runner = self._pick(self.now)
-            next_evt = self.queue.peek_time()
-            if runner is None:
-                # processor idle: jump to the next event, or finish
-                if next_evt is None or next_evt > until + EPS:
-                    break
-                self.now = max(self.now, next_evt)
-                continue
-            budget = runner.budget(self.now)
-            if budget <= EPS:
-                # degenerate budget: treat as immediately exhausted
-                runner.on_budget_exhausted(self.now, self)
-                continue
-            end = self.now + budget
-            slice_end = min(
-                end,
-                until,
-                next_evt if next_evt is not None else math.inf,
-            )
-            if slice_end > self.now + EPS:
-                runner.consume(self.now, slice_end - self.now, self)
-                self.trace.add_segment(
-                    self.now, slice_end, runner.name,
-                    runner.current_job_label(),
-                )
-                for observer in self.segment_observers:
-                    observer(self.now, slice_end, runner)
-                self.now = slice_end
-            if abs(self.now - end) <= EPS:
-                runner.on_budget_exhausted(self.now, self)
-            # loop: events due now are drained at the top, then reselection
+        if (
+            self.kernel == "fast"
+            and self._index_mode == "fp"
+            and not self._volatile
+            and self.enforcement is None
+            and not self.segment_observers
+            and PeriodicTaskEntity.release is _EXACT_RELEASE
+            and PeriodicTaskEntity.consume is _EXACT_CONSUME
+            and PeriodicTaskEntity.on_budget_exhausted is _EXACT_EXHAUSTED
+            and all(type(e) is PeriodicTaskEntity for e in self.entities)
+        ):
+            # pure periodic fixed-priority system: the specialised loop
+            # inlines selection, dispatch and job accounting (semantics
+            # identical; every structural guarantee it relies on is
+            # stated inline)
+            self._run_fast_fp(until)
+        else:
+            self._run_main(until)
 
+        if self._elide_deadlines:
+            self._emit_elided_deadline_misses(until)
         # clip the clock to the horizon for reporting purposes
         self.now = min(max(self.now, until), until)
         finish_monitors = getattr(self.trace, "finish_monitors", None)
@@ -402,21 +540,357 @@ class Simulation:
         self.trace.validate()
         return self.trace
 
+    def _run_main(self, until: float) -> None:
+        """The generic decision loop (any policy, servers, enforcement).
+
+        Heavily-read state is aliased to locals; the local clock ``now``
+        is written back to ``self.now`` before any entity/observer code
+        can observe it.
+        """
+        heap = self.queue._heap
+        add_segment = self.trace.add_segment
+        observers = self.segment_observers
+        drain = self._drain_due_events
+        pick = self._pick
+        horizon = until - EPS
+        now = self.now
+        while now < horizon:
+            if heap and heap[0][0] <= now + EPS:
+                drain()
+            runner = pick(now)
+            next_evt = heap[0][0] if heap else None
+            if runner is None:
+                # processor idle: jump to the next event, or finish
+                if next_evt is None or next_evt > until + EPS:
+                    break
+                if next_evt > now:
+                    now = next_evt
+                    self.now = now
+                continue
+            budget = runner.budget(now)
+            if budget <= EPS:
+                # degenerate budget: treat as immediately exhausted
+                runner.on_budget_exhausted(now, self)
+                continue
+            end = now + budget
+            slice_end = end if end < until else until
+            if next_evt is not None and next_evt < slice_end:
+                slice_end = next_evt
+            if slice_end > now + EPS:
+                runner.consume(now, slice_end - now, self)
+                add_segment(
+                    now, slice_end, runner.name,
+                    runner.current_job_label(),
+                )
+                for observer in observers:
+                    observer(now, slice_end, runner)
+                now = slice_end
+                self.now = now
+            if -EPS <= now - end <= EPS:
+                runner.on_budget_exhausted(now, self)
+            # loop: events due now are drained at the top, then reselection
+
+    def _run_fast_fp(self, until: float) -> None:
+        """Specialised loop for fast-kernel, pure-FP periodic systems.
+
+        Preconditions (checked by :meth:`run`): ``kernel="fast"``, the
+        ready index is in FP mode, every entity is a plain
+        :class:`PeriodicTaskEntity` (no servers, so no volatile
+        entities), no segment observers and no enforcement policy
+        installed.  Under those
+        guarantees selection is the top of the FP ready heap, preemption
+        is a priority comparison, a slice never outruns the job
+        (``budget == job.remaining``) and completion is a queue pop —
+        all of which this loop inlines.  Event callbacks (releases,
+        deadline checks, aperiodic submissions) are popped one at a time
+        in heap order, which is exactly the reference drain order.
+
+        When the trace is a plain :class:`CompactTrace` the loop appends
+        to its columns directly.  That is safe because the kernel owns
+        the trace (``trace_mode="compact"`` constructs it fresh, and
+        subclasses such as ``MonitoredCompactTrace`` fail the exact-type
+        check) and this loop is its only segment writer, so the merge
+        candidate is always the last row and every row has ``core=None``.
+        """
+        queue = self.queue
+        heap = queue._heap
+        trace = self.trace
+        add_segment = trace.add_segment
+        add_event = trace.add_event
+        if type(trace) is CompactTrace:
+            compact = True
+            seg_start = trace._seg_start
+            seg_end = trace._seg_end
+            seg_entity = trace._seg_entity
+            seg_job = trace._seg_job
+            seg_core = trace._seg_core
+            evt_time = trace._evt_time
+            evt_kind = trace._evt_kind
+            evt_subject = trace._evt_subject
+            evt_detail = trace._evt_detail
+        else:
+            compact = False
+        ready_heap = self._ready_heap
+        pop_ready = heapq.heappop
+        horizon = until - EPS
+        now = self.now
+        while now < horizon:
+            while heap and heap[0][0] <= now + EPS:
+                pop_ready(heap)[4](now)
+            # selection: lazily pop stale heads (entity queue drained
+            # since the entry was pushed), then take the heap top
+            runner = None
+            while ready_heap:
+                entity = ready_heap[0][1]
+                if entity._queue:
+                    runner = entity
+                    break
+                pop_ready(ready_heap)
+                entity._in_ready_heap = False
+            current = self._running
+            if runner is not current:
+                if current is not None and current._queue:
+                    # the running entity is still ready, hence still in
+                    # the ready heap, hence runner is not None here
+                    if runner.priority > current.priority:
+                        current.on_preempted(now, self)
+                        label = current.current_job_label() or current.name
+                        add_event(now, _PREEMPTION, label)
+                        self._running = runner
+                        runner.on_dispatched(now, self)
+                    else:
+                        runner = current
+                else:
+                    self._running = runner
+                    if runner is not None:
+                        runner.on_dispatched(now, self)
+            next_evt = heap[0][0] if heap else None
+            if runner is None:
+                if next_evt is None or next_evt > until + EPS:
+                    break
+                if next_evt > now:
+                    now = next_evt
+                    self.now = now
+                continue
+            # no enforcement: the budget is exactly the job's remaining
+            # demand (PeriodicTaskEntity.budget with enforcement=None)
+            job = runner._queue[0]
+            budget = job.remaining
+            if budget <= EPS:
+                runner.on_budget_exhausted(now, self)
+                continue
+            end = now + budget
+            slice_end = end if end < until else until
+            if next_evt is not None and next_evt < slice_end:
+                slice_end = next_evt
+            if slice_end > now + EPS:
+                # inline of PeriodicTaskEntity.consume: the slice never
+                # exceeds the remaining demand, so Job.consume's bounds
+                # checks are structurally satisfied
+                job_name = job.name
+                if job.start_time is None:
+                    job.start_time = now
+                    if compact:
+                        evt_time.append(now)
+                        evt_kind.append(_START)
+                        evt_subject.append(job_name)
+                        evt_detail.append("")
+                    else:
+                        add_event(now, _START, job_name)
+                remaining = job.remaining - (slice_end - now)
+                job.remaining = remaining if remaining > 0.0 else 0.0
+                if compact:
+                    i = len(seg_end) - 1
+                    if (
+                        i >= 0
+                        and seg_job[i] == job_name
+                        and -EPS <= seg_end[i] - now <= EPS
+                    ):
+                        # same job implies same entity and core=None
+                        seg_end[i] = slice_end
+                        trace._seg_cache = None
+                    else:
+                        seg_start.append(now)
+                        seg_end.append(slice_end)
+                        seg_entity.append(runner.name)
+                        seg_job.append(job_name)
+                        seg_core.append(None)
+                else:
+                    add_segment(now, slice_end, runner.name, job_name)
+                now = slice_end
+                self.now = now
+            if -EPS <= now - end <= EPS:
+                # inline of on_budget_exhausted for the enforcement-free
+                # case: the job completed.  Popping keeps the entity's
+                # ready-heap entry valid when jobs remain queued (the FP
+                # key is static), so no index notification is needed
+                runner._queue.popleft()
+                job.state = _COMPLETED
+                job.finish_time = now
+                if compact:
+                    evt_time.append(now)
+                    evt_kind.append(_COMPLETION)
+                    evt_subject.append(job.name)
+                    evt_detail.append("")
+                else:
+                    add_event(now, _COMPLETION, job.name)
+
     # -- internals ----------------------------------------------------------
 
     def _drain_due_events(self) -> None:
+        queue = self.queue
+        heap = queue._heap
+        now = self.now
         while True:
-            cb = self.queue.pop_due(self.now)
-            if cb is None:
+            batch = queue.pop_batch_due(now)
+            if not batch:
                 return
-            cb(self.now)
+            i = 0
+            n = len(batch)
+            while i < n:
+                batch[i][4](now)
+                i += 1
+                # a callback may have scheduled a same-instant event that
+                # sorts before the remaining batch entries; push the rest
+                # back and re-drain so execution order stays identical to
+                # one-at-a-time popping
+                if i < n and heap and heap[0] < batch[i]:
+                    for entry in batch[i:]:
+                        queue.push_entry(entry)
+                    break
+
+    # -- ready index --------------------------------------------------------
+
+    def _setup_ready_index(self) -> None:
+        """Choose and seed the incremental ready index for this run.
+
+        The index is used for plain :class:`FixedPriorityPolicy` runs in
+        ``auto`` and ``fast`` mode (selection there is provably identical
+        to the reference scan: highest priority, first-registered on
+        ties) and for plain EDF in ``fast`` mode only (an exact deadline
+        heap, whereas the reference scan resolves sub-EPS deadline gaps
+        in favour of registration order).  Any other policy — including
+        subclasses, whose overridden hooks the kernel cannot see through
+        — keeps the reference rebuild-and-select path.
+        """
+        if self.kernel == "reference":
+            return
+        from .schedulers.edf import EarliestDeadlineFirstPolicy
+        from .schedulers.fp import FixedPriorityPolicy
+
+        policy_type = type(self.policy)
+        pristine = (
+            policy_type.select
+            is getattr(policy_type, "_exact_select", None)
+            and policy_type.preempts
+            is getattr(policy_type, "_exact_preempts", None)
+        )
+        if policy_type is FixedPriorityPolicy and pristine:
+            self._index_mode = "fp"
+        elif (
+            policy_type is EarliestDeadlineFirstPolicy
+            and pristine
+            and self.kernel == "fast"
+        ):
+            self._index_mode = "edf"
+        else:
+            return
+        self._volatile = [e for e in self.entities if not e.kernel_indexable]
+        if all(not e.kernel_indexable for e in self.entities):
+            self._index_mode = None
+            return
+        for entity in self.entities:
+            if entity.kernel_indexable:
+                entity._fp_key = (  # type: ignore[attr-defined]
+                    -entity.priority, entity._kernel_index
+                )
+                if entity.ready(self.now):
+                    self._entity_queue_changed(entity)
+
+    def _entity_queue_changed(self, entity: Entity) -> None:
+        """Ready-index notification: ``entity``'s pending queue mutated.
+
+        Indexable entities call this on every queue change (dirty-flag
+        style): stale heap entries are invalidated here and lazily
+        discarded by :meth:`_peek_indexed`, so the index never disagrees
+        with the entities' actual readiness at a decision point.
+        """
+        mode = self._index_mode
+        if mode is None:
+            return
+        if mode == "fp":
+            if entity._queue and not entity._in_ready_heap:  # type: ignore[attr-defined]
+                entity._in_ready_heap = True  # type: ignore[attr-defined]
+                heapq.heappush(
+                    self._ready_heap,
+                    (entity._fp_key, entity),  # type: ignore[attr-defined]
+                )
+        else:  # edf: the key tracks the head deadline, so re-stamp
+            entity._ready_stamp += 1  # type: ignore[attr-defined]
+            queue = entity._queue  # type: ignore[attr-defined]
+            if queue:
+                heapq.heappush(
+                    self._ready_heap,
+                    (
+                        (queue[0].deadline, entity._kernel_index),
+                        entity._ready_stamp,  # type: ignore[attr-defined]
+                        entity,
+                    ),
+                )
+
+    def _peek_indexed(self, now: float) -> Entity | None:
+        """Best ready indexable entity, discarding stale heap entries."""
+        heap = self._ready_heap
+        if self._index_mode == "fp":
+            while heap:
+                entity = heap[0][1]
+                if entity._queue:
+                    return entity
+                heapq.heappop(heap)
+                entity._in_ready_heap = False
+            return None
+        while heap:
+            _, stamp, entity = heap[0]
+            if stamp == entity._ready_stamp and entity._queue:
+                return entity
+            heapq.heappop(heap)
+        return None
 
     def _pick(self, now: float) -> Entity | None:
-        ready = [e for e in self.entities if e.ready(now)]
-        if not ready:
-            self._switch(None, now)
-            return None
-        candidate = self.policy.select(now, ready)
+        mode = self._index_mode
+        if mode is None:
+            ready = [e for e in self.entities if e.ready(now)]
+            if not ready:
+                self._switch(None, now)
+                return None
+            candidate = self.policy.select(now, ready)
+        else:
+            candidate = self._peek_indexed(now)
+            if mode == "fp":
+                for entity in self._volatile:
+                    if entity.ready(now) and (
+                        candidate is None
+                        or entity.priority > candidate.priority
+                        or (
+                            entity.priority == candidate.priority
+                            and entity._kernel_index < candidate._kernel_index
+                        )
+                    ):
+                        candidate = entity
+            else:
+                best_key = (
+                    (candidate.current_deadline(now), candidate._kernel_index)
+                    if candidate is not None else None
+                )
+                for entity in self._volatile:
+                    if entity.ready(now):
+                        key = (entity.current_deadline(now),
+                               entity._kernel_index)
+                        if best_key is None or key < best_key:
+                            candidate, best_key = entity, key
+            if candidate is None:
+                self._switch(None, now)
+                return None
         current = self._running
         if (
             current is not None
@@ -439,7 +913,26 @@ class Simulation:
         if entity is not None:
             entity.on_dispatched(now, self)
 
+    # -- periodic release scheduling ----------------------------------------
+
     def _schedule_periodic_releases(self, until: float) -> None:
+        if self.kernel == "reference":
+            self._schedule_periodic_releases_eager(until)
+            return
+        # lazy path: only each task's *next* release lives in the heap
+        # (plus the deadline sentinels of already-released jobs), so the
+        # heap holds O(tasks) periodic entries instead of
+        # O(tasks * horizon/period).  Tie-breaks reproduce the eager
+        # schedule exactly: eager assigns sequence numbers task-major, so
+        # at any shared instant releases (and, separately, deadline
+        # checks) fire in task registration order — which is precisely
+        # the ``suborder`` used here.
+        for index, (task, entity, horizon) in enumerate(self._pending_periodic):
+            limit = horizon if horizon is not None else until
+            self._schedule_next_release(task, entity, 0, limit, index)
+
+    def _schedule_periodic_releases_eager(self, until: float) -> None:
+        """Reference path: pre-schedule every release over the horizon."""
         for task, entity, horizon in self._pending_periodic:
             limit = horizon if horizon is not None else until
             instance = 0
@@ -462,6 +955,110 @@ class Simulation:
                 )
                 instance += 1
 
+    def _schedule_next_release(self, task: PeriodicTask,
+                               entity: PeriodicTaskEntity, instance: int,
+                               limit: float, index: int) -> None:
+        """Arm the task's lazy release chain starting at ``instance``.
+
+        One closure per task is created here and *re-pushed* for every
+        subsequent release (its instance counter lives in a cell), so the
+        steady state allocates no new callbacks.  The closure performs
+        the whole release: create the job, arm its deadline sentinel
+        (unless elided), push the next release, then deliver the
+        activation — an inline of :meth:`PeriodicTaskEntity.release`
+        with the shed branch kept on the cold path.
+        """
+        offset = task._offset
+        period = task._period
+        release = offset + instance * period
+        if release >= limit - EPS:
+            return
+        cell = [instance]
+        queue = self.queue
+        heap = queue._heap
+        trace = self.trace
+        add_event = trace.add_event
+        notify = self._entity_queue_changed
+        elide = self._elide_deadlines
+        columns = (
+            (trace._evt_time, trace._evt_kind,
+             trace._evt_subject, trace._evt_detail)
+            if type(trace) is CompactTrace else None
+        )
+        entity_queue = entity._queue
+        release_job = task.release_job
+        horizon = limit - EPS
+        heappush = heapq.heappush
+
+        def fire(now: float) -> None:
+            inst = cell[0]
+            job = release_job(inst)
+            if not elide:
+                queue.schedule(
+                    job.deadline,  # type: ignore[arg-type]
+                    lambda t, j=job: self._check_deadline(t, j),
+                    order=9, suborder=index,
+                )
+            nxt = offset + (inst + 1) * period
+            if nxt < horizon:
+                # push directly: the instant is spec-derived and finite,
+                # so schedule()'s validation is redundant on this path
+                cell[0] = inst + 1
+                heappush(heap, (nxt, 4, index, queue._seq, fire))
+                queue._seq += 1
+            if type(entity).release is not _EXACT_RELEASE:
+                # release() was overridden or patched: honour it
+                entity.release(now, job, self)
+                return
+            job._owner_entity = entity  # type: ignore[attr-defined]
+            if entity._shed_pending > 0:
+                entity._shed_pending -= 1
+                job.state = JobState.ABORTED
+                job.finish_time = now
+                add_event(
+                    now, TraceEventKind.FAULT, job.name,
+                    "release shed (skip-next-release)",
+                )
+                return
+            job.state = _PENDING
+            entity_queue.append(job)
+            notify(entity)
+            if columns is None:
+                add_event(now, _RELEASE, job.name)
+            else:
+                t_, k_, s_, d_ = columns
+                t_.append(now)
+                k_.append(_RELEASE)
+                s_.append(job.name)
+                d_.append("")
+
+        queue.schedule(release, fire, order=4, suborder=index)
+
+    def _emit_elided_deadline_misses(self, until: float) -> None:
+        """Fast path: deadline sentinels were skipped, so recover the
+        misses post-hoc from the released jobs' terminal state.
+
+        A reference run's sentinel fires when the clock reaches the
+        deadline (which requires ``deadline < until - EPS``) and records a
+        miss iff the job is not yet done at that instant; that is exactly
+        "terminal time > deadline" (or never finished).  Events are
+        emitted in (deadline, task) order — the order the sentinels would
+        have fired in.
+        """
+        missed: list[tuple[float, int, str]] = []
+        for index, (task, _entity, _horizon) in enumerate(
+            self._pending_periodic
+        ):
+            for job in task.jobs:
+                deadline = job.deadline
+                assert deadline is not None
+                if deadline >= until - EPS:
+                    continue  # the sentinel would never have fired
+                if job.finish_time is None or job.finish_time > deadline + EPS:
+                    missed.append((deadline, index, job.name))
+        for deadline, _index, name in sorted(missed):
+            self.trace.add_event(deadline, TraceEventKind.DEADLINE_MISS, name)
+
     def record_overrun(self, now: float, subject: str, detail: str = "") -> None:
         """Record a cost overrun on the trace and notify the watchdog."""
         self.trace.add_event(now, TraceEventKind.OVERRUN, subject, detail)
@@ -482,10 +1079,13 @@ class Simulation:
             self.trace.add_event(
                 now, TraceEventKind.ABORT, job.name, "deadline expired"
             )
-            for entity in self.entities:
+            owner = getattr(job, "_owner_entity", None)
+            if owner is not None:
+                owner.remove_queued_job(job, self)
+                return
+            for entity in self.entities:  # pragma: no cover - legacy path
                 if (
                     isinstance(entity, PeriodicTaskEntity)
-                    and job in entity._queue  # noqa: SLF001
+                    and entity.remove_queued_job(job, self)
                 ):
-                    entity._queue.remove(job)  # noqa: SLF001
                     break

@@ -31,3 +31,9 @@ class EarliestDeadlineFirstPolicy(SchedulingPolicy):
 
     def preempts(self, candidate: Entity, running: Entity, now: float) -> bool:
         return candidate.current_deadline(now) < running.current_deadline(now) - EPS
+
+
+# canonical hooks (see fp.py): let the kernel detect a replaced
+# select()/preempts() and disable the deadline-heap fast path for it
+EarliestDeadlineFirstPolicy._exact_select = EarliestDeadlineFirstPolicy.select  # type: ignore[attr-defined]
+EarliestDeadlineFirstPolicy._exact_preempts = EarliestDeadlineFirstPolicy.preempts  # type: ignore[attr-defined]

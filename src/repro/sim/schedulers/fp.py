@@ -29,3 +29,10 @@ class FixedPriorityPolicy(SchedulingPolicy):
 
     def preempts(self, candidate: Entity, running: Entity, now: float) -> bool:
         return candidate.priority > running.priority
+
+
+# canonical hooks, stashed so the kernel's ready index can tell when
+# select()/preempts() have been replaced (tests, instrumentation) and
+# fall back to calling them instead of reproducing their semantics
+FixedPriorityPolicy._exact_select = FixedPriorityPolicy.select  # type: ignore[attr-defined]
+FixedPriorityPolicy._exact_preempts = FixedPriorityPolicy.preempts  # type: ignore[attr-defined]

@@ -118,6 +118,15 @@ class PeriodicTask:
     def __init__(self, spec: PeriodicTaskSpec) -> None:
         self.spec = spec
         self.jobs: list[PeriodicJob] = []
+        # spec scalars cached off the (immutable-after-validation) spec:
+        # release_job is the kernel's release hot path and the property
+        # indirections dominate its cost otherwise
+        self._name = spec.name
+        self._offset = spec.offset
+        self._period = spec.period
+        self._exec_cost = spec.execution_cost
+        self._rel_deadline = spec.effective_deadline
+        self._declared_cost = spec.cost
 
     @property
     def name(self) -> str:
@@ -128,17 +137,29 @@ class PeriodicTask:
         return self.spec.priority
 
     def release_job(self, instance: int) -> PeriodicJob:
-        """Create the job for activation number ``instance`` (0-based)."""
-        release = self.spec.offset + instance * self.spec.period
-        job = PeriodicJob(
-            name=f"{self.spec.name}#{instance}",
-            release=release,
-            cost=self.spec.execution_cost,
-            deadline=release + self.spec.effective_deadline,
-            task=self,
-            instance=instance,
-            declared_cost=self.spec.cost,
-        )
+        """Create the job for activation number ``instance`` (0-based).
+
+        The dataclass constructor (and its ``__post_init__`` validation)
+        is bypassed on this path: the spec already guarantees
+        ``execution_cost > 0`` and ``offset >= 0``/``period > 0``, which
+        are exactly the conditions ``Job.__post_init__`` would check.
+        """
+        release = self._offset + instance * self._period
+        cost = self._exec_cost
+        job = PeriodicJob.__new__(PeriodicJob)
+        job.name = f"{self._name}#{instance}"
+        job.release = release
+        job.cost = cost
+        job.deadline = release + self._rel_deadline
+        job.value = None
+        job.job_id = next(_job_counter)
+        job.task = self
+        job.instance = instance
+        job.declared_cost = self._declared_cost
+        job.remaining = cost
+        job.state = JobState.PENDING
+        job.start_time = None
+        job.finish_time = None
         self.jobs.append(job)
         return job
 

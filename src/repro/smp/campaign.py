@@ -237,6 +237,8 @@ def run_multicore_system(
     enforcement: "EnforcementConfig | None" = None,
     overload: "OverloadConfig | None" = None,
     verify: bool = False,
+    trace_mode: str | None = None,
+    kernel: str = "auto",
 ) -> MulticoreSystemResult:
     """Run one generated system under one multicore arm.
 
@@ -250,6 +252,9 @@ def run_multicore_system(
     monitor battery (:mod:`repro.verify`) — per-core non-overlap,
     ordering legality scoped by the placement, server capacity
     conservation — and stores the outcome on the result's ``report``.
+    ``trace_mode``/``kernel`` select the columnar trace and the lazy
+    release-scheduling path (see docs/performance.md); defaults are
+    byte-identical to the historical behaviour.
     """
     if mode not in MULTICORE_MODES:
         raise ValueError(
@@ -263,10 +268,11 @@ def run_multicore_system(
     if mode in _HEURISTIC_OF_MODE:
         return _run_partitioned(
             system, n_cores, _HEURISTIC_OF_MODE[mode], mode, server,
-            enforcement, overload, verify,
+            enforcement, overload, verify, trace_mode, kernel,
         )
     return _run_global(
-        system, n_cores, mode, server, enforcement, overload, verify
+        system, n_cores, mode, server, enforcement, overload, verify,
+        trace_mode, kernel,
     )
 
 
@@ -306,6 +312,8 @@ def _run_partitioned(
     enforcement: "EnforcementConfig | None",
     overload: "OverloadConfig | None" = None,
     verify: bool = False,
+    trace_mode: str | None = None,
+    kernel: str = "auto",
 ) -> MulticoreSystemResult:
     tasks = list(system.periodic_tasks)
     reserve = (
@@ -344,6 +352,8 @@ def _run_partitioned(
         n_cores=n_cores,
         enforcement=enforcement,
         monitors=monitors,
+        trace_mode=trace_mode,
+        kernel=kernel,
     )
     for instance in servers:
         instance.attach(sim, horizon=system.horizon)
@@ -390,6 +400,8 @@ def _run_global(
     enforcement: "EnforcementConfig | None",
     overload: "OverloadConfig | None" = None,
     verify: bool = False,
+    trace_mode: str | None = None,
+    kernel: str = "auto",
 ) -> MulticoreSystemResult:
     tasks = list(system.periodic_tasks)
     top = max((t.priority for t in tasks), default=0)
@@ -423,7 +435,8 @@ def _run_global(
             check_demand=enforcement is None and overload is None,
         )
     sim = MulticoreSimulation(policy, n_cores=n_cores,
-                              enforcement=enforcement, monitors=monitors)
+                              enforcement=enforcement, monitors=monitors,
+                              trace_mode=trace_mode, kernel=kernel)
     if instance is not None:
         instance.attach(sim, horizon=system.horizon)
     for task_spec in tasks:

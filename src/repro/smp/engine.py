@@ -33,9 +33,16 @@ from __future__ import annotations
 import math
 from typing import Callable, TYPE_CHECKING
 
-from ..sim.engine import EPS, Entity, EventQueue, PeriodicTaskEntity
+from ..sim.engine import (
+    EPS,
+    KERNEL_MODES,
+    TRACE_MODES,
+    Entity,
+    EventQueue,
+    PeriodicTaskEntity,
+)
 from ..sim.task import Job, JobState, PeriodicJob, PeriodicTask
-from ..sim.trace import ExecutionTrace, TraceEventKind
+from ..sim.trace import CompactTrace, ExecutionTrace, TraceEventKind
 from ..workload.spec import PeriodicTaskSpec
 from .policies import MulticorePolicy
 
@@ -67,6 +74,8 @@ class MulticoreSimulation:
         on_deadline_miss: str = "continue",
         enforcement: "EnforcementConfig | None" = None,
         monitors: "list | None" = None,
+        kernel: str = "auto",
+        trace_mode: str | None = None,
     ) -> None:
         if n_cores <= 0:
             raise ValueError(f"n_cores must be >= 1, got {n_cores}")
@@ -75,9 +84,24 @@ class MulticoreSimulation:
                 "on_deadline_miss must be 'continue' or 'abort', "
                 f"got {on_deadline_miss!r}"
             )
+        if kernel not in KERNEL_MODES:
+            raise ValueError(
+                f"kernel must be one of {KERNEL_MODES}, got {kernel!r}"
+            )
+        if trace_mode is not None and trace_mode not in TRACE_MODES:
+            raise ValueError(
+                f"trace_mode must be one of {TRACE_MODES}, got {trace_mode!r}"
+            )
+        if trace is not None and trace_mode is not None:
+            raise ValueError("pass either trace= or trace_mode=, not both")
         self.policy = policy
         self.n_cores = n_cores
         self.on_deadline_miss = on_deadline_miss
+        #: this kernel keeps the full-ready-set dispatch (the policy's
+        #: assign() needs every ready entity); ``kernel`` only switches
+        #: between lazy (auto/fast) and eager (reference) release
+        #: scheduling, both byte-identical by the suborder argument
+        self.kernel = kernel
         self.enforcement = enforcement
         self.watchdog = None
         if monitors:
@@ -87,10 +111,21 @@ class MulticoreSimulation:
                 raise ValueError(
                     "pass either trace= or monitors=, not both"
                 )
-            from ..verify.invariants import MonitoredTrace
+            from ..verify.invariants import (
+                MonitoredCompactTrace,
+                MonitoredTrace,
+            )
 
-            trace = MonitoredTrace(list(monitors))
-        self.trace = trace if trace is not None else ExecutionTrace()
+            trace = (
+                MonitoredCompactTrace(list(monitors))
+                if trace_mode == "compact"
+                else MonitoredTrace(list(monitors))
+            )
+        elif trace is None:
+            trace = (
+                CompactTrace() if trace_mode == "compact" else ExecutionTrace()
+            )
+        self.trace = trace
         self.queue = EventQueue()
         self.entities: list[Entity] = []
         self.now = 0.0
@@ -205,11 +240,25 @@ class MulticoreSimulation:
     # -- internals ----------------------------------------------------------
 
     def _drain_due_events(self) -> None:
+        queue = self.queue
+        heap = queue._heap
+        now = self.now
         while True:
-            cb = self.queue.pop_due(self.now)
-            if cb is None:
+            batch = queue.pop_batch_due(now)
+            if not batch:
                 return
-            cb(self.now)
+            i = 0
+            n = len(batch)
+            while i < n:
+                batch[i][4](now)
+                i += 1
+                # preserve one-at-a-time ordering when a callback
+                # schedules a same-instant event sorting before the rest
+                # of the batch (see Simulation._drain_due_events)
+                if i < n and heap and heap[0] < batch[i]:
+                    for entry in batch[i:]:
+                        queue.push_entry(entry)
+                    break
 
     def _pick(self, now: float) -> dict[int, Entity]:
         ready = [e for e in self.entities if e.ready(now)]
@@ -252,27 +301,61 @@ class MulticoreSimulation:
         return assignment
 
     def _schedule_periodic_releases(self, until: float) -> None:
-        for task, entity, horizon in self._pending_periodic:
+        if self.kernel == "reference":
+            for task, entity, horizon in self._pending_periodic:
+                limit = horizon if horizon is not None else until
+                instance = 0
+                while True:
+                    release = task.spec.offset + instance * task.spec.period
+                    if release >= limit - EPS:
+                        break
+                    job = task.release_job(instance)
+                    self.queue.schedule(
+                        release,
+                        lambda now, e=entity, j=job: e.release(now, j, self),
+                        order=4,
+                    )
+                    deadline = job.deadline
+                    assert deadline is not None
+                    self.queue.schedule(
+                        deadline,
+                        lambda now, j=job: self._check_deadline(now, j),
+                        order=9,
+                    )
+                    instance += 1
+            return
+        # lazy path: O(tasks) live periodic heap entries; byte-identical
+        # to the eager path via suborder (see Simulation's counterpart)
+        for index, (task, entity, horizon) in enumerate(self._pending_periodic):
             limit = horizon if horizon is not None else until
-            instance = 0
-            while True:
-                release = task.spec.offset + instance * task.spec.period
-                if release >= limit - EPS:
-                    break
-                job = task.release_job(instance)
-                self.queue.schedule(
-                    release,
-                    lambda now, e=entity, j=job: e.release(now, j, self),
-                    order=4,
-                )
-                deadline = job.deadline
-                assert deadline is not None
-                self.queue.schedule(
-                    deadline,
-                    lambda now, j=job: self._check_deadline(now, j),
-                    order=9,
-                )
-                instance += 1
+            self._schedule_next_release(task, entity, 0, limit, index)
+
+    def _schedule_next_release(self, task: PeriodicTask,
+                               entity: PeriodicTaskEntity, instance: int,
+                               limit: float, index: int) -> None:
+        release = task.spec.offset + instance * task.spec.period
+        if release >= limit - EPS:
+            return
+        self.queue.schedule(
+            release,
+            lambda now: self._lazy_release(now, task, entity, instance,
+                                           limit, index),
+            order=4, suborder=index,
+        )
+
+    def _lazy_release(self, now: float, task: PeriodicTask,
+                      entity: PeriodicTaskEntity, instance: int,
+                      limit: float, index: int) -> None:
+        job = task.release_job(instance)
+        deadline = job.deadline
+        assert deadline is not None
+        self.queue.schedule(
+            deadline,
+            lambda t, j=job: self._check_deadline(t, j),
+            order=9, suborder=index,
+        )
+        self._schedule_next_release(task, entity, instance + 1, limit, index)
+        entity.release(now, job, self)
 
     def record_overrun(self, now: float, subject: str, detail: str = "") -> None:
         """Record a cost overrun on the trace and notify the watchdog."""
@@ -292,10 +375,13 @@ class MulticoreSimulation:
             self.trace.add_event(
                 now, TraceEventKind.ABORT, job.name, "deadline expired"
             )
-            for entity in self.entities:
+            owner = getattr(job, "_owner_entity", None)
+            if owner is not None:
+                owner.remove_queued_job(job, self)
+                return
+            for entity in self.entities:  # pragma: no cover - legacy path
                 if (
                     isinstance(entity, PeriodicTaskEntity)
-                    and job in entity._queue  # noqa: SLF001
+                    and entity.remove_queued_job(job, self)
                 ):
-                    entity._queue.remove(job)  # noqa: SLF001
                     break

@@ -36,6 +36,7 @@ from .invariants import (
     DOverLegalityMonitor,
     EDFOrderMonitor,
     FixedPriorityMonitor,
+    MonitoredCompactTrace,
     MonitoredTrace,
     MonotoneClockMonitor,
     NonOverlapMonitor,
@@ -57,6 +58,7 @@ __all__ = [
     "VerificationReport",
     "VerificationError",
     "TraceMonitor",
+    "MonitoredCompactTrace",
     "MonitoredTrace",
     "run_monitors",
     "NonOverlapMonitor",

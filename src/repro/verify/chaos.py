@@ -241,10 +241,13 @@ def _run_dover_check(specs) -> VerificationReport:
 
 
 def _check_uni(system: GeneratedSystem, policy: str,
-               oracles: bool) -> VerificationReport:
+               oracles: bool, kernel: str = "auto",
+               trace_mode: str | None = None) -> VerificationReport:
     from ..experiments.campaign import simulate_system
 
-    result = simulate_system(system, policy, verify=True)
+    result = simulate_system(
+        system, policy, verify=True, kernel=kernel, trace_mode=trace_mode
+    )
     report = result.report
     assert report is not None
     if oracles and policy == "polling":
@@ -256,35 +259,41 @@ def _check_uni(system: GeneratedSystem, policy: str,
 
 
 def _check_uni_faulted(system: GeneratedSystem, policy: str, plan,
-                       enforcement) -> VerificationReport:
+                       enforcement, kernel: str = "auto",
+                       trace_mode: str | None = None) -> VerificationReport:
     from ..experiments.campaign import simulate_system
 
     faulted = plan.apply(system)
     result = simulate_system(
-        faulted, policy, enforcement=enforcement, verify=True
+        faulted, policy, enforcement=enforcement, verify=True,
+        kernel=kernel, trace_mode=trace_mode,
     )
     assert result.report is not None
     return result.report
 
 
 def _check_uni_overload(system: GeneratedSystem, policy: str,
-                        plan) -> VerificationReport:
+                        plan, kernel: str = "auto",
+                        trace_mode: str | None = None) -> VerificationReport:
     from ..experiments.campaign import default_overload_config, simulate_system
 
     burst = plan.apply(system)
     result = simulate_system(
-        burst, policy, overload=default_overload_config(), verify=True
+        burst, policy, overload=default_overload_config(), verify=True,
+        kernel=kernel, trace_mode=trace_mode,
     )
     assert result.report is not None
     return result.report
 
 
 def _check_multicore(system: GeneratedSystem, n_cores: int, mode: str,
-                     server: str | None) -> VerificationReport:
+                     server: str | None, kernel: str = "auto",
+                     trace_mode: str | None = None) -> VerificationReport:
     from ..smp.campaign import run_multicore_system
 
     result = run_multicore_system(
-        system, n_cores, mode, server=server, verify=True
+        system, n_cores, mode, server=server, verify=True,
+        kernel=kernel, trace_mode=trace_mode,
     )
     assert result.report is not None
     return result.report
@@ -418,7 +427,9 @@ def _shrink_dover(specs, budget: int = 40):
 
 
 def _run_scenario(index: int, flavor: str, seed: int,
-                  shrink: bool, shrink_budget: int) -> ChaosRunResult:
+                  shrink: bool, shrink_budget: int,
+                  kernel: str = "auto",
+                  trace_mode: str | None = None) -> ChaosRunResult:
     rng = PortableRandom(seed)
 
     if flavor == "dover":
@@ -441,10 +452,15 @@ def _run_scenario(index: int, flavor: str, seed: int,
 
     if flavor == "uni-polling":
         system = _uni_system(rng, seed)
-        check = lambda s: _check_uni(s, "polling", oracles=True)  # noqa: E731
+        check = lambda s: _check_uni(  # noqa: E731
+            s, "polling", oracles=True, kernel=kernel, trace_mode=trace_mode
+        )
     elif flavor == "uni-deferrable":
         system = _uni_system(rng, seed)
-        check = lambda s: _check_uni(s, "deferrable", oracles=True)  # noqa: E731
+        check = lambda s: _check_uni(  # noqa: E731
+            s, "deferrable", oracles=True, kernel=kernel,
+            trace_mode=trace_mode,
+        )
     elif flavor == "uni-faults":
         system = _uni_system(rng, seed)
         plan = _random_fault_plan(rng, seed)
@@ -455,7 +471,10 @@ def _run_scenario(index: int, flavor: str, seed: int,
             enforcement = EnforcementConfig()
         policy = "polling" if rng.random() < 0.5 else "deferrable"
         check = (  # noqa: E731
-            lambda s: _check_uni_faulted(s, policy, plan, enforcement)
+            lambda s: _check_uni_faulted(
+                s, policy, plan, enforcement, kernel=kernel,
+                trace_mode=trace_mode,
+            )
         )
     elif flavor == "uni-overload":
         from ..faults.injectors import EventBurst, FaultPlan
@@ -470,14 +489,19 @@ def _run_scenario(index: int, flavor: str, seed: int,
             seed=seed & 0xFFFF,
         )
         policy = "polling" if rng.random() < 0.5 else "deferrable"
-        check = lambda s: _check_uni_overload(s, policy, plan)  # noqa: E731
+        check = lambda s: _check_uni_overload(  # noqa: E731
+            s, policy, plan, kernel=kernel, trace_mode=trace_mode
+        )
     elif flavor == "mc-part":
         n_cores = rng.randint(2, 4)
         mode = ("part-ff", "part-wf", "part-bf")[index % 3]
         server = ("polling", "deferrable", None)[rng.randint(0, 2)]
         system = _mc_system(rng, seed, n_cores, partitioned=True)
         check = (  # noqa: E731
-            lambda s: _check_multicore(s, n_cores, mode, server)
+            lambda s: _check_multicore(
+                s, n_cores, mode, server, kernel=kernel,
+                trace_mode=trace_mode,
+            )
         )
     elif flavor == "mc-global":
         n_cores = rng.randint(2, 4)
@@ -485,7 +509,10 @@ def _run_scenario(index: int, flavor: str, seed: int,
         server = ("polling", "deferrable", None)[rng.randint(0, 2)]
         system = _mc_system(rng, seed, n_cores, partitioned=False)
         check = (  # noqa: E731
-            lambda s: _check_multicore(s, n_cores, mode, server)
+            lambda s: _check_multicore(
+                s, n_cores, mode, server, kernel=kernel,
+                trace_mode=trace_mode,
+            )
         )
     elif flavor == "differential":
         system = _uni_system(rng, seed)
@@ -528,6 +555,8 @@ def run_chaos_campaign(
     shrink: bool = True,
     shrink_budget: int = 40,
     progress: Callable[[ChaosRunResult], None] | None = None,
+    kernel: str = "auto",
+    trace_mode: str | None = None,
 ) -> ChaosCampaignResult:
     """Run ``n_systems`` seeded chaos scenarios and report the failures.
 
@@ -536,6 +565,11 @@ def run_chaos_campaign(
     ``PortableRandom(scenario_seed(seed, i))``.  ``multicore=False``
     drops the ``mc-*`` flavors (e.g. for a quick smoke budget);
     ``progress`` is called after every run (CLI reporting hook).
+
+    ``kernel``/``trace_mode`` select the kernel fast path and the
+    columnar trace for the simulated arms (the ``dover`` and
+    ``differential`` flavors always run with default knobs), so the
+    whole monitor battery can be pointed at the fast path as its oracle.
     """
     for flavor in flavors:
         if flavor not in CHAOS_FLAVORS:
@@ -550,7 +584,7 @@ def run_chaos_campaign(
         flavor = active[index % len(active)]
         run = _run_scenario(
             index, flavor, _scenario_seed(seed, index), shrink,
-            shrink_budget,
+            shrink_budget, kernel=kernel, trace_mode=trace_mode,
         )
         result.runs.append(run)
         if progress is not None:

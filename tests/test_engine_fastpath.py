@@ -1,0 +1,460 @@
+"""The kernel fast path's equivalence contract.
+
+Two tiers of guarantee, both enforced here:
+
+* **byte-identity** — with default knobs (``kernel="auto"``, object or
+  compact trace) the emitted trace is *exactly* the reference kernel's:
+  same segments, same events, same order, same tie-breaks.
+* **semantic identity** — with ``kernel="fast"`` (deadline-heap EDF,
+  elided deadline sentinels) segments are identical and the event
+  *multiset* is identical; only the position of post-hoc
+  ``DEADLINE_MISS`` events in the stream may differ.
+
+The reference kernel (``kernel="reference"``) is the pre-optimization
+code path kept verbatim as the oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenarios import (
+    SCENARIOS,
+    TABLE1_SERVER,
+    TABLE1_TASKS,
+)
+from repro.sim.engine import EventQueue, Simulation
+from repro.sim.schedulers.edf import EarliestDeadlineFirstPolicy
+from repro.sim.schedulers.fp import FixedPriorityPolicy
+from repro.sim.task import AperiodicJob, JobState
+from repro.sim.trace import CompactTrace, ExecutionTrace, TraceEventKind
+from repro.workload.rng import PortableRandom
+from repro.workload.spec import PeriodicTaskSpec
+
+
+def trace_key(trace):
+    """The full byte-identity key: every field of every record, in order."""
+    return (
+        [(s.start, s.end, s.entity, s.job, s.core) for s in trace.segments],
+        [(e.time, e.kind, e.subject, e.detail) for e in trace.events],
+    )
+
+
+#: timestamp tolerance for semantic comparison: eliding a deadline
+#: sentinel can shift where the clock lands within the kernel's EPS
+#: drain window, so corresponding records may differ by an ulp or two
+_TOL = 5e-9
+
+
+def assert_semantic_equal(fast, ref, context=""):
+    """Fast-path equivalence: segments in order and the event multiset,
+    with sub-EPS timestamp tolerance (see ``_TOL``)."""
+    fast_segments, fast_events = trace_key(fast)
+    ref_segments, ref_events = trace_key(ref)
+    assert len(fast_segments) == len(ref_segments), context
+    for a, b in zip(fast_segments, ref_segments):
+        assert a[2:] == b[2:] and abs(a[0] - b[0]) <= _TOL \
+            and abs(a[1] - b[1]) <= _TOL, f"{context}: {a} != {b}"
+    # events: order-free, grouped by identity, time-tolerant
+    def normalized(events):
+        return sorted(
+            (subj, k.value, det, t) for (t, k, subj, det) in events
+        )
+
+    fast_norm = normalized(fast_events)
+    ref_norm = normalized(ref_events)
+    assert len(fast_norm) == len(ref_norm), context
+    for a, b in zip(fast_norm, ref_norm):
+        assert a[:3] == b[:3] and abs(a[3] - b[3]) <= _TOL, (
+            f"{context}: {a} != {b}"
+        )
+
+
+def random_specs(rng, n_tasks, overload=False):
+    """A random periodic task set; ``overload`` pushes utilization > 1."""
+    specs = []
+    if overload:
+        n_tasks = max(n_tasks, 2)
+    budget = rng.uniform(1.4, 2.2) if overload else rng.uniform(0.5, 0.9)
+    share = budget / n_tasks
+    for i in range(n_tasks):
+        period = rng.uniform(4.0, 30.0)
+        cost = min(
+            max(0.05, period * share * rng.uniform(0.6, 1.4)),
+            period * 0.95,
+        )
+        specs.append(PeriodicTaskSpec(
+            name=f"t{i}",
+            cost=cost,
+            period=period,
+            priority=rng.randint(1, 8),
+            offset=rng.uniform(0.0, period) if rng.random() < 0.4 else 0.0,
+            deadline=period * rng.uniform(0.7, 1.0)
+            if rng.random() < 0.3 else None,
+        ))
+    return specs
+
+
+def run_uni(specs, policy, miss, kernel, trace_mode, until):
+    sim = Simulation(
+        policy(), on_deadline_miss=miss, kernel=kernel,
+        trace_mode=trace_mode,
+    )
+    for spec in specs:
+        sim.add_periodic_task(spec)
+    return sim.run(until)
+
+
+CASES = [
+    (FixedPriorityPolicy, "continue"),
+    (FixedPriorityPolicy, "abort"),
+    (EarliestDeadlineFirstPolicy, "continue"),
+    (EarliestDeadlineFirstPolicy, "abort"),
+]
+
+
+# -- default knobs: byte identity -------------------------------------------
+
+
+class TestByteIdentityDefaultKnobs:
+
+    @pytest.mark.parametrize("trace_mode", [None, "object", "compact"])
+    def test_chaos_matrix(self, trace_mode):
+        rng = PortableRandom(0xFA57)
+        for case in range(60):
+            policy, miss = CASES[case % len(CASES)]
+            specs = random_specs(
+                rng, rng.randint(1, 6), overload=case % 5 == 0
+            )
+            until = rng.uniform(40.0, 160.0)
+            ref = run_uni(specs, policy, miss, "reference", None, until)
+            fast = run_uni(specs, policy, miss, "auto", trace_mode, until)
+            assert trace_key(fast) == trace_key(ref), (
+                f"case {case}: auto/{trace_mode} diverged from reference"
+            )
+
+    @pytest.mark.parametrize("spec", SCENARIOS, ids=lambda s: s.name)
+    def test_table1_scenarios(self, spec):
+        """The paper's worked scenarios (server + periodic tasks)."""
+        from repro.sim.servers.polling import IdealPollingServer
+
+        def run(kernel):
+            sim = Simulation(FixedPriorityPolicy(), kernel=kernel)
+            server = IdealPollingServer(TABLE1_SERVER, name="PS")
+            server.attach(sim, horizon=spec.horizon)
+            for task in TABLE1_TASKS:
+                sim.add_periodic_task(task)
+            for job in (
+                AperiodicJob("h1", release=spec.e1_fire, cost=spec.h1_cost),
+                AperiodicJob("h2", release=spec.e2_fire, cost=spec.h2_actual),
+            ):
+                sim.submit_aperiodic(job, server.submit)
+            return sim.run(until=spec.horizon)
+
+        assert trace_key(run("auto")) == trace_key(run("reference"))
+
+    def test_golden_segments_still_match(self):
+        """A pinned golden trace: the dense two-task preemption pattern."""
+        specs = [
+            PeriodicTaskSpec(name="hi", cost=1, period=4, priority=9),
+            PeriodicTaskSpec(name="lo", cost=3, period=8, priority=1),
+        ]
+        trace = run_uni(
+            specs, FixedPriorityPolicy, "continue", "auto", None, 16.0
+        )
+        starts = [
+            (s.start, s.end, s.entity) for s in trace.segments
+        ]
+        assert starts == [
+            (0.0, 1.0, "hi"), (1.0, 4.0, "lo"), (4.0, 5.0, "hi"),
+            (8.0, 9.0, "hi"), (9.0, 12.0, "lo"), (12.0, 13.0, "hi"),
+        ]
+
+
+# -- fast path: semantic identity -------------------------------------------
+
+
+class TestSemanticIdentityFastPath:
+
+    def test_chaos_matrix_unicore(self):
+        rng = PortableRandom(0xBEEF)
+        for case in range(60):
+            policy, miss = CASES[case % len(CASES)]
+            specs = random_specs(
+                rng, rng.randint(1, 6), overload=case % 4 == 0
+            )
+            until = rng.uniform(40.0, 160.0)
+            ref = run_uni(specs, policy, miss, "reference", None, until)
+            fast = run_uni(specs, policy, miss, "fast", "compact", until)
+            assert_semantic_equal(
+                fast, ref, context=f"case {case} (unicore)"
+            )
+
+    def test_chaos_matrix_multicore(self):
+        from repro.smp.campaign import MulticoreParameters, \
+            build_multicore_system, run_multicore_system
+
+        rng = PortableRandom(0xD00D)
+        for case in range(12):
+            n_cores = rng.randint(2, 4)
+            params = MulticoreParameters(
+                n_cores=n_cores,
+                n_tasks=rng.randint(4, 3 * n_cores),
+                total_utilization=rng.uniform(0.8, 0.4 * n_cores),
+                task_density=rng.uniform(1.0, 5.0),
+                average_cost=rng.uniform(0.4, 1.2),
+                std_deviation=rng.uniform(0.1, 0.5),
+                server_capacity=2.0,
+                server_period=10.0,
+                nb_systems=1,
+                seed=1000 + case,
+                horizon_periods=rng.randint(4, 8),
+            )
+            system = build_multicore_system(params, 0)
+            mode = ("part-ff", "global-fp", "global-edf")[case % 3]
+            server = ("polling", None)[case % 2]
+            try:
+                ref = run_multicore_system(
+                    system, n_cores, mode, server=server, kernel="reference"
+                )
+            except Exception:
+                continue  # unplaceable set: same failure on either kernel
+            fast = run_multicore_system(
+                system, n_cores, mode, server=server, kernel="fast",
+                trace_mode="compact",
+            )
+            assert_semantic_equal(
+                fast.trace, ref.trace, context=f"case {case} ({mode})"
+            )
+
+    def test_elided_deadline_misses_match_reference(self):
+        """Overloaded soft system: sentinels are elided in fast mode, so
+        misses are recovered post-hoc — same times, same subjects."""
+        specs = [
+            PeriodicTaskSpec(name="a", cost=3, period=4, priority=5),
+            PeriodicTaskSpec(name="b", cost=3, period=5, priority=3),
+        ]
+        ref = run_uni(
+            specs, FixedPriorityPolicy, "continue", "reference", None, 60.0
+        )
+        fast = run_uni(
+            specs, FixedPriorityPolicy, "continue", "fast", "compact", 60.0
+        )
+        ref_misses = [
+            (e.time, e.subject)
+            for e in ref.events_of(TraceEventKind.DEADLINE_MISS)
+        ]
+        fast_misses = [
+            (e.time, e.subject)
+            for e in fast.events_of(TraceEventKind.DEADLINE_MISS)
+        ]
+        assert ref_misses and fast_misses == ref_misses
+        assert_semantic_equal(fast, ref)
+
+    def test_patched_policy_disables_index(self, monkeypatch):
+        """A replaced select() must be honoured — the kernel detects the
+        patch and falls back to the reference scan, on every kernel."""
+        def inverted(self, now, ready):
+            if not ready:
+                return None
+            best = ready[0]
+            for entity in ready[1:]:
+                if entity.priority < best.priority:
+                    best = entity
+            return best
+
+        monkeypatch.setattr(FixedPriorityPolicy, "select", inverted)
+        specs = [
+            PeriodicTaskSpec(name="hi", cost=1, period=4, priority=9),
+            PeriodicTaskSpec(name="lo", cost=2, period=8, priority=1),
+        ]
+        ref = run_uni(
+            specs, FixedPriorityPolicy, "continue", "reference", None, 24.0
+        )
+        fast = run_uni(
+            specs, FixedPriorityPolicy, "continue", "fast", None, 24.0
+        )
+        assert trace_key(fast) == trace_key(ref)
+        # and the inversion is visible (lo runs first despite priority)
+        assert ref.segments[0].entity == "lo"
+
+    def test_patched_release_honoured_by_lazy_path(self, monkeypatch):
+        """Lazy releases inline delivery; a patched release() (the
+        mutation tests' lost-wakeup bug) must still take effect."""
+        from repro.sim.engine import PeriodicTaskEntity
+
+        original = PeriodicTaskEntity.release
+        dropped = []
+
+        def lossy(self, now, job, sim):
+            if job.instance == 1:
+                dropped.append(job.name)
+                return  # lost wakeup: the job never queues
+            original(self, now, job, sim)
+
+        monkeypatch.setattr(PeriodicTaskEntity, "release", lossy)
+        specs = [PeriodicTaskSpec(name="t", cost=1, period=5, priority=5)]
+        for kernel in ("auto", "fast"):
+            dropped.clear()
+            trace = run_uni(
+                specs, FixedPriorityPolicy, "continue", kernel, None, 20.0
+            )
+            assert dropped == ["t#1"]
+            started = {e.subject for e in trace.events_of(TraceEventKind.START)}
+            assert "t#1" not in started and "t#0" in started
+
+
+# -- satellite machinery ------------------------------------------------------
+
+
+class TestEventQueueBatching:
+
+    def test_pop_batch_due_drains_in_heap_order(self):
+        queue = EventQueue()
+        fired = []
+        for order, tag in [(5, "c"), (0, "a"), (3, "b")]:
+            queue.schedule(1.0, lambda now, t=tag: fired.append(t), order)
+        queue.schedule(2.0, lambda now: fired.append("later"))
+        batch = queue.pop_batch_due(1.0)
+        assert [entry[1] for entry in batch] == [0, 3, 5]
+        for entry in batch:
+            entry[4](1.0)
+        assert fired == ["a", "b", "c"]
+        assert len(queue) == 1
+
+    def test_same_instant_insertion_keeps_reference_order(self):
+        """A due callback that schedules an *earlier-sorting* same-instant
+        event: the new event must still run in heap order, exactly as
+        one-at-a-time popping would."""
+        sim = Simulation(FixedPriorityPolicy())
+        fired = []
+
+        def first(now):
+            fired.append("first")
+            sim.schedule_at(now, lambda t: fired.append("injected"), order=1)
+
+        sim.schedule_at(1.0, first, order=2)
+        sim.schedule_at(1.0, lambda t: fired.append("second"), order=3)
+        sim.run(until=2.0)
+        assert fired == ["first", "injected", "second"]
+
+
+class TestFirmDeadlineQueue:
+
+    @pytest.mark.parametrize("kernel", ["reference", "auto", "fast"])
+    def test_backlogged_firm_overload_aborts(self, kernel):
+        """A starved firm task backlogs activations; each one must be
+        dropped (ABORT event + state) as its deadline expires."""
+        sim = Simulation(
+            FixedPriorityPolicy(), on_deadline_miss="abort", kernel=kernel
+        )
+        sim.add_periodic_task(
+            PeriodicTaskSpec(name="hog", cost=1.5, period=2, priority=9)
+        )
+        task = sim.add_periodic_task(
+            PeriodicTaskSpec(name="lo", cost=1.5, period=2, priority=1)
+        )
+        sim.run(until=20.0)
+        aborted = [j for j in task.jobs if j.state is JobState.ABORTED]
+        assert aborted, "firm overload must abort backlogged jobs"
+        abort_events = sim.trace.events_of(TraceEventKind.ABORT)
+        assert {e.subject for e in abort_events} >= {
+            j.name for j in aborted
+        }
+
+    def test_remove_queued_job_mid_queue(self):
+        """Indexed removal: dropping a backlogged job from the middle of
+        the deque (not just the head)."""
+        sim = Simulation(FixedPriorityPolicy())
+        task = sim.add_periodic_task(
+            PeriodicTaskSpec(name="t", cost=1, period=5, priority=5)
+        )
+        entity = sim.entities[0]
+        jobs = [task.release_job(i) for i in range(3)]
+        for job in jobs:
+            entity.release(0.0, job, sim)
+        assert entity.remove_queued_job(jobs[1], sim) is True
+        assert [j.name for j in entity._queue] == ["t#0", "t#2"]
+        assert entity.remove_queued_job(jobs[1], sim) is False
+
+    def test_owner_backreference_is_set(self):
+        sim = Simulation(FixedPriorityPolicy())
+        task = sim.add_periodic_task(
+            PeriodicTaskSpec(name="t", cost=1, period=5, priority=5)
+        )
+        sim.run(until=6.0)
+        for job in task.jobs:
+            assert job._owner_entity.task is task
+
+
+class TestCompactTrace:
+
+    def _populated(self, cls):
+        trace = cls()
+        trace.add_segment(0.0, 1.0, "a", "a#0")
+        trace.add_segment(1.0, 2.0, "a", "a#0")   # merges
+        trace.add_segment(2.0, 3.0, "b", "b#0")
+        trace.add_segment(3.0, 3.0, "b", "b#0")   # zero-length: dropped
+        trace.add_event(0.0, TraceEventKind.RELEASE, "a#0")
+        trace.add_event(2.0, TraceEventKind.COMPLETION, "a#0")
+        return trace
+
+    def test_query_api_matches_object_trace(self):
+        obj = self._populated(ExecutionTrace)
+        col = self._populated(CompactTrace)
+        assert trace_key(col) == trace_key(obj)
+        assert col.busy_time() == obj.busy_time()
+        assert col.busy_time("a") == obj.busy_time("a")
+        assert col.makespan == obj.makespan
+        assert col.cores == obj.cores
+        assert [s.end for s in col.segments_of("a")] == [2.0]
+        assert [e.subject for e in col.events_of(TraceEventKind.RELEASE)] \
+            == ["a#0"]
+        col.validate()
+
+    def test_merge_invalidates_cached_view(self):
+        trace = CompactTrace()
+        trace.add_segment(0.0, 1.0, "a", "a#0")
+        assert trace.segments[0].end == 1.0
+        trace.add_segment(1.0, 2.0, "a", "a#0")
+        assert trace.segments[0].end == 2.0
+        assert len(trace.segments) == 1
+
+    def test_rejects_negative_event_time(self):
+        trace = CompactTrace()
+        with pytest.raises(ValueError, match="event time"):
+            trace.add_event(-1.0, TraceEventKind.RELEASE, "x")
+
+    def test_validate_catches_overlap(self):
+        trace = CompactTrace()
+        trace.add_segment(0.0, 2.0, "a", "a#0")
+        trace.add_segment(1.0, 3.0, "b", "b#0")
+        with pytest.raises(AssertionError, match="overlap"):
+            trace.validate()
+
+    def test_smp_core_merge(self):
+        trace = CompactTrace()
+        trace.add_segment(0.0, 1.0, "a", "a#0", core=0)
+        trace.add_segment(0.0, 1.0, "b", "b#0", core=1)
+        trace.add_segment(1.0, 2.0, "a", "a#0", core=0)  # merges past core 1
+        assert len(trace.segments) == 2
+        assert trace.segments[0].end == 2.0
+        trace.validate()
+
+
+class TestKnobValidation:
+
+    def test_bad_kernel_rejected(self):
+        with pytest.raises(ValueError, match="kernel"):
+            Simulation(FixedPriorityPolicy(), kernel="warp")
+
+    def test_bad_trace_mode_rejected(self):
+        with pytest.raises(ValueError, match="trace_mode"):
+            Simulation(FixedPriorityPolicy(), trace_mode="parquet")
+
+    def test_trace_and_trace_mode_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            Simulation(
+                FixedPriorityPolicy(), trace=ExecutionTrace(),
+                trace_mode="compact",
+            )

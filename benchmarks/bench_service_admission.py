@@ -1,0 +1,103 @@
+"""Admission-service benchmarks: decision throughput and re-plan cost.
+
+Not a paper table — these pin the two hot paths of the PR 6 online
+service:
+
+* ``bench_service_admit_decide`` — the O(1) admit/retire cycle (the
+  Section 7 bucket peek + place + release), the per-request cost every
+  streamed submission pays;
+* ``bench_service_repair_backlog`` — one incremental in-place repair of
+  a 64-event backlog, the latency bound of the digital twin's local
+  re-planning;
+* ``bench_service_readmit_backlog`` — the strawman alternative
+  (rebuild a fresh planner and re-admit the same backlog), pinning the
+  claim that repair is O(backlog) work comparable to re-admission,
+  never O(elapsed horizon).
+
+The ``bench-smoke`` guard in ``BENCH_engine.json`` holds the
+repair/readmit median ratio, which is portable across machines.
+"""
+
+from __future__ import annotations
+
+from repro.service import EventRequest, IncrementalPlanner
+
+ADMIT_CYCLES = 1000
+BACKLOG = 64
+
+
+def _requests(n: int, deadline_base: float = 40.0) -> list[EventRequest]:
+    return [
+        EventRequest(
+            request_id=f"req-{i:05d}",
+            cost=0.3 + (i % 7) * 0.15,
+            relative_deadline=deadline_base + (i * 13) % 60,
+            hard=(i % 3 != 0),
+        )
+        for i in range(n)
+    ]
+
+
+def bench_service_admit_decide(benchmark):
+    """Steady-state O(1) decisions: admit then retire, repeatedly."""
+    requests = _requests(ADMIT_CYCLES)
+
+    def run():
+        planner = IncrementalPlanner(capacity=2.0, period=2.0)
+        admitted = 0
+        now = 0.0
+        for request in requests:
+            job, _finish = planner.admit(now, request)
+            if job is not None:
+                admitted += 1
+                planner.retire(request.request_id)
+            now += 0.01
+        return admitted
+
+    admitted = benchmark(run)
+    assert admitted == ADMIT_CYCLES
+    print(f"\n{admitted} O(1) admit/retire cycles per round")
+
+
+def _loaded_planner() -> IncrementalPlanner:
+    planner = IncrementalPlanner(capacity=2.0, period=2.0)
+    now = 0.0
+    for request in _requests(BACKLOG, deadline_base=200.0):
+        job, _finish = planner.admit(now, request)
+        assert job is not None, request.request_id
+        now += 0.05
+    return planner
+
+
+def bench_service_repair_backlog(benchmark):
+    """One in-place incremental repair of a standing backlog."""
+
+    def setup():
+        return (_loaded_planner(),), {}
+
+    def run(planner):
+        return planner.repair(now=4.0, level="local")
+
+    result = benchmark.pedantic(run, setup=setup, rounds=200)
+    assert result.moved == BACKLOG and not result.shed
+    print(f"\nrepaired {result.moved} of {BACKLOG} jobs in place "
+          f"({len(result.shed)} shed)")
+
+
+def bench_service_readmit_backlog(benchmark):
+    """The strawman: rebuild from scratch and re-admit everything."""
+    loaded = _loaded_planner()
+    jobs = sorted(loaded.jobs.values(), key=lambda j: j.admitted_at)
+
+    def run():
+        planner = IncrementalPlanner(capacity=2.0, period=2.0)
+        kept = 0
+        for job in jobs:
+            fresh, _finish = planner.admit(job.admitted_at, job.request)
+            if fresh is not None:
+                kept += 1
+        return kept
+
+    kept = benchmark(run)
+    assert kept == BACKLOG
+    print(f"\nre-admitted {kept} of {BACKLOG} jobs from scratch")

@@ -1,4 +1,4 @@
-"""Gate the engine-throughput fast path against the committed baseline.
+"""Gate benchmark results against the committed baseline.
 
 Usage::
 
@@ -6,13 +6,21 @@ Usage::
         --benchmark-json=bench-results.json -q
     python benchmarks/check_bench_regression.py bench-results.json
 
-Reads the ``guards`` section of ``benchmarks/BENCH_engine.json``.  Each
-guard names a fast-path benchmark and its default-kernel companion from
-the *same* pytest-benchmark run and requires the fast/default median
-ratio to stay under ``max_ratio`` (the baseline ratio plus 25%).
-Comparing a ratio measured within one process keeps the gate meaningful
-across machines and noisy CI runners, where absolute millisecond
-baselines are not.
+Two passes over ``benchmarks/BENCH_engine.json``:
+
+* **guards** — each guard names a fast-path benchmark and its
+  default-kernel companion from the *same* pytest-benchmark run and
+  requires the fast/default median ratio to stay under ``max_ratio``
+  (the baseline ratio plus 25%).  Comparing a ratio measured within one
+  process keeps the gate meaningful across machines and noisy CI
+  runners, where absolute millisecond baselines are not.  A guard that
+  is malformed (missing keys) or that references benchmarks absent from
+  the run fails *clearly*, it never KeyErrors.
+* **auto-seeding** — a benchmark present in the results but absent from
+  the baseline trajectory is reported and, unless ``--no-seed`` is
+  given, appended to the baseline file as an ``auto-seeded`` entry, so
+  brand-new benchmarks enter the committed history the first time they
+  run instead of silently by-passing the gate forever.
 """
 
 from __future__ import annotations
@@ -23,24 +31,52 @@ import sys
 
 BASELINE = pathlib.Path(__file__).with_name("BENCH_engine.json")
 
+_GUARD_KEYS = ("fast", "default", "baseline_ratio", "max_ratio")
 
-def main(argv: list[str]) -> int:
-    if len(argv) != 2:
-        print(__doc__)
-        return 2
-    results = json.loads(pathlib.Path(argv[1]).read_text())
-    baseline = json.loads(BASELINE.read_text())
-    medians = {
-        bench["name"]: bench["stats"]["median"]
-        for bench in results["benchmarks"]
-    }
-    failures = 0
-    for guard in baseline["guards"]:
-        fast, default = guard["fast"], guard["default"]
-        if fast not in medians or default not in medians:
-            print(f"SKIP  {fast}: benchmark missing from results")
+
+def _load_medians(results_path: pathlib.Path) -> dict[str, dict]:
+    """name -> {median_ms, min_ms} from a pytest-benchmark JSON file."""
+    try:
+        results = json.loads(results_path.read_text())
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read benchmark results: {exc}")
+    benches = results.get("benchmarks")
+    if not isinstance(benches, list):
+        raise SystemExit(
+            f"{results_path} is not a pytest-benchmark JSON file "
+            "(no 'benchmarks' list)"
+        )
+    out: dict[str, dict] = {}
+    for bench in benches:
+        name = bench.get("name")
+        stats = bench.get("stats") or {}
+        if name is None or "median" not in stats:
+            print(f"SKIP  malformed benchmark record: {bench.get('name')!r}")
             continue
-        ratio = medians[fast] / medians[default]
+        out[name] = {
+            "median_ms": round(stats["median"] * 1e3, 4),
+            "min_ms": round(stats.get("min", stats["median"]) * 1e3, 4),
+        }
+    return out
+
+
+def _check_guards(baseline: dict, medians: dict[str, dict]) -> int:
+    failures = 0
+    for index, guard in enumerate(baseline.get("guards", [])):
+        missing_keys = [k for k in _GUARD_KEYS if k not in guard]
+        if missing_keys:
+            print(
+                f"BROKEN  guard #{index} is missing "
+                f"{', '.join(missing_keys)} — fix BENCH_engine.json"
+            )
+            failures += 1
+            continue
+        fast, default = guard["fast"], guard["default"]
+        absent = [n for n in (fast, default) if n not in medians]
+        if absent:
+            print(f"SKIP  {fast}: {', '.join(absent)} missing from results")
+            continue
+        ratio = medians[fast]["median_ms"] / medians[default]["median_ms"]
         verdict = "ok" if ratio <= guard["max_ratio"] else "REGRESSION"
         print(
             f"{verdict:>10}  {fast}: fast/default median ratio "
@@ -49,8 +85,44 @@ def main(argv: list[str]) -> int:
         )
         if ratio > guard["max_ratio"]:
             failures += 1
+    return failures
+
+
+def _seed_new(baseline: dict, medians: dict[str, dict],
+              seed: bool) -> list[str]:
+    """Report (and optionally append) benchmarks with no baseline entry."""
+    trajectory = baseline.setdefault("trajectory", {})
+    new = sorted(n for n in medians if n not in trajectory)
+    for name in new:
+        if seed:
+            trajectory[name] = [dict(rev="auto-seeded", **medians[name])]
+            print(f"NEW   {name}: no baseline entry — seeded "
+                  f"(median {medians[name]['median_ms']:.3f} ms)")
+        else:
+            print(f"NEW   {name}: no baseline entry "
+                  "(--no-seed: left unseeded)")
+    return new
+
+
+def main(argv: list[str]) -> int:
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    seed = "--no-seed" not in argv
+    if len(args) != 1:
+        print(__doc__)
+        return 2
+    medians = _load_medians(pathlib.Path(args[0]))
+    try:
+        baseline = json.loads(BASELINE.read_text())
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read baseline {BASELINE}: {exc}")
+    failures = _check_guards(baseline, medians)
+    new = _seed_new(baseline, medians, seed)
+    if new and seed:
+        BASELINE.write_text(json.dumps(baseline, indent=1) + "\n")
+        print(f"\nseeded {len(new)} new baseline entr"
+              f"{'y' if len(new) == 1 else 'ies'} into {BASELINE.name}")
     if failures:
-        print(f"\n{failures} guard(s) regressed by more than 25%")
+        print(f"\n{failures} guard(s) regressed or broken")
         return 1
     print("\nall benchmark guards within bounds")
     return 0

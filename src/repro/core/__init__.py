@@ -30,6 +30,8 @@ from .response_time import (
 from .admission import (
     AdmissionDecision,
     BucketAdmissionController,
+    BucketLedger,
+    BucketSlot,
     IdealPSAdmissionController,
 )
 
@@ -50,5 +52,7 @@ __all__ = [
     "implementation_ps_response_time",
     "AdmissionDecision",
     "BucketAdmissionController",
+    "BucketLedger",
+    "BucketSlot",
     "IdealPSAdmissionController",
 ]

@@ -18,6 +18,8 @@ Two controllers are provided:
 
 from __future__ import annotations
 
+import math
+from bisect import insort
 from dataclasses import dataclass
 
 from ..rtsj.time_types import RelativeTime
@@ -29,6 +31,8 @@ from .response_time import ideal_ps_response_time
 __all__ = [
     "AdmissionDecision",
     "BucketAdmissionController",
+    "BucketLedger",
+    "BucketSlot",
     "IdealPSAdmissionController",
 ]
 
@@ -92,6 +96,140 @@ class BucketAdmissionController:
         return sum(d.accepted for d in self.decisions) / len(self.decisions)
 
 
+@dataclass(frozen=True)
+class BucketSlot:
+    """Where one admitted event landed in the Section 7 bucket queue.
+
+    ``instance`` is the server instance (bucket) index serving the event,
+    ``before`` the cumulative cost claimed ahead of it inside that bucket
+    and ``finish`` the predicted absolute completion instant.
+    """
+
+    instance: int
+    before: float
+    cost: float
+    finish: float
+
+
+class BucketLedger:
+    """Pure-arithmetic Section 7 bucket queue for *online* admission.
+
+    The VM-attached :class:`BucketAdmissionController` answers equation
+    (5) against a live ``PollingTaskServer``; this ledger answers the
+    same question with nothing but the server parameters and a running
+    tail — the state an admission *service* keeps between requests.
+    Admission and completion are O(1); a schedule repair rebuilds the
+    tail from a caller-supplied backlog (O(n) in backlog size, not in
+    elapsed time — no re-simulation from t=0).
+
+    The model is the paper's worst-case polling shape: an instance ``k``
+    opens at ``start + k*period`` and serves its bucket contiguously from
+    that instant (the server is required to sit at the highest priority),
+    so an event placed at (instance, before) finishes at
+    ``start + k*period + before + cost``.  Events admitted mid-instance
+    join the *next* instance — the non-resumable polling pessimism.
+    """
+
+    def __init__(self, capacity: float, period: float,
+                 start: float = 0.0) -> None:
+        if capacity <= 0 or period <= 0 or capacity > period:
+            raise ValueError("need 0 < capacity <= period")
+        self.capacity = capacity
+        self.period = period
+        self.start = start
+        self._tail_instance = 0
+        self._tail_fill = 0.0
+        #: total declared cost admitted and not yet completed/shed
+        self.backlog_demand = 0.0
+        self.backlog_count = 0
+
+    def _first_instance_at(self, now: float) -> int:
+        """The earliest instance that can serve an arrival at ``now``."""
+        if now <= self.start:
+            return 0
+        return int(math.ceil((now - self.start) / self.period - 1e-12))
+
+    def instance_start(self, instance: int) -> float:
+        return self.start + instance * self.period
+
+    def peek(self, now: float, cost: float) -> BucketSlot:
+        """The slot an event of ``cost`` would get *now*, without
+        mutating the ledger; O(1)."""
+        if cost <= 0:
+            raise ValueError(f"cost must be > 0, got {cost}")
+        if cost > self.capacity:
+            raise ValueError("cost exceeds the server capacity")
+        instance, fill = self._tail_instance, self._tail_fill
+        floor = self._first_instance_at(now)
+        if instance < floor:
+            instance, fill = floor, 0.0
+        if fill + cost > self.capacity + 1e-12:
+            instance, fill = instance + 1, 0.0
+        return BucketSlot(
+            instance=instance, before=fill, cost=cost,
+            finish=self.instance_start(instance) + fill + cost,
+        )
+
+    def place(self, slot: BucketSlot) -> None:
+        """Commit a slot previously returned by :meth:`peek`; O(1)."""
+        self._tail_instance = slot.instance
+        self._tail_fill = slot.before + slot.cost
+        self.backlog_demand += slot.cost
+        self.backlog_count += 1
+
+    def admit(self, now: float, cost: float) -> BucketSlot:
+        """Peek-and-place in one step; O(1)."""
+        slot = self.peek(now, cost)
+        self.place(slot)
+        return slot
+
+    def release(self, cost: float) -> None:
+        """An admitted event left the backlog (served or shed); O(1).
+
+        While work is still outstanding the tail placement is left
+        alone — capacity already claimed in past or current buckets
+        stays claimed, the conservative reading of equation (5).  Once
+        the backlog empties there is no outstanding claim left to
+        protect, so the tail resets; otherwise a long-running service
+        would push every future prediction monotonically later (the
+        floor clamp in :meth:`peek` keeps the reset sound).
+        """
+        self.backlog_demand = max(0.0, self.backlog_demand - cost)
+        self.backlog_count = max(0, self.backlog_count - 1)
+        if self.backlog_count == 0:
+            self._tail_instance = 0
+            self._tail_fill = 0.0
+            self.backlog_demand = 0.0
+
+    def rebuild(self, now: float,
+                backlog: list[tuple[str, float]]) -> dict[str, BucketSlot]:
+        """Re-place ``backlog`` — ``(key, cost)`` pairs in the caller's
+        desired service order — from scratch starting at ``now``.
+
+        This is the schedule-repair primitive: the tail is reset to the
+        first instance that can still serve, every surviving event is
+        re-bucketed in order and the new slots are returned keyed by the
+        caller's keys.  O(len(backlog)).
+        """
+        self._tail_instance = self._first_instance_at(now)
+        self._tail_fill = 0.0
+        self.backlog_demand = 0.0
+        self.backlog_count = 0
+        return {key: self.admit(now, cost) for key, cost in backlog}
+
+    def state(self) -> dict:
+        """JSON-ready snapshot of the ledger (checkpoint/hash input)."""
+        return {
+            "capacity": self.capacity,
+            "period": self.period,
+            "start": self.start,
+            "tail_instance": self._tail_instance,
+            "tail_fill": round(self._tail_fill, 9),
+            "backlog_demand": round(self.backlog_demand, 9),
+            "backlog_count": self.backlog_count,
+        }
+
+
 class IdealPSAdmissionController:
     """Analytic admission for the standard (resumable) Polling Server.
 
@@ -140,9 +278,18 @@ class IdealPSAdmissionController:
         )
         self.decisions.append(decision)
         if decision.accepted:
-            self.backlog.append((cost, deadline))
-            self.backlog.sort(key=lambda cd: cd[1])
+            insort(self.backlog, (cost, deadline), key=lambda cd: cd[1])
         return decision
+
+    def complete(self, cost: float, deadline: float) -> bool:
+        """An admitted event finished (or was shed): remove its backlog
+        entry so its demand no longer delays newcomers.  Returns whether
+        an entry was actually removed."""
+        try:
+            self.backlog.remove((cost, deadline))
+        except ValueError:
+            return False
+        return True
 
     def expire(self, now: float) -> None:
         """Drop backlog entries whose deadline has passed (their demand

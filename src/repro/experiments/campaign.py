@@ -60,6 +60,7 @@ from ..sim import (
     measure_run,
 )
 from ..overload.metrics import OverloadReport, measure_overload
+from ..service.backoff import DEFAULT_BACKOFF
 from ..sim.servers.base import AperiodicServer
 from ..sim.trace import CompactTrace, ExecutionTrace
 from ..workload import GeneratedSystem, GenerationParameters, PAPER_SETS, RandomSystemGenerator
@@ -123,9 +124,11 @@ class RunPolicy:
       enforced with ``SIGALRM``, so it is a no-op off the main thread or
       on platforms without POSIX signals);
     * ``max_retries`` — how many times a crashed/hung run is retried,
-      each retry regenerating the system from a bumped master seed
-      (``seed + attempt * retry_seed_bump``) so a pathological random
-      stream cannot wedge the sweep;
+      each retry regenerating the system from a bumped master seed so a
+      pathological random stream cannot wedge the sweep.  Bumps come
+      from the shared :class:`~repro.service.backoff.BackoffPolicy` —
+      exponentially widening, jittered, deterministic under the master
+      seed — with ``retry_seed_bump`` as the scale factor;
     * ``checkpoint_path`` — JSONL file of per-run records; an existing
       file is loaded on start and completed runs are skipped, so an
       interrupted campaign resumes instead of restarting;
@@ -690,7 +693,10 @@ def _guarded_run(
         if attempts <= run_policy.max_retries:
             bumped = _replace(
                 params,
-                seed=params.seed + attempts * run_policy.retry_seed_bump,
+                seed=params.seed + DEFAULT_BACKOFF.seed_bump(
+                    params.seed, attempts,
+                    scale=run_policy.retry_seed_bump,
+                ),
             )
             regenerated = RandomSystemGenerator(bumped).generate()
             current = regenerated[system.system_id]

@@ -31,7 +31,8 @@ from .tables import TABLE_ARMS, format_comparison, format_table, shape_checks
 __all__ = ["main"]
 
 _TARGETS = ("all", "table2", "table3", "table4", "table5", "figures",
-            "checks", "report", "multicore", "overload", "verify")
+            "checks", "report", "multicore", "overload", "verify",
+            "service")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -146,6 +147,49 @@ def main(argv: list[str] | None = None) -> int:
         help="sliding window (in tu) over which per-source circuit "
              "breakers count failures",
     )
+
+    service = parser.add_argument_group("service target")
+    service.add_argument(
+        "--storm-rate", type=float, default=0.5, metavar="R",
+        help="Poisson arrival rate of the service storm, per tu "
+             "(default: 0.5)",
+    )
+    service.add_argument(
+        "--storm-horizon", type=float, default=200.0, metavar="TU",
+        help="last arrival instant of the storm (default: 200)",
+    )
+    service.add_argument(
+        "--storm-seed", type=int, default=0, metavar="SEED",
+        help="master seed of the storm (default: 0)",
+    )
+    service.add_argument(
+        "--drift-ppm", type=float, default=0.0, metavar="PPM",
+        help="injected timer drift of the executor, parts per million "
+             "(default: 0 — no drift)",
+    )
+    service.add_argument(
+        "--overrun-factor", type=float, default=1.0, metavar="F",
+        help="WCET overrun multiplier for skewed requests (default: 1)",
+    )
+    service.add_argument(
+        "--overrun-probability", type=float, default=0.0, metavar="P",
+        help="fraction of requests that overrun (default: 0)",
+    )
+    service.add_argument(
+        "--kill-at", type=float, default=None, metavar="TU",
+        help="crash the service at this instant and report the twin "
+             "state hash (restart drill)",
+    )
+    service.add_argument(
+        "--service-checkpoint", type=Path, default=None, metavar="FILE",
+        help="write-ahead JSONL op log of the service (required for "
+             "--kill-at restart drills)",
+    )
+    service.add_argument(
+        "--service-resume", action="store_true",
+        help="resume a killed storm from --service-checkpoint instead "
+             "of starting fresh (completes the restart drill)",
+    )
     multicore = parser.add_argument_group("multicore target")
     multicore.add_argument(
         "--cores", type=int, default=4, metavar="M",
@@ -240,6 +284,8 @@ def _dispatch(args: argparse.Namespace,
             return _run_overload(args, run_policy, overhead)
         if args.target == "verify":
             return _run_verify(args)
+        if args.target == "service":
+            return _run_service(args)
     except RunExhausted as exc:
         print(f"fail-fast: {exc}", file=sys.stderr)
         return 2
@@ -393,6 +439,50 @@ def _run_verify(args: argparse.Namespace) -> int:
             if not outcome.caught:
                 failures += 1
     return 1 if failures else 0
+
+
+def _run_service(args: argparse.Namespace) -> int:
+    """The ``service`` target: one seeded Poisson storm against the
+    online admission service, with optional execution skew and a
+    kill-at-restart drill; prints the storm report and fails on any
+    invariant-monitor violation."""
+    import json as _json
+
+    from ..service import StormConfig, run_service_storm
+
+    try:
+        config = StormConfig(
+            rate=args.storm_rate,
+            horizon=args.storm_horizon,
+            seed=args.storm_seed,
+            drift_ppm=args.drift_ppm,
+            overrun_factor=args.overrun_factor,
+            overrun_probability=args.overrun_probability,
+            kill_at=args.kill_at,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    report = run_service_storm(
+        config, checkpoint_path=args.service_checkpoint,
+        resume=args.service_resume,
+    )
+    print(_json.dumps(report.to_dict(), indent=1))
+    if args.service_resume:
+        print(f"\nresumed from twin hash {report.resumed_from_hash[:16]}\u2026")
+    if report.killed:
+        print(f"\nkilled at t={report.horizon:g}; twin hash "
+              f"{report.twin_hash[:16]}… — resume from "
+              f"{args.service_checkpoint}")
+        return 0
+    if report.violations:
+        print(f"\n{len(report.violations)} invariant violation(s):",
+              file=sys.stderr)
+        for violation in report.violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print("\nstorm clean: every monitor invariant held")
+    return 0
 
 
 def _run_overload(args: argparse.Namespace, run_policy,

@@ -31,6 +31,7 @@ from .enforcement import (
 from .injectors import (
     DroppedActivation,
     EventBurst,
+    ExecutionSkew,
     FaultInjector,
     FaultPlan,
     FireFaultInjector,
@@ -47,6 +48,7 @@ __all__ = [
     "summarize_faults",
     "DroppedActivation",
     "EventBurst",
+    "ExecutionSkew",
     "FaultInjector",
     "FaultPlan",
     "FireFaultInjector",

@@ -32,6 +32,7 @@ __all__ = [
     "TimerDrift",
     "FaultPlan",
     "FireFaultInjector",
+    "ExecutionSkew",
 ]
 
 
@@ -372,3 +373,63 @@ class FireFaultInjector:
                 )
                 return False
         return True
+
+
+@dataclass(frozen=True)
+class ExecutionSkew:
+    """Deterministic twin/actual skew for the live admission service.
+
+    Where the offline injectors transform a *workload*, this one skews
+    the *execution* the service's digital twin must reconcile against:
+    the executor's actual timeline runs ``drift_ppm`` parts per million
+    fast or slow against the twin's predictions (the ``TimerDrift``
+    analogue), and each request independently overruns its declared cost
+    by ``overrun_factor`` with ``overrun_probability`` (the
+    ``WcetOverrun`` analogue).
+
+    Skew is keyed by ``(seed, request_id)`` through a platform-stable
+    digest — not by draw order — so a service restarted from a
+    checkpoint mid-storm re-derives the *same* actual execution for
+    every in-flight request.
+    """
+
+    drift_ppm: float = 0.0
+    overrun_factor: float = 1.0
+    overrun_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.overrun_factor <= 0:
+            raise ValueError(
+                f"overrun_factor must be > 0, got {self.overrun_factor}"
+            )
+        if not 0.0 <= self.overrun_probability <= 1.0:
+            raise ValueError(
+                "overrun_probability must be in [0, 1], got "
+                f"{self.overrun_probability}"
+            )
+
+    @property
+    def active(self) -> bool:
+        return self.drift_ppm != 0.0 or (
+            self.overrun_probability > 0.0 and self.overrun_factor != 1.0
+        )
+
+    def factors(self, seed: int, request_id: str) -> tuple[float, float]:
+        """The ``(drift_scale, overrun_scale)`` pair for one request.
+
+        Deterministic in ``(seed, request_id)`` alone: the same request
+        skews identically before and after a checkpoint restart.
+        """
+        import hashlib
+
+        digest = hashlib.blake2b(
+            request_id.encode("utf-8"), digest_size=8,
+            key=seed.to_bytes(8, "little", signed=False),
+        ).digest()
+        rng = PortableRandom(int.from_bytes(digest, "little"))
+        drift = 1.0 + self.drift_ppm / 1e6
+        overrun = (
+            self.overrun_factor
+            if rng.random() < self.overrun_probability else 1.0
+        )
+        return drift, overrun

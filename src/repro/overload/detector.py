@@ -135,6 +135,15 @@ class OverloadDetector:
         self._signal(now)
         self._update(now)
 
+    def poll(self, now: float) -> None:
+        """Re-evaluate the thresholds at ``now`` with no new signal.
+
+        Event-driven callers only re-enter ``_update`` when something
+        arrives, misses or sheds — a long-running *service* also needs a
+        fully quiet period to count towards quiescence, so its
+        housekeeping loop polls the detector on the heartbeat."""
+        self._update(now)
+
     def finish(self, now: float) -> None:
         """Close the degraded-time account at the end of a run."""
         self._update(now)

@@ -1,0 +1,89 @@
+"""Online admission service with digital-twin re-planning (PR 6).
+
+The service layer turns the offline admission arithmetic into a
+long-running asyncio server:
+
+* :mod:`repro.service.requests` — client-facing request/ticket types
+  and the idempotency cache;
+* :mod:`repro.service.backoff` — deterministic exponential backoff with
+  jitter (shared with the campaign retry path);
+* :mod:`repro.service.clock` — the logical clock (virtual for
+  deterministic runs, wall for deployment);
+* :mod:`repro.service.planner` — O(1) admission + in-place incremental
+  schedule repair (local → renegotiate → degrade);
+* :mod:`repro.service.twin` — the digital twin reconciling promises
+  against actual execution, with the divergence taxonomy;
+* :mod:`repro.service.checkpoint` — write-ahead JSONL op log and its
+  replay (restart-identical twin state);
+* :mod:`repro.service.monitors` — the service-protocol runtime monitor
+  on the PR 4 machinery;
+* :mod:`repro.service.service` — the :class:`AdmissionService` itself
+  plus the well-behaved :class:`ServiceClient`;
+* :mod:`repro.service.storm` — the seeded Poisson-storm harness.
+"""
+
+from .backoff import DEFAULT_BACKOFF, BackoffPolicy
+from .checkpoint import CheckpointError, CheckpointLog, replay_ops
+from .clock import VirtualClock, WallClock
+from .monitors import (
+    ServiceProtocolMonitor,
+    monitored_service_trace,
+    monitors_for_service,
+)
+from .planner import IncrementalPlanner, PlannedJob, RepairResult
+from .requests import (
+    RETRYABLE,
+    AdmissionTicket,
+    Decision,
+    EventRequest,
+    IdempotencyCache,
+)
+from .service import (
+    AdmissionService,
+    DrainReport,
+    ServiceClient,
+    ServiceConfig,
+)
+from .storm import StormConfig, StormReport, run_service_storm
+from .twin import (
+    BUDGET_DRIFT,
+    DEADLINE_SLIP,
+    HEARTBEAT_MISS,
+    DigitalTwin,
+    Divergence,
+    TwinConfig,
+)
+
+__all__ = [
+    "AdmissionService",
+    "AdmissionTicket",
+    "BUDGET_DRIFT",
+    "BackoffPolicy",
+    "CheckpointError",
+    "CheckpointLog",
+    "DEADLINE_SLIP",
+    "DEFAULT_BACKOFF",
+    "Decision",
+    "DigitalTwin",
+    "Divergence",
+    "DrainReport",
+    "EventRequest",
+    "HEARTBEAT_MISS",
+    "IdempotencyCache",
+    "IncrementalPlanner",
+    "PlannedJob",
+    "RETRYABLE",
+    "RepairResult",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceProtocolMonitor",
+    "StormConfig",
+    "StormReport",
+    "TwinConfig",
+    "VirtualClock",
+    "WallClock",
+    "monitored_service_trace",
+    "monitors_for_service",
+    "replay_ops",
+    "run_service_storm",
+]

@@ -1,0 +1,125 @@
+"""Logical-time clock driving the asyncio admission service.
+
+The service never reads the wall clock for *scheduling* decisions: all
+deadlines, replenishments and execution finishes live on a logical
+timeline (tu — the same unit the simulator traces use).  Two sources
+implement it:
+
+* :class:`VirtualClock` — manually advanced.  The storm harness and the
+  tests drive it, so a whole asyncio service run is deterministic under
+  a seed: same arrivals, same interleavings, same trace, replayable
+  bit-for-bit (the wall clock only ever feeds *measurement*, e.g.
+  re-plan latency in seconds).
+* :class:`WallClock` — maps the asyncio loop's monotonic time onto the
+  logical timeline for a real deployment; provided for completeness and
+  exercised lightly in tests.
+
+``advance()`` wakes sleepers strictly in (time, registration) order and
+lets the woken tasks settle between wakeups, so completions scheduled
+for t=4 run — and can schedule new work — before anything at t=5 fires.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+
+__all__ = ["VirtualClock", "WallClock"]
+
+_EPS = 1e-9
+#: ready-queue cycles granted after each wakeup so woken tasks reach
+#: their next clock await before time moves again
+_SETTLE_ROUNDS = 32
+
+
+class VirtualClock:
+    """A manually advanced logical clock for deterministic asyncio runs."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        self._seq = 0
+        #: min-heap of (wake_time, seq, future)
+        self._sleepers: list[tuple[float, int, asyncio.Future]] = []
+
+    def now(self) -> float:
+        return self._now
+
+    async def sleep_until(self, when: float) -> None:
+        """Suspend the calling task until the clock reaches ``when``."""
+        if when <= self._now + _EPS:
+            # still yield once: a zero sleep must not starve peers
+            await asyncio.sleep(0)
+            return
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._seq += 1
+        heapq.heappush(self._sleepers, (when, self._seq, future))
+        await future
+
+    async def sleep(self, duration: float) -> None:
+        await self.sleep_until(self._now + duration)
+
+    @staticmethod
+    async def _settle() -> None:
+        for _ in range(_SETTLE_ROUNDS):
+            await asyncio.sleep(0)
+
+    async def advance(self, to: float) -> None:
+        """Move logical time to ``to``, waking sleepers in order.
+
+        Each wakeup is followed by a settle phase, so a task woken at an
+        intermediate instant observes ``now() == its wake time`` and may
+        register earlier sleeps than ``to`` — the heap is re-examined
+        after every wakeup.
+        """
+        while self._sleepers and self._sleepers[0][0] <= to + _EPS:
+            when, _seq, future = heapq.heappop(self._sleepers)
+            self._now = max(self._now, when)
+            if not future.done():
+                future.set_result(None)
+            await self._settle()
+        self._now = max(self._now, to)
+        await self._settle()
+
+    def cancel_all(self) -> int:
+        """Abandon every sleeper (crash simulation); returns the count."""
+        dropped = 0
+        while self._sleepers:
+            _when, _seq, future = heapq.heappop(self._sleepers)
+            if not future.done():
+                future.cancel()
+                dropped += 1
+        return dropped
+
+    @property
+    def pending(self) -> int:
+        return len(self._sleepers)
+
+
+class WallClock:
+    """The asyncio loop's monotonic time as the logical timeline.
+
+    ``scale`` maps logical tu onto wall seconds (default: 1 tu = 1 ms,
+    the emulated VM's convention).
+    """
+
+    def __init__(self, scale: float = 1e-3) -> None:
+        if scale <= 0:
+            raise ValueError(f"scale must be > 0, got {scale}")
+        self.scale = scale
+        self._origin: float | None = None
+
+    def _loop_now(self) -> float:
+        return asyncio.get_event_loop().time()
+
+    def now(self) -> float:
+        if self._origin is None:
+            self._origin = self._loop_now()
+        return (self._loop_now() - self._origin) / self.scale
+
+    async def sleep_until(self, when: float) -> None:
+        delta = when - self.now()
+        await asyncio.sleep(max(delta * self.scale, 0.0))
+
+    async def sleep(self, duration: float) -> None:
+        await asyncio.sleep(max(duration * self.scale, 0.0))

@@ -1,0 +1,129 @@
+"""Runtime-verification oracles for the admission service.
+
+The service's trace speaks the same language as the kernels', so the
+PR 4 monitor machinery applies unchanged — :func:`monitors_for_service`
+assembles the standard battery (monotone clock, breaker protocol) plus
+:class:`ServiceProtocolMonitor`, the service-specific oracle:
+
+* every admitted request (RELEASE) resolves to **exactly one** terminal
+  — COMPLETION or SHED — by the horizon: nothing is silently dropped,
+  nothing is served twice;
+* a hard request never logs a DEADLINE_MISS — it either completed in
+  time or was explicitly cut and SHED at its deadline;
+* a corrective REPLAN (local / renegotiate / degrade) is only legal in
+  the causal shadow of a DIVERGENCE — the service must not thrash its
+  schedule without observed cause (restore/drain re-plans are exempt);
+* terminals for never-released subjects are flagged.
+
+Monitors record :class:`~repro.verify.violations.Violation` objects on
+the shared report; a clean storm run must end with zero.
+"""
+
+from __future__ import annotations
+
+from ..sim.trace import TraceEvent, TraceEventKind
+from ..verify.invariants import (
+    BreakerMonitor,
+    MonitoredTrace,
+    MonotoneClockMonitor,
+    TraceMonitor,
+)
+
+__all__ = ["ServiceProtocolMonitor", "monitors_for_service",
+           "monitored_service_trace"]
+
+_CORRECTIVE_LEVELS = ("local", "renegotiate", "degrade")
+
+
+class ServiceProtocolMonitor(TraceMonitor):
+    """The admit → execute → reconcile → re-plan protocol, as invariants."""
+
+    name = "service-protocol"
+
+    def __init__(self, replan_window: float = 50.0) -> None:
+        super().__init__()
+        self.replan_window = replan_window
+        self._released: dict[str, tuple[float, bool]] = {}  # id -> (t, hard)
+        self._terminals: dict[str, list[tuple[str, float, int]]] = {}
+        self._last_divergence: float | None = None
+
+    def on_event(self, index: int, event: TraceEvent) -> None:
+        kind = event.kind
+        if kind is TraceEventKind.RELEASE:
+            if event.subject in self._released:
+                self.report.record(
+                    "duplicate-admission", event.time, (event.subject,),
+                    "request admitted twice (idempotency breach)",
+                    witness=(index,),
+                )
+            self._released[event.subject] = (
+                event.time, "hard" in event.detail
+            )
+        elif kind in (TraceEventKind.COMPLETION, TraceEventKind.SHED):
+            if event.subject not in self._released:
+                self.report.record(
+                    "terminal-without-admission", event.time,
+                    (event.subject,),
+                    f"{kind.value} for a request never admitted",
+                    witness=(index,),
+                )
+            self._terminals.setdefault(event.subject, []).append(
+                (kind.value, event.time, index)
+            )
+        elif kind is TraceEventKind.DEADLINE_MISS:
+            released = self._released.get(event.subject)
+            if released is not None and released[1]:
+                self.report.record(
+                    "hard-deadline-miss", event.time, (event.subject,),
+                    "a hard request missed its deadline instead of being "
+                    "cut and shed",
+                    witness=(index,),
+                )
+        elif kind in (TraceEventKind.DIVERGENCE, TraceEventKind.MODE_CHANGE):
+            # a detected divergence or an overload mode switch both
+            # legitimise corrective re-planning
+            self._last_divergence = event.time
+        elif kind is TraceEventKind.REPLAN:
+            level = event.detail.split()[0] if event.detail else ""
+            if level in _CORRECTIVE_LEVELS and (
+                self._last_divergence is None
+                or event.time - self._last_divergence > self.replan_window
+            ):
+                self.report.record(
+                    "replan-without-divergence", event.time,
+                    (event.subject,),
+                    f"{level} re-plan with no divergence inside "
+                    f"{self.replan_window:g}tu",
+                    witness=(index,),
+                )
+
+    def finish(self, horizon: float) -> None:
+        for subject, terminals in self._terminals.items():
+            if len(terminals) > 1:
+                kinds = "+".join(kind for kind, _t, _i in terminals)
+                self.report.record(
+                    "duplicate-terminal", terminals[1][1], (subject,),
+                    f"{len(terminals)} terminals ({kinds})",
+                    witness=tuple(i for _k, _t, i in terminals),
+                )
+        for subject, (released_at, _hard) in self._released.items():
+            if subject not in self._terminals:
+                self.report.record(
+                    "silently-dropped", horizon, (subject,),
+                    f"admitted at {released_at:g} but neither completed "
+                    "nor shed by the horizon",
+                )
+
+
+def monitors_for_service(replan_window: float = 50.0) -> list[TraceMonitor]:
+    """The standard service battery (PR 4 sanitizers + the protocol)."""
+    return [
+        MonotoneClockMonitor(),
+        BreakerMonitor(),
+        ServiceProtocolMonitor(replan_window=replan_window),
+    ]
+
+
+def monitored_service_trace(replan_window: float = 50.0) -> MonitoredTrace:
+    """A fresh :class:`MonitoredTrace` with the service battery bound."""
+    return MonitoredTrace(monitors_for_service(replan_window=replan_window))

@@ -1,0 +1,237 @@
+"""Incremental scheduler: O(1) admission, in-place schedule repair.
+
+The planner owns the service's *predicted* schedule.  Admission rides
+the Section 7 bucket arithmetic (:class:`~repro.core.admission.
+BucketLedger`): one O(1) peek decides admit/reject, one O(1) place
+commits.  Nothing is ever re-simulated from t=0 — when the digital twin
+reports divergence, the planner *repairs* the live schedule in place:
+
+* **local repair** re-buckets the surviving backlog in EDF order from
+  the current instant (O(backlog)); events whose repaired finish no
+  longer meets their deadline are shed explicitly — the paper's
+  "execution possibly cancelled", applied online;
+* **budget re-negotiation** folds the twin's observed cost inflation
+  into every future placement (a server that *actually* delivers less
+  than its declared budget is re-planned against what it really
+  delivers), then repairs locally;
+* **degraded mode** scales the effective server capacity down (the PR 3
+  ``ServiceScaleAction`` shape) for the duration of the overload, again
+  followed by a local repair.
+
+All three escalation levels mutate the same ledger/backlog state — the
+re-plan cost is proportional to what is currently admitted, never to
+elapsed time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.admission import BucketLedger, BucketSlot
+from .requests import EventRequest
+
+__all__ = ["PlannedJob", "RepairResult", "IncrementalPlanner"]
+
+
+@dataclass
+class PlannedJob:
+    """One admitted event's live schedule entry."""
+
+    request: EventRequest
+    admitted_at: float
+    deadline: float          # absolute
+    slot: BucketSlot
+    effective_cost: float    # declared cost x inflation at placement
+
+    @property
+    def predicted_finish(self) -> float:
+        return self.slot.finish
+
+    def to_dict(self) -> dict:
+        return {
+            "request": self.request.to_dict(),
+            "admitted_at": self.admitted_at,
+            "deadline": self.deadline,
+            "slot": {
+                "instance": self.slot.instance,
+                "before": self.slot.before,
+                "cost": self.slot.cost,
+                "finish": self.slot.finish,
+            },
+            "effective_cost": self.effective_cost,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlannedJob":
+        return cls(
+            request=EventRequest.from_dict(data["request"]),
+            admitted_at=data["admitted_at"],
+            deadline=data["deadline"],
+            slot=BucketSlot(**data["slot"]),
+            effective_cost=data["effective_cost"],
+        )
+
+
+@dataclass
+class RepairResult:
+    """Outcome of one re-plan: what moved, what had to go."""
+
+    level: str                       # "local" | "renegotiate" | "degrade"
+    at: float
+    kept: dict[str, float] = field(default_factory=dict)   # id -> new finish
+    shed: list[str] = field(default_factory=list)
+    #: wall-clock seconds the repair took (benchmark signal)
+    latency_s: float = 0.0
+
+    @property
+    def moved(self) -> int:
+        return len(self.kept)
+
+
+class IncrementalPlanner:
+    """The admission service's schedule state machine."""
+
+    def __init__(self, capacity: float, period: float,
+                 start: float = 0.0) -> None:
+        self.base_capacity = capacity
+        self.period = period
+        self.start = start
+        #: observed cost inflation folded in by budget re-negotiation
+        self.inflation = 1.0
+        #: degraded-mode capacity scale (1.0 = normal service)
+        self.scale = 1.0
+        self.ledger = BucketLedger(capacity, period, start)
+        self.jobs: dict[str, PlannedJob] = {}
+        self.repairs = 0
+
+    # -- derived knobs -----------------------------------------------------
+
+    @property
+    def effective_capacity(self) -> float:
+        return self.base_capacity * self.scale
+
+    @property
+    def backlog(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def demand(self) -> float:
+        """Total effective cost currently admitted and unfinished."""
+        return sum(job.effective_cost for job in self.jobs.values())
+
+    # -- O(1) admission ----------------------------------------------------
+
+    def admit(self, now: float,
+              request: EventRequest) -> tuple[PlannedJob | None, float]:
+        """Admission test for ``request`` fired at ``now``; O(1).
+
+        Returns ``(job, predicted_finish)`` — ``job`` is ``None`` when
+        the event cannot meet its deadline (or can never fit), in which
+        case ``predicted_finish`` still carries the prediction that
+        sank it (``inf`` for does-not-fit).
+        """
+        if request.request_id in self.jobs:
+            raise KeyError(f"{request.request_id!r} is already admitted")
+        effective = request.cost * self.inflation
+        if effective > self.effective_capacity:
+            return None, float("inf")
+        slot = self.ledger.peek(now, effective)
+        deadline = now + request.relative_deadline
+        if slot.finish > deadline + 1e-12:
+            return None, slot.finish
+        self.ledger.place(slot)
+        job = PlannedJob(
+            request=request, admitted_at=now, deadline=deadline,
+            slot=slot, effective_cost=effective,
+        )
+        self.jobs[request.request_id] = job
+        return job, slot.finish
+
+    # -- O(1) retirement ---------------------------------------------------
+
+    def retire(self, request_id: str) -> PlannedJob:
+        """An admitted event left the schedule (served or shed); O(1)."""
+        job = self.jobs.pop(request_id)
+        self.ledger.release(job.effective_cost)
+        return job
+
+    # -- in-place repair ---------------------------------------------------
+
+    def repair(self, now: float, level: str = "local") -> RepairResult:
+        """Re-bucket the surviving backlog in EDF order from ``now``.
+
+        The ledger tail is rebuilt with the *current* effective capacity
+        and inflation; jobs whose repaired finish misses their deadline
+        (or whose effective cost no longer fits an instance) are removed
+        and reported shed — the caller records the explicit SHED events.
+        O(backlog log backlog) for the EDF sort; independent of elapsed
+        or remaining horizon.
+        """
+        result = RepairResult(level=level, at=now)
+        self.ledger = BucketLedger(
+            self.effective_capacity, self.period, self.start
+        )
+        ordered = sorted(
+            self.jobs.values(),
+            key=lambda job: (job.deadline, job.request.request_id),
+        )
+        survivors: dict[str, PlannedJob] = {}
+        for job in ordered:
+            effective = job.request.cost * self.inflation
+            if effective > self.effective_capacity:
+                result.shed.append(job.request.request_id)
+                continue
+            slot = self.ledger.peek(now, effective)
+            if slot.finish > job.deadline + 1e-12:
+                result.shed.append(job.request.request_id)
+                continue
+            self.ledger.place(slot)
+            job.slot = slot
+            job.effective_cost = effective
+            survivors[job.request.request_id] = job
+            result.kept[job.request.request_id] = slot.finish
+        self.jobs = survivors
+        self.repairs += 1
+        return result
+
+    def renegotiate(self, now: float, inflation: float) -> RepairResult:
+        """Fold the observed cost inflation into the budget model and
+        repair.  ``inflation`` below 1 (the twin observed *faster*
+        service than declared) is clamped: the planner never plans
+        against optimism."""
+        if inflation <= 0:
+            raise ValueError(f"inflation must be > 0, got {inflation}")
+        self.inflation = max(1.0, inflation)
+        return self.repair(now, level="renegotiate")
+
+    def degrade(self, now: float, scale: float) -> RepairResult:
+        """Enter degraded mode: scale effective capacity, repair."""
+        if not 0 < scale <= 1:
+            raise ValueError(f"scale must be in (0, 1], got {scale}")
+        self.scale = scale
+        return self.repair(now, level="degrade")
+
+    def restore(self, now: float) -> RepairResult:
+        """Leave degraded mode: full capacity again, repair (a repair
+        after *raising* capacity can only keep or improve finishes —
+        nothing is shed by recovery)."""
+        self.scale = 1.0
+        return self.repair(now, level="restore")
+
+    # -- checkpoint/hash input ---------------------------------------------
+
+    def state(self) -> dict:
+        """Canonical JSON-ready snapshot of the full planner state."""
+        return {
+            "capacity": self.base_capacity,
+            "period": self.period,
+            "start": self.start,
+            "inflation": round(self.inflation, 9),
+            "scale": round(self.scale, 9),
+            "ledger": self.ledger.state(),
+            "repairs": self.repairs,
+            "jobs": {
+                rid: job.to_dict()
+                for rid, job in sorted(self.jobs.items())
+            },
+        }

@@ -1,0 +1,212 @@
+"""The digital twin: predicted schedule vs. actual execution.
+
+The twin holds the service's *promises* — the predicted finish instant
+of every admitted event, as computed by the incremental planner — and
+reconciles them against the *actual* execution events the executor
+reports.  Reconciliation is the only place predicted and actual meet,
+and it yields a small divergence taxonomy:
+
+* ``deadline-slip`` — an event finished (or was cut) measurably later
+  than its promise; the schedule the service is quoting no longer
+  matches reality;
+* ``budget-drift`` — the EWMA of served/declared cost has drifted past
+  tolerance: the server's real budget delivery differs from the model
+  (WCET overruns, clock drift), so every outstanding promise is suspect;
+* ``heartbeat-miss`` — events are in flight but no reconciliation has
+  arrived within the heartbeat window: the execution side went dark
+  (lost completions, a wedged executor), which is itself divergence.
+
+Every twin mutation is deterministic in its inputs, and
+:meth:`DigitalTwin.state_hash` digests the full twin+planner state into
+a stable hex string — the restart test's "byte-identical twin state"
+criterion is equality of this hash after a checkpoint replay.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from .planner import IncrementalPlanner, PlannedJob
+
+__all__ = ["Divergence", "TwinConfig", "DigitalTwin"]
+
+#: stable machine-readable divergence kinds
+DEADLINE_SLIP = "deadline-slip"
+BUDGET_DRIFT = "budget-drift"
+HEARTBEAT_MISS = "heartbeat-miss"
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One detected predicted/actual mismatch."""
+
+    kind: str
+    time: float
+    request_id: str = ""
+    magnitude: float = 0.0
+    detail: str = ""
+
+    def __str__(self) -> str:
+        who = f" {self.request_id}" if self.request_id else ""
+        return f"[{self.kind}] t={self.time:g}{who}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class TwinConfig:
+    """Divergence thresholds.
+
+    ``slip_tolerance`` (tu) bounds how late an actual finish may run
+    against its promise before it counts as deadline slip;
+    ``drift_tolerance`` bounds the served/declared EWMA's distance from
+    1.0; ``heartbeat`` (tu) is the maximum silent gap while events are
+    in flight; ``ewma_alpha`` the drift estimator's smoothing factor.
+    """
+
+    slip_tolerance: float = 0.25
+    drift_tolerance: float = 0.15
+    heartbeat: float = 10.0
+    ewma_alpha: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.slip_tolerance < 0:
+            raise ValueError(
+                f"slip_tolerance must be >= 0, got {self.slip_tolerance}"
+            )
+        if self.drift_tolerance <= 0:
+            raise ValueError(
+                f"drift_tolerance must be > 0, got {self.drift_tolerance}"
+            )
+        if self.heartbeat <= 0:
+            raise ValueError(f"heartbeat must be > 0, got {self.heartbeat}")
+        if not 0 < self.ewma_alpha <= 1:
+            raise ValueError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+
+
+@dataclass
+class DigitalTwin:
+    """Reconciles the planner's promises against actual execution."""
+
+    config: TwinConfig
+    planner: IncrementalPlanner
+    #: served/declared cost EWMA; 1.0 = the model matches reality
+    drift_estimate: float = 1.0
+    last_reconcile: float = 0.0
+    reconciled: int = 0
+    divergences: dict[str, int] = field(
+        default_factory=lambda: {
+            DEADLINE_SLIP: 0, BUDGET_DRIFT: 0, HEARTBEAT_MISS: 0,
+        }
+    )
+    replans: dict[str, int] = field(default_factory=dict)
+    counters: dict[str, int] = field(
+        default_factory=lambda: {"admitted": 0, "completed": 0, "shed": 0}
+    )
+    #: drift level already folded into the planner by re-negotiation
+    negotiated_drift: float = 1.0
+
+    # -- lifecycle observations (the service calls these) ------------------
+
+    def observe_admit(self, now: float, job: PlannedJob) -> None:
+        self.counters["admitted"] += 1
+        self.last_reconcile = max(self.last_reconcile, now)
+
+    def observe_shed(self, now: float, request_id: str) -> None:
+        self.counters["shed"] += 1
+
+    def observe_replan(self, level: str) -> None:
+        self.replans[level] = self.replans.get(level, 0) + 1
+
+    def note_heartbeat_miss(self, now: float) -> Divergence:
+        self.divergences[HEARTBEAT_MISS] += 1
+        gap = now - self.last_reconcile
+        # the miss itself counts as contact: one lapse, one divergence
+        self.last_reconcile = now
+        return Divergence(
+            kind=HEARTBEAT_MISS, time=now,
+            magnitude=gap,
+            detail=f"no reconciliation for {gap:g}tu "
+                   f"with {self.planner.backlog} event(s) in flight",
+        )
+
+    # -- the reconciliation step -------------------------------------------
+
+    def reconcile(self, now: float, request_id: str, actual_finish: float,
+                  served_cost: float, cut: bool = False) -> list[Divergence]:
+        """Match one actual execution outcome against its promise.
+
+        ``cut=True`` marks a deadline-guard cut (the event never
+        completed; ``actual_finish`` is where it *would* have finished).
+        Returns the divergences this reconciliation exposed; the caller
+        decides whether and how hard to re-plan.
+        """
+        job = self.planner.jobs.get(request_id)
+        out: list[Divergence] = []
+        self.reconciled += 1
+        self.last_reconcile = now
+        if not cut:
+            self.counters["completed"] += 1
+        if job is not None:
+            slip = actual_finish - job.predicted_finish
+            # a deadline-guard cut is divergence by definition — the
+            # promise said "in time", reality said "not": tolerance 0
+            tolerance = 0.0 if cut else self.config.slip_tolerance
+            if slip > tolerance:
+                self.divergences[DEADLINE_SLIP] += 1
+                out.append(Divergence(
+                    kind=DEADLINE_SLIP, time=now, request_id=request_id,
+                    magnitude=slip,
+                    detail=f"finished {slip:g}tu past the promise "
+                           f"{job.predicted_finish:g}",
+                ))
+            declared = job.request.cost
+        else:
+            declared = served_cost  # promise already repaired away
+        if declared > 0 and served_cost > 0:
+            ratio = served_cost / declared
+            alpha = self.config.ewma_alpha
+            self.drift_estimate = (
+                (1 - alpha) * self.drift_estimate + alpha * ratio
+            )
+        drift_gap = self.drift_estimate / self.negotiated_drift - 1.0
+        if abs(drift_gap) > self.config.drift_tolerance:
+            self.divergences[BUDGET_DRIFT] += 1
+            out.append(Divergence(
+                kind=BUDGET_DRIFT, time=now, request_id=request_id,
+                magnitude=self.drift_estimate,
+                detail=f"served/declared EWMA {self.drift_estimate:.3f} vs "
+                       f"negotiated {self.negotiated_drift:.3f}",
+            ))
+        return out
+
+    def heartbeat_due(self, now: float) -> bool:
+        """Is the execution side overdue for a reconciliation?"""
+        return (
+            self.planner.backlog > 0
+            and now - self.last_reconcile > self.config.heartbeat
+        )
+
+    # -- state identity ----------------------------------------------------
+
+    def state(self) -> dict:
+        """Canonical JSON-ready snapshot of the twin (and its planner)."""
+        return {
+            "drift_estimate": round(self.drift_estimate, 9),
+            "negotiated_drift": round(self.negotiated_drift, 9),
+            "last_reconcile": round(self.last_reconcile, 9),
+            "reconciled": self.reconciled,
+            "divergences": dict(sorted(self.divergences.items())),
+            "replans": dict(sorted(self.replans.items())),
+            "counters": dict(sorted(self.counters.items())),
+            "planner": self.planner.state(),
+        }
+
+    def state_hash(self) -> str:
+        """SHA-256 over the canonical state — the restart-identity key."""
+        payload = json.dumps(
+            self.state(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()

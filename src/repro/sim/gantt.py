@@ -125,6 +125,9 @@ _MARKERS = {
     TraceEventKind.BREAKER_CLOSE: ("⊙", "#2a7a2a"),
     TraceEventKind.MODE_CHANGE: ("⇄", "#b8860b"),
     TraceEventKind.VIOLATION: ("✖", "#e0115f"),
+    TraceEventKind.RECONCILE: ("≈", "#4878d0"),
+    TraceEventKind.DIVERGENCE: ("≉", "#d65f5f"),
+    TraceEventKind.REPLAN: ("↻", "#956cb4"),
 }
 
 

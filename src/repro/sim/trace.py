@@ -48,6 +48,9 @@ class TraceEventKind(enum.Enum):
     BREAKER_CLOSE = "breaker_close"  # circuit breaker recovered (closed)
     MODE_CHANGE = "mode_change"      # overload detector switched modes
     VIOLATION = "violation"          # a verification monitor fired
+    RECONCILE = "reconcile"          # twin matched an actual execution event
+    DIVERGENCE = "divergence"        # twin/actual divergence detected
+    REPLAN = "replan"                # the service repaired its schedule
 
 
 @dataclass(frozen=True)

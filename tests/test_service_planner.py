@@ -1,0 +1,156 @@
+"""The incremental planner: O(1) admission, in-place schedule repair.
+
+Also pins the :class:`~repro.core.admission.BucketLedger` tail-reset
+semantics a long-running service depends on: completed work releases
+its claim once the backlog empties, so predictions do not drift
+monotonically into the future.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.admission import BucketLedger
+from repro.service.planner import IncrementalPlanner
+from repro.service.requests import EventRequest
+
+
+def _req(rid: str, cost: float = 1.0, deadline: float = 20.0,
+         **kw) -> EventRequest:
+    return EventRequest(request_id=rid, cost=cost,
+                        relative_deadline=deadline, **kw)
+
+
+class TestLedger:
+    def test_mid_instance_arrival_joins_next_instance(self):
+        ledger = BucketLedger(capacity=2.0, period=5.0)
+        slot = ledger.peek(now=1.0, cost=1.0)
+        assert slot.instance == 1
+        assert slot.finish == pytest.approx(5.0 + 1.0)
+
+    def test_bucket_overflow_spills_to_next(self):
+        ledger = BucketLedger(capacity=2.0, period=5.0)
+        ledger.admit(0.0, 1.5)
+        slot = ledger.peek(0.0, 1.0)   # 1.5 + 1.0 > capacity 2.0
+        assert slot.instance == 1
+
+    def test_release_with_outstanding_work_keeps_tail(self):
+        ledger = BucketLedger(capacity=2.0, period=5.0)
+        ledger.admit(0.0, 1.0)
+        ledger.admit(0.0, 1.0)
+        tail_before = ledger.state()["tail_instance"]
+        ledger.release(1.0)
+        assert ledger.state()["tail_instance"] == tail_before
+        assert ledger.backlog_count == 1
+
+    def test_empty_backlog_resets_tail(self):
+        """Regression: a long-running service's admit/retire cycles must
+        not push the tail (and every future prediction) to infinity."""
+        ledger = BucketLedger(capacity=2.0, period=2.0)
+        for i in range(500):
+            slot = ledger.admit(now=i * 0.01, cost=1.0)
+            ledger.release(1.0)
+        final = ledger.peek(now=5.0, cost=1.0)
+        assert final.finish <= 5.0 + 2.0 + 1.0 + 1e-9
+
+
+class TestAdmit:
+    def test_admit_and_predict(self):
+        planner = IncrementalPlanner(capacity=2.0, period=2.0)
+        job, finish = planner.admit(0.0, _req("a", cost=1.0))
+        assert job is not None
+        assert finish == job.predicted_finish
+        assert planner.backlog == 1
+
+    def test_duplicate_id_raises(self):
+        planner = IncrementalPlanner(capacity=2.0, period=2.0)
+        planner.admit(0.0, _req("a"))
+        with pytest.raises(KeyError):
+            planner.admit(0.0, _req("a"))
+
+    def test_reject_on_deadline(self):
+        planner = IncrementalPlanner(capacity=2.0, period=2.0)
+        # fill several buckets ahead
+        for i in range(6):
+            assert planner.admit(0.0, _req(f"f{i}", cost=2.0,
+                                           deadline=60.0))[0]
+        job, finish = planner.admit(0.0, _req("late", cost=1.0,
+                                              deadline=3.0))
+        assert job is None
+        assert finish > 3.0          # the prediction that sank it
+
+    def test_reject_on_capacity_is_inf(self):
+        planner = IncrementalPlanner(capacity=2.0, period=2.0)
+        job, finish = planner.admit(0.0, _req("big", cost=3.0))
+        assert job is None and finish == float("inf")
+
+    def test_retire_is_o1_and_frees(self):
+        planner = IncrementalPlanner(capacity=2.0, period=2.0)
+        planner.admit(0.0, _req("a", cost=1.5))
+        retired = planner.retire("a")
+        assert retired.request.request_id == "a"
+        assert planner.backlog == 0
+        with pytest.raises(KeyError):
+            planner.retire("a")
+
+
+class TestRepair:
+    def test_repair_rebuckets_in_edf_order(self):
+        planner = IncrementalPlanner(capacity=2.0, period=2.0)
+        planner.admit(0.0, _req("late-dl", cost=1.0, deadline=50.0))
+        planner.admit(0.0, _req("tight-dl", cost=1.0, deadline=10.0))
+        result = planner.repair(now=2.0)
+        assert result.moved == 2 and not result.shed
+        assert (planner.jobs["tight-dl"].predicted_finish
+                < planner.jobs["late-dl"].predicted_finish)
+
+    def test_repair_sheds_infeasible(self):
+        planner = IncrementalPlanner(capacity=2.0, period=2.0)
+        planner.admit(0.0, _req("keep", cost=1.0, deadline=100.0))
+        planner.admit(0.0, _req("goner", cost=1.0, deadline=6.0))
+        result = planner.repair(now=5.5)   # deadline 6 now unreachable
+        assert result.shed == ["goner"]
+        assert "goner" not in planner.jobs
+
+    def test_repair_cost_tracks_backlog_not_horizon(self):
+        planner = IncrementalPlanner(capacity=2.0, period=2.0)
+        for i in range(10):
+            planner.admit(0.0, _req(f"j{i}", cost=0.5, deadline=1e6))
+        early = planner.repair(now=1.0)
+        late = planner.repair(now=100000.0)   # huge elapsed time
+        assert early.moved == late.moved == 10
+
+    def test_renegotiate_inflates_and_clamps(self):
+        planner = IncrementalPlanner(capacity=2.0, period=2.0)
+        planner.admit(0.0, _req("a", cost=1.0, deadline=100.0))
+        planner.renegotiate(now=1.0, inflation=1.5)
+        assert planner.inflation == 1.5
+        assert planner.jobs["a"].effective_cost == pytest.approx(1.5)
+        planner.renegotiate(now=2.0, inflation=0.5)   # optimism clamped
+        assert planner.inflation == 1.0
+        with pytest.raises(ValueError):
+            planner.renegotiate(now=3.0, inflation=0.0)
+
+    def test_degrade_and_restore(self):
+        planner = IncrementalPlanner(capacity=2.0, period=2.0)
+        planner.admit(0.0, _req("a", cost=1.5, deadline=100.0))
+        planner.degrade(now=1.0, scale=0.5)
+        assert planner.effective_capacity == 1.0
+        # 1.5 no longer fits a degraded instance: shed on the next repair
+        assert "a" not in planner.jobs
+        job, finish = planner.admit(2.0, _req("b", cost=1.5))
+        assert job is None and finish == float("inf")
+        planner.restore(now=3.0)
+        assert planner.effective_capacity == 2.0
+        assert planner.admit(3.0, _req("c", cost=1.5))[0] is not None
+        with pytest.raises(ValueError):
+            planner.degrade(now=4.0, scale=0.0)
+
+    def test_state_is_canonical(self):
+        a = IncrementalPlanner(capacity=2.0, period=2.0)
+        b = IncrementalPlanner(capacity=2.0, period=2.0)
+        for planner in (a, b):
+            planner.admit(0.0, _req("x", cost=1.0))
+            planner.admit(0.5, _req("y", cost=0.5, deadline=30.0))
+            planner.repair(1.0)
+        assert a.state() == b.state()

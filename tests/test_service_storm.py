@@ -1,0 +1,102 @@
+"""End-to-end seeded storms against the admission service.
+
+The PR 6 acceptance criteria, as tests: under a seeded Poisson storm
+with timer drift and WCET overruns the service never violates a
+monitor invariant, every admitted hard event completes by its deadline
+or is explicitly SHED, runs are deterministic, and a kill/restore
+round-trip resumes from a byte-identical twin.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import StormConfig, run_service_storm
+from repro.sim.trace import TraceEventKind
+
+CLEAN = StormConfig(rate=0.4, horizon=150.0, seed=11)
+SKEWED = StormConfig(
+    rate=0.4, horizon=150.0, seed=11,
+    drift_ppm=40000.0, overrun_factor=1.6, overrun_probability=0.5,
+)
+
+
+class TestCleanStorm:
+    def test_no_violations_and_everything_settles(self):
+        report = run_service_storm(CLEAN)
+        assert report.clean, report.violations
+        assert report.admitted > 0
+        assert report.completed + report.shed == report.admitted
+        assert report.hard_misses == 0
+
+    def test_deterministic_twin_hash(self):
+        a = run_service_storm(CLEAN)
+        b = run_service_storm(CLEAN)
+        assert a.twin_hash == b.twin_hash
+        wall = ("wall_seconds", "admissions_per_sec", "replan_latency_s")
+        logical_a = {k: v for k, v in a.to_dict().items() if k not in wall}
+        logical_b = {k: v for k, v in b.to_dict().items() if k not in wall}
+        assert logical_a == logical_b
+
+    def test_seed_changes_the_run(self):
+        a = run_service_storm(CLEAN)
+        b = run_service_storm(StormConfig(
+            rate=0.4, horizon=150.0, seed=12,
+        ))
+        assert a.twin_hash != b.twin_hash
+
+
+class TestSkewedStorm:
+    def test_divergence_never_breaks_invariants(self):
+        report = run_service_storm(SKEWED)
+        assert report.clean, report.violations
+        # the skew actually produced divergence and forced re-planning
+        assert sum(report.divergences.values()) > 0
+        assert sum(report.replans.values()) > 0
+
+    def test_hard_deadlines_met_or_explicitly_shed(self):
+        report = run_service_storm(SKEWED)
+        assert report.hard_misses == 0       # never a silent hard miss
+        trace = report.trace
+        assert trace is not None
+        sheds = [e for e in trace.events
+                 if e.kind is TraceEventKind.SHED]
+        # every deadline-guard cut left an explicit SHED record
+        assert report.deadline_cuts == len(
+            [e for e in sheds if "deadline-guard" in e.detail]
+        )
+
+    def test_replan_latency_is_recorded(self):
+        report = run_service_storm(SKEWED)
+        stats = report.replan_latency_s
+        corrective = sum(n for level, n in report.replans.items()
+                         if level != "restore")
+        assert stats["count"] == corrective
+        if stats["count"]:
+            assert 0.0 <= stats["mean"] <= stats["max"] < 1.0
+
+
+class TestKillRestore:
+    def test_kill_then_restore_resumes_identically(self, tmp_path):
+        path = tmp_path / "storm.jsonl"
+        config = StormConfig(
+            rate=0.4, horizon=150.0, seed=11, kill_at=60.0,
+        )
+        killed = run_service_storm(config, checkpoint_path=path)
+        assert killed.killed and killed.twin_hash
+
+        resumed = run_service_storm(
+            StormConfig(rate=0.4, horizon=150.0, seed=11),
+            checkpoint_path=path, resume=True,
+        )
+        assert resumed.resumed_from_hash == killed.twin_hash
+        assert resumed.clean, resumed.violations
+
+    def test_restore_without_checkpoint_fails(self, tmp_path):
+        from repro.service.checkpoint import CheckpointError
+
+        with pytest.raises(CheckpointError):
+            run_service_storm(
+                CLEAN, checkpoint_path=tmp_path / "absent.jsonl",
+                resume=True,
+            )

@@ -1,0 +1,143 @@
+"""The digital twin: divergence taxonomy and state identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.planner import IncrementalPlanner
+from repro.service.requests import EventRequest
+from repro.service.twin import (
+    BUDGET_DRIFT,
+    DEADLINE_SLIP,
+    HEARTBEAT_MISS,
+    DigitalTwin,
+    TwinConfig,
+)
+
+
+def _twin(**config) -> DigitalTwin:
+    planner = IncrementalPlanner(capacity=2.0, period=2.0)
+    return DigitalTwin(config=TwinConfig(**config), planner=planner)
+
+
+def _admit(twin: DigitalTwin, rid: str, cost: float = 1.0,
+           deadline: float = 50.0, now: float = 0.0):
+    job, _ = twin.planner.admit(now, EventRequest(
+        request_id=rid, cost=cost, relative_deadline=deadline,
+    ))
+    assert job is not None
+    twin.observe_admit(now, job)
+    return job
+
+
+class TestReconcile:
+    def test_on_time_completion_is_quiet(self):
+        twin = _twin()
+        job = _admit(twin, "a")
+        divergences = twin.reconcile(
+            job.predicted_finish, "a", job.predicted_finish, job.request.cost
+        )
+        assert divergences == []
+        assert twin.counters["completed"] == 1
+
+    def test_slip_past_tolerance_diverges(self):
+        twin = _twin(slip_tolerance=0.25)
+        job = _admit(twin, "a")
+        late = job.predicted_finish + 1.0
+        divergences = twin.reconcile(late, "a", late, job.request.cost)
+        kinds = [d.kind for d in divergences]
+        assert DEADLINE_SLIP in kinds
+        assert twin.divergences[DEADLINE_SLIP] == 1
+
+    def test_slip_within_tolerance_is_quiet(self):
+        twin = _twin(slip_tolerance=0.25)
+        job = _admit(twin, "a")
+        barely = job.predicted_finish + 0.2
+        assert twin.reconcile(barely, "a", barely, job.request.cost) == []
+
+    def test_cut_has_zero_slip_tolerance(self):
+        """A deadline-guard cut is divergence by definition: the promise
+        said in-time, reality said not."""
+        twin = _twin(slip_tolerance=10.0)   # huge tolerance
+        job = _admit(twin, "a")
+        barely = job.predicted_finish + 0.01
+        divergences = twin.reconcile(barely, "a", barely,
+                                     job.request.cost, cut=True)
+        assert [d.kind for d in divergences] == [DEADLINE_SLIP]
+        assert twin.counters["completed"] == 0   # a cut never completed
+
+    def test_budget_drift_ewma(self):
+        twin = _twin(drift_tolerance=0.15, ewma_alpha=0.5)
+        kinds: list[str] = []
+        for i in range(4):
+            job = _admit(twin, f"j{i}")
+            served = job.request.cost * 1.8   # consistent 80% overrun
+            divergences = twin.reconcile(
+                job.predicted_finish, f"j{i}", job.predicted_finish, served
+            )
+            kinds += [d.kind for d in divergences]
+            twin.planner.retire(f"j{i}")
+        assert BUDGET_DRIFT in kinds
+        assert twin.drift_estimate > 1.15
+
+    def test_negotiated_drift_silences_known_drift(self):
+        twin = _twin(drift_tolerance=0.15, ewma_alpha=1.0)
+        twin.negotiated_drift = 1.8           # re-negotiation folded in
+        job = _admit(twin, "a")
+        divergences = twin.reconcile(
+            job.predicted_finish, "a", job.predicted_finish,
+            job.request.cost * 1.8,
+        )
+        assert BUDGET_DRIFT not in [d.kind for d in divergences]
+
+
+class TestHeartbeat:
+    def test_due_only_with_backlog(self):
+        twin = _twin(heartbeat=10.0)
+        assert not twin.heartbeat_due(100.0)   # idle: silence is fine
+        _admit(twin, "a")
+        assert not twin.heartbeat_due(5.0)
+        assert twin.heartbeat_due(11.0)
+
+    def test_miss_counts_once_per_lapse(self):
+        twin = _twin(heartbeat=10.0)
+        _admit(twin, "a")
+        divergence = twin.note_heartbeat_miss(12.0)
+        assert divergence.kind == HEARTBEAT_MISS
+        assert not twin.heartbeat_due(13.0)    # the miss reset the clock
+        assert twin.divergences[HEARTBEAT_MISS] == 1
+
+
+class TestStateHash:
+    def test_stable_across_identical_histories(self):
+        a, b = _twin(), _twin()
+        for twin in (a, b):
+            job = _admit(twin, "x")
+            twin.reconcile(job.predicted_finish, "x",
+                           job.predicted_finish + 0.5, 1.2)
+            twin.planner.retire("x")
+        assert a.state_hash() == b.state_hash()
+
+    def test_sensitive_to_any_mutation(self):
+        a, b = _twin(), _twin()
+        _admit(a, "x")
+        _admit(b, "x")
+        baseline = a.state_hash()
+        assert baseline == b.state_hash()
+        b.observe_shed(1.0, "x")
+        assert b.state_hash() != baseline
+
+    def test_hash_covers_planner_state(self):
+        a, b = _twin(), _twin()
+        _admit(a, "x")
+        _admit(b, "x")
+        b.planner.repair(1.0)
+        assert a.state_hash() != b.state_hash()
+
+    @pytest.mark.parametrize("bad", [
+        dict(slip_tolerance=-1.0), dict(drift_tolerance=0.0),
+        dict(heartbeat=0.0), dict(ewma_alpha=0.0), dict(ewma_alpha=1.5),
+    ])
+    def test_config_validation(self, bad):
+        with pytest.raises(ValueError):
+            TwinConfig(**bad)

@@ -1,0 +1,87 @@
+"""Batched-kernel throughput: systems/sec at population scale.
+
+Not a paper table — these pin the claim that the structure-of-arrays
+kernel (:mod:`repro.batch`) turns the campaign's dominant cost into a
+vectorized sweep: ``bench_batch_kernel_1k`` pushes a 1000-system
+plain-periodic+server population through ``simulate_batch`` in one call,
+while ``bench_batch_reference_100`` runs the first 100 systems of the
+*same* population through the per-system fast-path kernel.  Each records
+its population size in ``extra_info["systems"]`` so the regression gate
+(``check_bench_regression.py``) can compare *per-system* medians and
+report systems/sec throughput deltas; the committed guard requires the
+batch kernel to stay at least ~20x faster per system.
+
+``bench_batch_driver_sharded`` measures the full sharded driver
+(generation + kernel + differential sample + aggregation) so the
+end-to-end sweep cost stays visible next to the raw kernel number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.batch import BatchTables, run_batched_campaign, simulate_batch
+from repro.experiments.campaign import simulate_system
+from repro.workload.generator import PAPER_SETS, RandomSystemGenerator
+
+BATCH_SYSTEMS = 1000
+REFERENCE_SYSTEMS = 100
+
+_population = None
+
+
+def _build_population():
+    """The 1000-system population (generated once, shared by benches)."""
+    global _population
+    if _population is None:
+        params = replace(PAPER_SETS[1], nb_generation=BATCH_SYSTEMS)
+        systems = RandomSystemGenerator(params).generate()
+        _population = (systems, BatchTables.from_systems(systems))
+    return _population
+
+
+def bench_batch_kernel_1k(benchmark):
+    systems, tables = _build_population()
+    benchmark.extra_info["systems"] = BATCH_SYSTEMS
+
+    result = benchmark(simulate_batch, tables, "polling")
+
+    # sanity: the batched metrics match the per-system reference kernel
+    # bit-for-bit on a spot-checked subset
+    for i in (0, 1, BATCH_SYSTEMS // 2, BATCH_SYSTEMS - 1):
+        reference = simulate_system(systems[i], policy="polling").metrics
+        assert result.run_metrics(i) == reference, f"system {i} diverged"
+    served = sum(result.run_metrics(i).served for i in range(10))
+    print(f"\nbatched {BATCH_SYSTEMS} systems; first 10 served {served} jobs")
+
+
+def bench_batch_reference_100(benchmark):
+    systems, _ = _build_population()
+    subset = systems[:REFERENCE_SYSTEMS]
+    benchmark.extra_info["systems"] = REFERENCE_SYSTEMS
+
+    def run():
+        return [
+            simulate_system(system, policy="polling").metrics
+            for system in subset
+        ]
+
+    metrics = benchmark(run)
+    assert len(metrics) == REFERENCE_SYSTEMS
+
+
+def bench_batch_driver_sharded(benchmark):
+    params = replace(PAPER_SETS[1], nb_generation=BATCH_SYSTEMS)
+    benchmark.extra_info["systems"] = BATCH_SYSTEMS
+
+    def run():
+        return run_batched_campaign(
+            sets=(params,), arms=("ps_sim",), shard_size=256,
+            keep_runs=False,
+        )
+
+    result = benchmark(run)
+    assert result.systems == BATCH_SYSTEMS
+    assert not result.fallbacks
+    print(f"\ndriver: {result.verified} differentially verified, "
+          f"{result.systems_per_sec:,.0f} systems/sec end to end")

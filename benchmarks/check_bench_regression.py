@@ -13,8 +13,11 @@ Two passes over ``benchmarks/BENCH_engine.json``:
   requires the fast/default median ratio to stay under ``max_ratio``
   (the baseline ratio plus 25%).  Comparing a ratio measured within one
   process keeps the gate meaningful across machines and noisy CI
-  runners, where absolute millisecond baselines are not.  A guard that
-  is malformed (missing keys) or that references benchmarks absent from
+  runners, where absolute millisecond baselines are not.  A guard may
+  carry ``fast_systems`` / ``default_systems`` normalisation counts for
+  benchmarks that sweep different population sizes (the batch-kernel
+  guard compares *per-system* medians this way).  A guard that is
+  malformed (missing keys) or that references benchmarks absent from
   the run fails *clearly*, it never KeyErrors.
 * **auto-seeding** — a benchmark present in the results but absent from
   the baseline trajectory is reported and, unless ``--no-seed`` is
@@ -57,6 +60,12 @@ def _load_medians(results_path: pathlib.Path) -> dict[str, dict]:
             "median_ms": round(stats["median"] * 1e3, 4),
             "min_ms": round(stats.get("min", stats["median"]) * 1e3, 4),
         }
+        systems = (bench.get("extra_info") or {}).get("systems")
+        if isinstance(systems, (int, float)) and systems > 0:
+            out[name]["systems"] = systems
+            out[name]["systems_per_sec"] = round(
+                systems / (stats["median"] or 1e-12), 1
+            )
     return out
 
 
@@ -76,16 +85,45 @@ def _check_guards(baseline: dict, medians: dict[str, dict]) -> int:
         if absent:
             print(f"SKIP  {fast}: {', '.join(absent)} missing from results")
             continue
-        ratio = medians[fast]["median_ms"] / medians[default]["median_ms"]
+        # per-system normalisation for population-sweep benchmarks
+        fast_n = guard.get("fast_systems", 1)
+        default_n = guard.get("default_systems", 1)
+        ratio = (medians[fast]["median_ms"] / fast_n) / (
+            medians[default]["median_ms"] / default_n
+        )
+        scope = "per-system " if fast_n != 1 or default_n != 1 else ""
         verdict = "ok" if ratio <= guard["max_ratio"] else "REGRESSION"
         print(
-            f"{verdict:>10}  {fast}: fast/default median ratio "
+            f"{verdict:>10}  {fast}: fast/default {scope}median ratio "
             f"{ratio:.3f} (baseline {guard['baseline_ratio']:.3f}, "
             f"max {guard['max_ratio']:.3f})"
         )
         if ratio > guard["max_ratio"]:
             failures += 1
     return failures
+
+
+def _throughput_deltas(baseline: dict,
+                       medians: dict[str, dict]) -> list[str]:
+    """systems/sec summaries for population-sweep benchmarks, with the
+    delta against the most recent baseline entry that recorded one."""
+    deltas: list[str] = []
+    trajectory = baseline.get("trajectory", {})
+    for name in sorted(medians):
+        sps = medians[name].get("systems_per_sec")
+        if sps is None:
+            continue
+        base_sps = next(
+            (e["systems_per_sec"] for e in reversed(trajectory.get(name, []))
+             if "systems_per_sec" in e),
+            None,
+        )
+        if base_sps:
+            pct = 100.0 * (sps - base_sps) / base_sps
+            deltas.append(f"{name} {sps:,.0f} systems/sec ({pct:+.1f}%)")
+        else:
+            deltas.append(f"{name} {sps:,.0f} systems/sec (no baseline)")
+    return deltas
 
 
 def _seed_new(baseline: dict, medians: dict[str, dict],
@@ -116,15 +154,19 @@ def main(argv: list[str]) -> int:
     except (OSError, ValueError) as exc:
         raise SystemExit(f"cannot read baseline {BASELINE}: {exc}")
     failures = _check_guards(baseline, medians)
+    throughput = _throughput_deltas(baseline, medians)
     new = _seed_new(baseline, medians, seed)
     if new and seed:
         BASELINE.write_text(json.dumps(baseline, indent=1) + "\n")
         print(f"\nseeded {len(new)} new baseline entr"
               f"{'y' if len(new) == 1 else 'ies'} into {BASELINE.name}")
+    summary = (
+        "; throughput: " + ", ".join(throughput) if throughput else ""
+    )
     if failures:
-        print(f"\n{failures} guard(s) regressed or broken")
+        print(f"\n{failures} guard(s) regressed or broken{summary}")
         return 1
-    print("\nall benchmark guards within bounds")
+    print(f"\nall benchmark guards within bounds{summary}")
     return 0
 
 

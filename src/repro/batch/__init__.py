@@ -1,0 +1,34 @@
+"""Batched structure-of-arrays campaign kernel (see docs/batch.md).
+
+Simulates hundreds-to-thousands of generated systems at once as NumPy
+columns for the common campaign shape — plain periodic tasks plus one
+ideal Polling/Deferrable server under fixed priorities — with metrics
+bit-identical to the per-system reference kernel.  The sharded driver
+:func:`run_batched_campaign` scales this to 10^4–10^5-system sweeps with
+multiprocessing fan-out, per-shard JSONL checkpoints, streaming
+aggregation and a seeded differential sample cross-validated against the
+reference kernel on every shard.
+"""
+
+from .soa import BATCH_POLICIES, BatchTables, BatchUnsupported, ensure_batchable
+from .kernel import simulate_batch
+from .result import BatchResult
+from .driver import (
+    BatchCampaignResult,
+    BatchShardRecord,
+    BatchVerificationError,
+    run_batched_campaign,
+)
+
+__all__ = [
+    "BATCH_POLICIES",
+    "BatchCampaignResult",
+    "BatchResult",
+    "BatchShardRecord",
+    "BatchTables",
+    "BatchUnsupported",
+    "BatchVerificationError",
+    "ensure_batchable",
+    "run_batched_campaign",
+    "simulate_batch",
+]

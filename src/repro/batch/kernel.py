@@ -1,0 +1,200 @@
+"""Vectorized lockstep emulation of the reference decision loop.
+
+:func:`simulate_batch` advances *every* system of a :class:`BatchTables`
+batch simultaneously: each lockstep iteration performs, per system and as
+masked NumPy operations over the batch axis, exactly what one pass of
+``Simulation._run_main`` would do — drain the due arrival/activation
+events in heap order, then run one processor slice (or handle a budget
+exhaustion, or jump the idle clock to the next server event).
+
+Bit-exactness contract
+----------------------
+The per-job ``start``/``finish`` instants — and hence every AART/AIR/ASR
+metric — are **bit-identical** to ``simulate_system``'s reference run,
+because the float expressions are mirrored operation-for-operation:
+
+* ``budget = min(head.remaining, capacity)``; ``end = now + budget``;
+* ``slice_end = end if end < until else until`` then cut to the next
+  heap event when strictly earlier (arrivals, activations, and the
+  periodic release/deadline cut instants precomputed per system);
+* ``duration = slice_end - now``; ``remaining = max(0, remaining -
+  duration)``; ``capacity = max(0, capacity - duration)``;
+* completion when ``-EPS <= now - end <= EPS`` and ``remaining <= EPS``
+  (finish at the advanced ``now``), followed by the server's
+  capacity-exhausted / queue-drained hooks in the reference order
+  (Polling forfeits leftover budget on drain, Deferrable keeps it);
+* events are due at ``time <= now + EPS`` and processed in heap order:
+  time first, then arrivals (order 5) before activations (order 6).
+
+This works because in the campaign shape the server is forced above all
+periodic tasks under fixed priorities, so periodic execution can never
+displace the server — its only influence is the slice-cut instants, which
+:class:`~repro.batch.soa.BatchTables` precomputes.  All of it is
+cross-checked by the seeded differential samples the driver runs every
+shard (``repro.verify.batch_differential_check``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.engine import EPS
+from .result import BatchResult
+from .soa import BATCH_POLICIES, BatchTables, BatchUnsupported
+
+__all__ = ["simulate_batch"]
+
+
+def simulate_batch(tables: BatchTables, policy: str) -> BatchResult:
+    """Simulate the whole batch under the ideal ``policy`` server.
+
+    Returns a :class:`~repro.batch.result.BatchResult` whose per-system
+    metrics are bit-identical to running
+    :func:`repro.experiments.campaign.simulate_system` on each system.
+    """
+    if policy not in BATCH_POLICIES:
+        raise BatchUnsupported(
+            f"policy {policy!r} is not batchable "
+            f"(supported: {', '.join(BATCH_POLICIES)})"
+        )
+    polling = policy == "polling"
+    b = tables.n_systems
+    e = tables.max_events
+    rows = np.arange(b)
+    rel = tables.release
+    cost = tables.cost
+    n_ev = tables.n_events
+    cap_full = tables.capacity
+    period = tables.period
+    horizon = tables.horizon
+    cuts = tables.cuts
+    # the reference loop bound: ``while now < until - EPS``
+    h_eps = horizon - EPS
+
+    now = np.zeros(b, dtype=np.float64)
+    # Polling starts empty (the t=0 activation grants the first budget);
+    # Deferrable is attached with its full capacity.
+    cap = np.zeros(b) if polling else cap_full.copy()
+    # activation/replenishment index: polling activates at k*P from k=0,
+    # deferrable replenishes from k=1
+    k_act = np.zeros(b, dtype=np.int64) if polling \
+        else np.ones(b, dtype=np.int64)
+    head = np.zeros(b, dtype=np.int64)     # first not-completed job
+    n_adm = np.zeros(b, dtype=np.int64)    # arrivals admitted so far
+    rem = np.zeros(b, dtype=np.float64)    # head job remaining (FIFO: only
+    #                                        the head is ever partial)
+    cptr = np.zeros(b, dtype=np.int64)     # next pending cut instant
+    start = np.full((b, e), np.nan)
+    finish = np.full((b, e), np.nan)
+    rel_evt = np.full((b, e), np.nan)      # drain time of each RELEASE
+    active = now < h_eps
+
+    # every iteration retires at least one event, slice, exhaustion or
+    # idle jump per active system; this bound is far above any real run
+    max_iter = 16 * (e + cuts.shape[1] + int(
+        np.ceil(horizon.max() / period.min())
+    ) + 4)
+    for _ in range(max_iter):
+        if not active.any():
+            break
+
+        # -- event phase: drain due arrivals/activations in heap order --
+        while True:
+            t_arr = rel[rows, n_adm]
+            t_act_raw = k_act * period
+            t_act = np.where(t_act_raw < h_eps, t_act_raw, np.inf)
+            lim = now + EPS
+            arr_due = active & (t_arr <= lim)
+            act_due = active & (t_act <= lim)
+            if not (arr_due.any() or act_due.any()):
+                break
+            # heap order: earlier time first; on equal times the arrival
+            # (order 5) precedes the activation (order 6)
+            pick_arr = arr_due & (t_arr <= t_act)
+            pick_act = act_due & ~pick_arr
+            if pick_arr.any():
+                idx = np.nonzero(pick_arr)[0]
+                j = n_adm[idx]
+                rel_evt[idx, j] = now[idx]
+                # queue was empty: the newcomer becomes the head job
+                fresh = head[idx] == j
+                rem[idx] = np.where(fresh, cost[idx, j], rem[idx])
+                n_adm[idx] = j + 1
+            if pick_act.any():
+                idx = np.nonzero(pick_act)[0]
+                if polling:
+                    # an idle activation forfeits the whole budget
+                    pending = head[idx] < n_adm[idx]
+                    cap[idx] = np.where(pending, cap_full[idx], 0.0)
+                else:
+                    # full (not incremental) restoration, the classic DS rule
+                    cap[idx] = cap_full[idx]
+                k_act[idx] += 1
+
+        # -- retire cut instants that are no longer ahead of the clock --
+        while True:
+            passed = active & (cuts[rows, cptr] <= now + EPS)
+            if not passed.any():
+                break
+            cptr[passed] += 1
+
+        t_arr = rel[rows, n_adm]
+        t_act_raw = k_act * period
+        t_act = np.where(t_act_raw < h_eps, t_act_raw, np.inf)
+
+        # -- serve / exhaust / idle-jump (one reference iteration) --
+        ready = active & (head < n_adm) & (cap > EPS)
+        budget = np.minimum(rem, cap)
+        tiny = ready & (budget <= EPS)     # degenerate budget: exhaust now
+        run = ready & ~tiny
+        end = now + budget
+        slice_end = np.where(end < horizon, end, horizon)
+        nxt = np.minimum(np.minimum(t_arr, t_act), cuts[rows, cptr])
+        slice_end = np.where(nxt < slice_end, nxt, slice_end)
+        if run.any():
+            idx = np.nonzero(run)[0]
+            hj = head[idx]
+            unstarted = np.isnan(start[idx, hj])
+            start[idx[unstarted], hj[unstarted]] = now[idx[unstarted]]
+            duration = slice_end[idx] - now[idx]
+            rem[idx] = np.maximum(0.0, rem[idx] - duration)
+            cap[idx] = np.maximum(0.0, cap[idx] - duration)
+            now[idx] = slice_end[idx]
+        diff = now - end
+        exhausted = (run & (-EPS <= diff) & (diff <= EPS)) | tiny
+        if exhausted.any():
+            idx = np.nonzero(exhausted)[0]
+            done = rem[idx] <= EPS
+            didx = idx[done]
+            hj = head[didx]
+            finish[didx, hj] = now[didx]
+            head[didx] = hj + 1
+            rem[didx] = np.where(
+                head[didx] < n_adm[didx], cost[didx, head[didx]], 0.0
+            )
+            if polling:
+                # reference order: the queue-drained hook only runs when
+                # capacity remains (``elif not pending: _on_idle``)
+                forfeit = (cap[idx] > EPS) & (head[idx] >= n_adm[idx])
+                cap[idx[forfeit]] = 0.0
+        idle = active & ~ready
+        if idle.any():
+            nxt_server = np.minimum(t_arr, t_act)
+            jump = idle & (nxt_server <= horizon + EPS)
+            now[jump] = nxt_server[jump]
+            active = active & (~idle | jump)
+        active = active & (now < h_eps)
+    else:  # pragma: no cover - defensive
+        raise RuntimeError(
+            f"batch kernel failed to converge within {max_iter} iterations"
+        )
+
+    return BatchResult(
+        policy=policy,
+        release=rel[:, :e],
+        n_events=n_ev,
+        start=start,
+        finish=finish,
+        release_event=rel_evt,
+        system_ids=tables.system_ids,
+    )

@@ -1,0 +1,234 @@
+"""Structure-of-arrays workload tables for the batched campaign kernel.
+
+A :class:`BatchTables` holds hundreds (or thousands) of generated systems
+as padded NumPy columns keyed ``(system, event)``: release instants,
+handler costs, server parameters and the per-system "cut" instants at
+which the reference kernel would interrupt a processor slice (periodic
+releases and deadline sentinels).  The batched kernel in
+:mod:`repro.batch.kernel` advances all systems in lockstep over these
+columns.
+
+The supported envelope is deliberately the *common campaign shape*:
+plain periodic task sets plus one Polling/Deferrable server under fixed
+priorities, no faults, no enforcement, no overload wiring, no monitors,
+one core.  :func:`ensure_batchable` rejects everything else with
+:class:`BatchUnsupported` so callers can fall back — loudly, never
+silently — to the per-system reference kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from ..sim.engine import EPS
+from ..workload.spec import GeneratedSystem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.enforcement import EnforcementConfig
+    from ..overload.config import OverloadConfig
+
+__all__ = ["BatchUnsupported", "BatchTables", "ensure_batchable",
+           "BATCH_POLICIES"]
+
+#: server policies the batched kernel implements
+BATCH_POLICIES = ("polling", "deferrable")
+
+
+class BatchUnsupported(ValueError):
+    """The system (or run configuration) falls outside the batch envelope.
+
+    Callers in ``"auto"`` mode catch this and route the system through
+    the per-system reference path (counting the fallback); ``"force"``
+    mode lets it propagate.
+    """
+
+
+def ensure_batchable(
+    system: GeneratedSystem,
+    policy: str,
+    *,
+    enforcement: "EnforcementConfig | None" = None,
+    overload: "OverloadConfig | None" = None,
+    verify: bool = False,
+    cores: int = 1,
+) -> None:
+    """Raise :class:`BatchUnsupported` unless ``system`` fits the envelope.
+
+    The envelope is exactly what :func:`repro.batch.kernel.simulate_batch`
+    reproduces bit-for-bit against the reference kernel: an ideal
+    Polling/Deferrable server forced above plain periodic tasks, golden
+    path only.
+    """
+    if policy not in BATCH_POLICIES:
+        raise BatchUnsupported(
+            f"policy {policy!r} is not batchable (supported: "
+            f"{', '.join(BATCH_POLICIES)}; EDF and execution arms take "
+            "the per-system reference path)"
+        )
+    if enforcement is not None:
+        raise BatchUnsupported(
+            "cost-overrun enforcement changes server accounting; "
+            "enforced runs take the per-system reference path"
+        )
+    if overload is not None and getattr(overload, "active", True):
+        raise BatchUnsupported(
+            "overload wiring (queue bounds / breakers / degraded modes) "
+            "is not batchable"
+        )
+    if verify:
+        raise BatchUnsupported(
+            "monitor-verified runs need the full per-system trace"
+        )
+    if cores != 1:
+        raise BatchUnsupported(
+            f"multicore ({cores} cores) is not batchable; "
+            "use the repro.smp kernel per system"
+        )
+    for event in system.events:
+        if event.actual_cost is not None:
+            raise BatchUnsupported(
+                f"event {event.event_id} of system {system.system_id} "
+                "carries a fault-modified actual cost"
+            )
+    for task in system.periodic_tasks:
+        if task.actual_cost is not None:
+            raise BatchUnsupported(
+                f"periodic task {task.name!r} of system "
+                f"{system.system_id} carries a fault-modified actual cost"
+            )
+
+
+def _system_cuts(system: GeneratedSystem) -> list[float]:
+    """Instants at which the reference kernel's heap interrupts a slice.
+
+    With periodic tasks registered, the reference decision loop cuts
+    every processor slice at the next heap event — periodic releases
+    (``offset + i*period``) and the deadline sentinels armed at each
+    release (``release + effective_deadline``) — even though neither
+    changes server state.  The cut changes the *float accumulation* of
+    (remaining, capacity, now), so bit-identical finish times require
+    replaying the same cut instants.  The expressions below reproduce
+    the reference arithmetic operation-for-operation
+    (:meth:`repro.sim.task.PeriodicTask.release_job`).
+    """
+    horizon = system.horizon
+    limit = horizon - EPS
+    cuts: list[float] = []
+    for task in system.periodic_tasks:
+        offset = task.offset
+        period = task.period
+        rel_deadline = task.effective_deadline
+        instance = 0
+        while True:
+            release = offset + instance * period
+            if release >= limit:
+                break
+            cuts.append(release)
+            deadline = release + rel_deadline
+            if deadline < horizon:
+                cuts.append(deadline)
+            instance += 1
+    cuts.sort()
+    return cuts
+
+
+@dataclass(frozen=True)
+class BatchTables:
+    """Columnar (structure-of-arrays) view of a batch of systems.
+
+    Event columns are padded one column wide beyond ``max_events`` so the
+    kernel can gather "next arrival" with the admitted-count as index:
+    ``release`` pads with ``+inf`` (no next arrival), ``cost`` with 0.
+    ``cuts`` pads with ``+inf`` (no next cut).
+    """
+
+    #: (B, E+1) float64 — event release instants, padded +inf
+    release: np.ndarray
+    #: (B, E+1) float64 — event execution costs, padded 0
+    cost: np.ndarray
+    #: (B,) int64 — events per system
+    n_events: np.ndarray
+    #: (B,) float64 — server capacity / period, observation horizon
+    capacity: np.ndarray
+    period: np.ndarray
+    horizon: np.ndarray
+    #: (B, K+1) float64 — sorted slice-cut instants, padded +inf
+    cuts: np.ndarray
+    #: per-system identifiers, in batch order
+    system_ids: tuple[int, ...]
+
+    @property
+    def n_systems(self) -> int:
+        return len(self.system_ids)
+
+    @property
+    def max_events(self) -> int:
+        return self.release.shape[1] - 1
+
+    @classmethod
+    def from_systems(cls, systems: Sequence[GeneratedSystem]) -> "BatchTables":
+        """Pack ``systems`` into padded columns (no envelope check here;
+        run :func:`ensure_batchable` first when the batch must be exact).
+        """
+        if not systems:
+            raise ValueError("cannot build BatchTables from zero systems")
+        b = len(systems)
+        n_events = np.fromiter(
+            (len(s.events) for s in systems), dtype=np.int64, count=b
+        )
+        e = int(n_events.max()) if b else 0
+        release = np.full((b, e + 1), np.inf, dtype=np.float64)
+        cost = np.zeros((b, e + 1), dtype=np.float64)
+        all_cuts = [_system_cuts(s) for s in systems]
+        k = max((len(c) for c in all_cuts), default=0)
+        cuts = np.full((b, k + 1), np.inf, dtype=np.float64)
+        for i, system in enumerate(systems):
+            n = len(system.events)
+            if n:
+                release[i, :n] = [ev.release for ev in system.events]
+                cost[i, :n] = [ev.cost for ev in system.events]
+            if all_cuts[i]:
+                cuts[i, : len(all_cuts[i])] = all_cuts[i]
+        return cls(
+            release=release,
+            cost=cost,
+            n_events=n_events,
+            capacity=np.fromiter(
+                (s.server.capacity for s in systems), np.float64, count=b
+            ),
+            period=np.fromiter(
+                (s.server.period for s in systems), np.float64, count=b
+            ),
+            horizon=np.fromiter(
+                (s.horizon for s in systems), np.float64, count=b
+            ),
+            cuts=cuts,
+            system_ids=tuple(s.system_id for s in systems),
+        )
+
+    def scaled_costs(self, factors: np.ndarray) -> "BatchTables":
+        """A copy with every system's event costs scaled by ``factors``.
+
+        ``factors`` is ``(B,)``-shaped; costs keep their zero padding.
+        This is the probe primitive of the breakdown-utilization sweeps
+        (scale demand, re-run the batch) — no regeneration needed.
+        """
+        factors = np.asarray(factors, dtype=np.float64)
+        if factors.shape != (self.n_systems,):
+            raise ValueError(
+                f"factors must have shape ({self.n_systems},), "
+                f"got {factors.shape}"
+            )
+        return BatchTables(
+            release=self.release,
+            cost=self.cost * factors[:, None],
+            n_events=self.n_events,
+            capacity=self.capacity,
+            period=self.period,
+            horizon=self.horizon,
+            cuts=self.cuts,
+            system_ids=self.system_ids,
+        )

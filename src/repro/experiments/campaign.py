@@ -16,6 +16,7 @@ Both arms consume byte-identical workloads from
 from __future__ import annotations
 
 import json
+import logging
 import multiprocessing
 import os
 import signal
@@ -88,6 +89,8 @@ __all__ = [
 ]
 
 ARMS = ("ps_sim", "ps_exec", "ds_sim", "ds_exec")
+
+logger = logging.getLogger("repro.experiments.campaign")
 
 
 class RunTimeout(Exception):
@@ -288,6 +291,10 @@ class CampaignResult:
         default_factory=dict
     )
     records: list[RunRecord] = field(default_factory=list)
+    #: systems routed to the per-system reference kernel because they
+    #: fell outside the batch envelope (``batch="auto"`` only; always 0
+    #: with ``batch="off"``)
+    batch_fallbacks: int = 0
 
     @property
     def failures(self) -> list[RunRecord]:
@@ -613,7 +620,8 @@ def _append_checkpoint(path: Path | None, record: RunRecord) -> None:
         os.fsync(fh.fileno())
 
 
-def _parallel_map(fn, tasks: list, workers: int) -> list:
+def _parallel_map(fn, tasks: list, workers: int,
+                  mp_context=None) -> list:
     """Ordered map over ``tasks``, optionally on a process pool.
 
     With ``workers <= 1`` (or at most one task) the map runs inline in
@@ -623,12 +631,29 @@ def _parallel_map(fn, tasks: list, workers: int) -> list:
     bit-identical to a sequential sweep.  Each pool worker's task runs on
     that worker's main thread, so per-run ``SIGALRM`` timeouts still
     apply there.
+
+    The pool uses an *explicit* start method rather than the platform
+    default: ``fork`` where available (cheap, shares the parent's loaded
+    modules), ``spawn`` otherwise.  Every worker entry point and task
+    payload is picklable by qualified name, so the map produces the same
+    ordered results under either method — ``mp_context`` (a context
+    object or a start-method name like ``"spawn"``) pins one explicitly.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     if workers == 1 or len(tasks) <= 1:
         return [fn(task) for task in tasks]
-    with multiprocessing.Pool(processes=min(workers, len(tasks))) as pool:
+    ctx = mp_context
+    if isinstance(ctx, str):
+        ctx = multiprocessing.get_context(ctx)
+    elif ctx is None:
+        method = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        ctx = multiprocessing.get_context(method)
+    with ctx.Pool(processes=min(workers, len(tasks))) as pool:
         return pool.map(fn, tasks, chunksize=1)
 
 
@@ -719,6 +744,7 @@ def run_campaign(
     verify: bool = False,
     trace_mode: str | None = None,
     kernel: str = "auto",
+    batch: str = "off",
 ) -> CampaignResult:
     """Run the full evaluation; returns per-arm tables keyed like the
     paper's ``(density, std)`` columns.
@@ -735,7 +761,22 @@ def run_campaign(
     are bit-identical to a one-worker sweep; checkpoint lines are
     written (flushed + fsynced) by this parent process only.  Everything
     defaults to the paper-faithful golden path.
+
+    ``batch`` routes the sim arms through the vectorized
+    structure-of-arrays kernel (:mod:`repro.batch`): ``"off"`` (default)
+    is the unchanged — byte-identical — per-system path; ``"auto"``
+    batch-serves every system inside the batch envelope (metrics are
+    bit-identical to the reference kernel) and falls back per system for
+    the rest, counted in :attr:`CampaignResult.batch_fallbacks` and
+    logged, never silently; ``"force"`` raises
+    :class:`repro.batch.BatchUnsupported` instead of falling back.
+    Fault plans mutate per-run costs, so any ``fault_plan`` disables
+    batching entirely (``auto`` falls back, ``force`` raises).
     """
+    if batch not in ("off", "auto", "force"):
+        raise ValueError(
+            f"batch must be 'off', 'auto' or 'force', got {batch!r}"
+        )
     result = CampaignResult(tables={arm: {} for arm in arms})
     policy = run_policy if run_policy is not None else RunPolicy()
     checkpointed = (
@@ -754,21 +795,74 @@ def run_campaign(
             systems = fault_plan.apply_all(systems)
         generated.append((params, systems))
 
+    # batch precompute: serve the sim arms' metrics from the vectorized
+    # kernel (bit-identical to the reference), parent-side, before the
+    # pool — unsupported systems stay on the per-system path
+    batch_metrics: dict[tuple, RunMetrics] = {}
+    if batch != "off":
+        from ..batch import BatchTables, BatchUnsupported, ensure_batchable
+        from ..batch.driver import _ARM_POLICY
+        from ..batch.kernel import simulate_batch
+
+        batch_arms = [a for a in arms if a in _ARM_POLICY]
+        if batch == "force" and set(arms) - set(batch_arms):
+            raise BatchUnsupported(
+                f"arms {sorted(set(arms) - set(batch_arms))} cannot be "
+                f"batched (batchable: {', '.join(sorted(_ARM_POLICY))})"
+            )
+        for params, systems in generated:
+            key = (params.task_density, params.std_deviation)
+            batchable: list[GeneratedSystem] = []
+            for system in systems:
+                try:
+                    if fault_plan is not None:
+                        raise BatchUnsupported(
+                            "fault plans mutate per-run costs; the "
+                            "batched kernel replays declared costs only"
+                        )
+                    ensure_batchable(
+                        system, _ARM_POLICY[batch_arms[0]]
+                        if batch_arms else "polling",
+                        enforcement=enforcement, verify=verify,
+                    )
+                    batchable.append(system)
+                except BatchUnsupported:
+                    if batch == "force":
+                        raise
+                    result.batch_fallbacks += 1
+            if batchable and batch_arms:
+                tables = BatchTables.from_systems(batchable)
+                for arm in batch_arms:
+                    batched = simulate_batch(tables, _ARM_POLICY[arm])
+                    for slot, system in enumerate(batchable):
+                        batch_metrics[(arm, key, system.system_id)] = (
+                            batched.run_metrics(slot)
+                        )
+        if result.batch_fallbacks:
+            logger.warning(
+                "batch=%r fell back to the per-system kernel for %d "
+                "system(s) outside the batch envelope",
+                batch, result.batch_fallbacks,
+            )
+
     # flatten into (slot per run) preserving the sequential sweep order;
-    # checkpointed runs keep their record, the rest go to the pool
-    order: list[tuple[GenerationParameters, str, int, bool]] = []
+    # checkpointed runs keep their record, batch-served runs their
+    # precomputed metrics, the rest go to the pool
+    order: list[tuple[GenerationParameters, str, int, str]] = []
     pending: list[tuple | None] = []
     for params, systems in generated:
         key = (params.task_density, params.std_deviation)
         for system in systems:
             for arm in arms:
-                cached = (
-                    hardened
-                    and (arm, key, system.system_id) in checkpointed
-                )
-                order.append((params, arm, system.system_id, cached))
+                if hardened and (arm, key, system.system_id) in checkpointed:
+                    source = "checkpoint"
+                elif (arm, key, system.system_id) in batch_metrics:
+                    source = "batch"
+                else:
+                    source = "pool"
+                order.append((params, arm, system.system_id, source))
                 pending.append(
-                    None if cached else (
+                    None if source != "pool" else (
                         hardened, arm, params, system, overhead,
                         enforcement, fault_plan, worker_policy, verify,
                         trace_mode, kernel,
@@ -779,11 +873,18 @@ def run_campaign(
     ))
 
     per_set: dict[tuple[float, float], dict[str, list[RunMetrics]]] = {}
-    for slot, (params, arm, system_id, cached) in zip(pending, order):
+    for slot, (params, arm, system_id, source) in zip(pending, order):
         key = (params.task_density, params.std_deviation)
         per_arm = per_set.setdefault(key, {a: [] for a in arms})
-        if cached:
+        if source == "checkpoint":
             record = checkpointed[(arm, key, system_id)]
+        elif source == "batch":
+            record = RunRecord(
+                arm=arm, set_key=key, system_id=system_id,
+                status="ok", metrics=batch_metrics[(arm, key, system_id)],
+            )
+            if hardened:
+                _append_checkpoint(policy.checkpoint_path, record)
         else:
             record = next(fresh)
             if hardened:

@@ -32,7 +32,7 @@ __all__ = ["main"]
 
 _TARGETS = ("all", "table2", "table3", "table4", "table5", "figures",
             "checks", "report", "multicore", "overload", "verify",
-            "service")
+            "service", "batch")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -130,6 +130,28 @@ def main(argv: list[str] | None = None) -> int:
         dest="trace_mode",
         help="trace representation for the chaos checkers "
              "(default: object)",
+    )
+    batch_group = parser.add_argument_group("batched kernel")
+    batch_group.add_argument(
+        "--batch", choices=("off", "auto", "force"), default="off",
+        help="route the table targets' sim arms through the vectorized "
+             "batch kernel (metrics bit-identical; 'auto' falls back per "
+             "system outside the envelope, 'force' raises; default: off)",
+    )
+    batch_group.add_argument(
+        "--shard-size", type=int, default=512, metavar="N",
+        help="systems per shard for the 'batch' sweep target "
+             "(default: 512)",
+    )
+    batch_group.add_argument(
+        "--sweep-systems", type=int, default=1000, metavar="N",
+        help="systems per parameter set for the 'batch' sweep target "
+             "(default: 1000; six sets, so the population is 6N)",
+    )
+    batch_group.add_argument(
+        "--verify-fraction", type=float, default=0.05, metavar="F",
+        help="fraction of each shard cross-validated against the "
+             "per-system reference kernel (default: 0.05)",
     )
     overload_group = parser.add_argument_group("overload target")
     overload_group.add_argument(
@@ -286,6 +308,8 @@ def _dispatch(args: argparse.Namespace,
             return _run_verify(args)
         if args.target == "service":
             return _run_service(args)
+        if args.target == "batch":
+            return _run_batch(args)
     except RunExhausted as exc:
         print(f"fail-fast: {exc}", file=sys.stderr)
         return 2
@@ -295,6 +319,7 @@ def _dispatch(args: argparse.Namespace,
             campaign = run_campaign(
                 overhead=overhead, run_policy=run_policy,
                 workers=args.workers, verify=args.verify,
+                batch=args.batch,
             )
         except RunExhausted as exc:
             print(f"fail-fast: {exc}", file=sys.stderr)
@@ -439,6 +464,67 @@ def _run_verify(args: argparse.Namespace) -> int:
             if not outcome.caught:
                 failures += 1
     return 1 if failures else 0
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    """The ``batch`` target: a population-scale sweep of the paper's six
+    parameter tuples on the batched kernel — sharded, checkpointed
+    (``--checkpoint``), differentially sampled against the reference
+    kernel, with a systems/sec throughput summary."""
+    from dataclasses import replace
+
+    from ..batch import (
+        BatchUnsupported,
+        BatchVerificationError,
+        run_batched_campaign,
+    )
+    from ..workload.generator import PAPER_SETS
+
+    if args.sweep_systems < 1:
+        print(f"--sweep-systems must be >= 1, got {args.sweep_systems}",
+              file=sys.stderr)
+        return 1
+    if args.shard_size < 1:
+        print(f"--shard-size must be >= 1, got {args.shard_size}",
+              file=sys.stderr)
+        return 1
+    sets = tuple(
+        replace(params, nb_generation=args.sweep_systems)
+        for params in PAPER_SETS
+    )
+    try:
+        result = run_batched_campaign(
+            sets=sets,
+            shard_size=args.shard_size,
+            workers=args.workers,
+            checkpoint_path=args.checkpoint,
+            verify_fraction=args.verify_fraction,
+            mode="force" if args.batch == "force" else "auto",
+            keep_runs=False,
+        )
+    except BatchVerificationError as exc:
+        print(f"DIFFERENTIAL FAILURE: {exc}", file=sys.stderr)
+        return 1
+    except BatchUnsupported as exc:
+        print(f"batch=force: {exc}", file=sys.stderr)
+        return 1
+    for arm in sorted(result.tables):
+        print(f"{arm}:")
+        for key, metrics in result.tables[arm].items():
+            print(
+                f"  (d={key[0]:g}, s={key[1]:g})  "
+                f"AART {metrics.aart:8.4f}  AIR {metrics.air:6.4f}  "
+                f"ASR {metrics.asr:6.4f}"
+            )
+        print()
+    print(
+        f"{result.systems} system(s) in {len(result.shards)} shard(s) "
+        f"({result.resumed} resumed), {result.fallbacks} fallback(s), "
+        f"{result.verified} differentially verified, "
+        f"{result.elapsed_s:.2f}s "
+        f"({result.systems_per_sec:,.0f} systems/sec)"
+    )
+    return 0
 
 
 def _run_service(args: argparse.Namespace) -> int:

@@ -30,7 +30,11 @@ from ..sim.servers import (
     SporadicServer,
 )
 from ..workload.spec import GeneratedSystem, PeriodicTaskSpec
-from .differential import DifferentialTolerance, differential_check
+from .differential import (
+    DifferentialTolerance,
+    batch_differential_check,
+    differential_check,
+)
 from .invariants import (
     BreakerMonitor,
     DOverLegalityMonitor,
@@ -74,6 +78,7 @@ __all__ = [
     "rta_oracle",
     "predicted_polling_finishes",
     "DifferentialTolerance",
+    "batch_differential_check",
     "differential_check",
     "monitors_for_system",
     "server_family",

@@ -18,6 +18,8 @@ flavor                    what runs
 ``mc-global``             global multicore (fp/edf alternation)
 ``dover``                 overloaded firm-deadline job set under D-OVER
 ``differential``          simulator arm vs emulated RTSJ arm, same system
+``batch``                 batched SoA kernel vs the per-system reference,
+                          bit-exact metric comparison
 ========================  ==================================================
 
 A failing run is *shrunk*: periodic tasks, then aperiodic events (then
@@ -62,6 +64,7 @@ CHAOS_FLAVORS = (
     "mc-global",
     "dover",
     "differential",
+    "batch",
 )
 
 _UNI_FLAVORS = tuple(f for f in CHAOS_FLAVORS if not f.startswith("mc-"))
@@ -306,6 +309,23 @@ def _check_differential(system: GeneratedSystem,
     return differential_check(system, policy)
 
 
+def _check_batch(system: GeneratedSystem, policy: str) -> VerificationReport:
+    """The batched SoA kernel vs the per-system reference on one system:
+    the metrics must match bit-for-bit (see :mod:`repro.batch`)."""
+    from ..batch import BatchTables, simulate_batch
+    from .differential import batch_differential_check
+
+    tables = BatchTables.from_systems([system])
+    metrics = simulate_batch(tables, policy).run_metrics(0)
+    report = VerificationReport()
+    for mismatch in batch_differential_check(system, policy, metrics):
+        report.record(
+            "batch-divergence", system.horizon,
+            (f"system={system.system_id}",), mismatch,
+        )
+    return report
+
+
 def _mc_system(rng: PortableRandom, seed: int, n_cores: int,
                partitioned: bool) -> GeneratedSystem:
     """A multicore system that the partitioner can actually place.
@@ -518,6 +538,10 @@ def _run_scenario(index: int, flavor: str, seed: int,
         system = _uni_system(rng, seed)
         policy = "polling" if rng.random() < 0.5 else "deferrable"
         check = lambda s: _check_differential(s, policy)  # noqa: E731
+    elif flavor == "batch":
+        system = _uni_system(rng, seed)
+        policy = "polling" if rng.random() < 0.5 else "deferrable"
+        check = lambda s: _check_batch(s, policy)  # noqa: E731
     else:
         raise ValueError(f"unknown chaos flavor {flavor!r}")
 

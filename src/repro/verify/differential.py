@@ -13,12 +13,20 @@ either direction.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..rtsj import OverheadModel
 from ..workload.spec import GeneratedSystem
 from .violations import VerificationReport
 
-__all__ = ["DifferentialTolerance", "differential_check"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.metrics import RunMetrics
+
+__all__ = [
+    "DifferentialTolerance",
+    "batch_differential_check",
+    "differential_check",
+]
 
 
 @dataclass(frozen=True)
@@ -131,3 +139,50 @@ def differential_check(
             f"{ideal_air:.3f} (allowed rise {tolerance.air_rise:g})",
         )
     return report
+
+
+def batch_differential_check(
+    system: GeneratedSystem,
+    policy: str,
+    batch_metrics: "RunMetrics",
+) -> list[str]:
+    """Compare one batched-kernel result against the reference kernel.
+
+    Unlike :func:`differential_check`, which compares two *legitimately
+    divergent* arms under calibrated tolerances, the batched kernel
+    promises **bit-identical** metrics: the reference kernel is the
+    oracle and every field must match exactly — counts as integers,
+    response times float-for-float.  Returns a list of human-readable
+    mismatch descriptions (empty = the sample passed).
+    """
+    from ..experiments.campaign import simulate_system
+
+    reference = simulate_system(system, policy=policy).metrics
+    mismatches: list[str] = []
+    tag = f"system={system.system_id} policy={policy}"
+    for field in ("released", "served", "interrupted"):
+        ref, got = getattr(reference, field), getattr(batch_metrics, field)
+        if ref != got:
+            mismatches.append(f"{tag}: {field} reference={ref} batch={got}")
+    if reference.average_response_time != batch_metrics.average_response_time:
+        mismatches.append(
+            f"{tag}: average_response_time "
+            f"reference={reference.average_response_time!r} "
+            f"batch={batch_metrics.average_response_time!r}"
+        )
+    if reference.response_times != batch_metrics.response_times:
+        limit = min(len(reference.response_times),
+                    len(batch_metrics.response_times))
+        detail = next(
+            (
+                f"index {j}: reference={reference.response_times[j]!r} "
+                f"batch={batch_metrics.response_times[j]!r}"
+                for j in range(limit)
+                if reference.response_times[j]
+                != batch_metrics.response_times[j]
+            ),
+            f"length reference={len(reference.response_times)} "
+            f"batch={len(batch_metrics.response_times)}",
+        )
+        mismatches.append(f"{tag}: response_times differ ({detail})")
+    return mismatches

@@ -1,0 +1,226 @@
+"""The sharded batch driver and the ``run_campaign(batch=...)`` wiring."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+import repro.batch.driver as driver_module
+from repro.batch import (
+    BatchUnsupported,
+    BatchVerificationError,
+    run_batched_campaign,
+)
+from repro.batch.driver import BatchShardRecord
+from repro.experiments.campaign import PAPER_SETS, run_campaign
+
+SMALL_SETS = tuple(
+    dataclasses.replace(s, nb_generation=4) for s in PAPER_SETS[:3]
+)
+SIM_ARMS = ("ps_sim", "ds_sim")
+
+
+def _cells(tables):
+    return {
+        arm: {key: (m.aart, m.air, m.asr) for key, m in table.items()}
+        for arm, table in tables.items()
+    }
+
+
+def _runs(tables):
+    return {
+        arm: {
+            key: tuple(tuple(r.response_times) for r in m.runs)
+            for key, m in table.items()
+        }
+        for arm, table in tables.items()
+    }
+
+
+class TestDriver:
+    def test_matches_run_campaign_bit_identically(self):
+        reference = run_campaign(sets=SMALL_SETS, arms=SIM_ARMS)
+        batched = run_batched_campaign(sets=SMALL_SETS, shard_size=3)
+        assert _cells(batched.tables) == _cells(reference.tables)
+        assert _runs(batched.tables) == _runs(reference.tables)
+        assert batched.systems == sum(s.nb_generation for s in SMALL_SETS)
+        assert batched.fallbacks == 0
+        # >= 5% of every shard differentially verified (here: >= 1 per
+        # shard, 2 shards of <= 3 systems per 4-system set)
+        assert batched.verified >= len(batched.shards)
+
+    def test_workers_bit_identical_to_sequential(self):
+        seq = run_batched_campaign(sets=SMALL_SETS, shard_size=2, workers=1)
+        par = run_batched_campaign(sets=SMALL_SETS, shard_size=2, workers=3)
+        assert _runs(par.tables) == _runs(seq.tables)
+
+    def test_keep_runs_false_streams_identical_cells(self):
+        kept = run_batched_campaign(sets=SMALL_SETS, shard_size=3)
+        streamed = run_batched_campaign(
+            sets=SMALL_SETS, shard_size=3, keep_runs=False
+        )
+        assert _cells(streamed.tables) == _cells(kept.tables)
+        for table in streamed.tables.values():
+            for metrics in table.values():
+                assert metrics.runs == ()
+        for record in streamed.shards:
+            assert record.metrics == {}
+
+    def test_checkpoint_kill_and_resume(self, tmp_path):
+        path = tmp_path / "shards.jsonl"
+        golden = run_batched_campaign(
+            sets=SMALL_SETS, shard_size=2, checkpoint_path=path
+        )
+        lines = path.read_text().splitlines(True)
+        assert len(lines) == len(golden.shards)
+        # simulate a mid-write kill: drop the last full record and leave
+        # a half-written line behind
+        path.write_text(
+            "".join(lines[:-2]) + lines[-2][: len(lines[-2]) // 2]
+        )
+        resumed = run_batched_campaign(
+            sets=SMALL_SETS, shard_size=2, checkpoint_path=path
+        )
+        assert resumed.resumed == len(lines) - 2
+        assert _runs(resumed.tables) == _runs(golden.tables)
+        # a third sweep resumes every shard and re-runs nothing
+        n_lines = len(path.read_text().splitlines())
+        third = run_batched_campaign(
+            sets=SMALL_SETS, shard_size=2, checkpoint_path=path
+        )
+        assert third.resumed == len(third.shards)
+        assert len(path.read_text().splitlines()) == n_lines
+
+    def test_shard_record_round_trips(self):
+        result = run_batched_campaign(sets=SMALL_SETS[:1], shard_size=2)
+        record = result.shards[0]
+        restored = BatchShardRecord.from_dict(
+            json.loads(json.dumps(record.to_dict()))
+        )
+        assert restored.metrics == record.metrics
+        assert restored.to_dict() == record.to_dict()
+
+    def test_differential_mismatch_raises(self, monkeypatch):
+        from repro.verify import differential
+
+        real = differential.batch_differential_check
+
+        def poisoned(system, policy, metrics):
+            if system.system_id == 0 and policy == "polling":
+                return [f"system={system.system_id}: seeded mismatch"]
+            return real(system, policy, metrics)
+
+        monkeypatch.setattr(
+            differential, "batch_differential_check", poisoned
+        )
+        with pytest.raises(BatchVerificationError, match="seeded mismatch"):
+            run_batched_campaign(
+                sets=SMALL_SETS[:1], shard_size=2, verify_fraction=1.0
+            )
+
+    def test_fallback_counted_and_still_exact(self, monkeypatch):
+        golden = run_batched_campaign(sets=SMALL_SETS[:1], shard_size=4)
+        real = driver_module.ensure_batchable
+
+        def picky(system, policy, **kwargs):
+            if system.system_id % 2 == 0:
+                raise BatchUnsupported("seeded rejection")
+            return real(system, policy, **kwargs)
+
+        monkeypatch.setattr(driver_module, "ensure_batchable", picky)
+        result = run_batched_campaign(sets=SMALL_SETS[:1], shard_size=4)
+        assert result.fallbacks == 2
+        # the fallback path is the reference kernel, so the tables are
+        # still bit-identical
+        assert _runs(result.tables) == _runs(golden.tables)
+
+    def test_force_mode_raises_on_unbatchable(self, monkeypatch):
+        def reject(system, policy, **kwargs):
+            raise BatchUnsupported("seeded rejection")
+
+        monkeypatch.setattr(driver_module, "ensure_batchable", reject)
+        with pytest.raises(BatchUnsupported, match="seeded rejection"):
+            run_batched_campaign(
+                sets=SMALL_SETS[:1], shard_size=4, mode="force"
+            )
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            run_batched_campaign(sets=SMALL_SETS[:1], mode="maybe")
+        with pytest.raises(ValueError, match="shard_size"):
+            run_batched_campaign(sets=SMALL_SETS[:1], shard_size=0)
+        with pytest.raises(ValueError, match="verify_fraction"):
+            run_batched_campaign(sets=SMALL_SETS[:1], verify_fraction=1.5)
+        with pytest.raises(BatchUnsupported, match="ps_exec"):
+            run_batched_campaign(
+                sets=SMALL_SETS[:1], arms=("ps_exec",)
+            )
+        with pytest.raises(KeyError, match="unknown arm"):
+            run_batched_campaign(sets=SMALL_SETS[:1]).table("nope")
+
+
+class TestRunCampaignBatchModes:
+    def test_auto_and_force_identical_to_off(self):
+        off = run_campaign(sets=SMALL_SETS, arms=SIM_ARMS, batch="off")
+        auto = run_campaign(sets=SMALL_SETS, arms=SIM_ARMS, batch="auto")
+        force = run_campaign(sets=SMALL_SETS, arms=SIM_ARMS, batch="force")
+        assert _runs(off.tables) == _runs(auto.tables) == _runs(force.tables)
+        assert off.batch_fallbacks == auto.batch_fallbacks == 0
+
+    def test_exec_arms_run_reference_path_under_auto(self):
+        auto = run_campaign(sets=SMALL_SETS[:1], batch="auto")
+        off = run_campaign(sets=SMALL_SETS[:1], batch="off")
+        assert _runs(auto.tables) == _runs(off.tables)
+        # exec arms are out of scope, not fallbacks
+        assert auto.batch_fallbacks == 0
+
+    def test_force_rejects_exec_arms(self):
+        with pytest.raises(BatchUnsupported, match="cannot be batched"):
+            run_campaign(sets=SMALL_SETS[:1], batch="force")
+
+    def test_fault_plan_disables_batching_loudly(self):
+        from repro.faults.injectors import FaultPlan, WcetOverrun
+
+        plan = FaultPlan(
+            injectors=(WcetOverrun(factor=2.0, probability=1.0),), seed=7
+        )
+        auto = run_campaign(
+            sets=SMALL_SETS[:1], arms=SIM_ARMS, fault_plan=plan,
+            batch="auto",
+        )
+        off = run_campaign(
+            sets=SMALL_SETS[:1], arms=SIM_ARMS, fault_plan=plan,
+            batch="off",
+        )
+        assert auto.batch_fallbacks == SMALL_SETS[0].nb_generation
+        assert _runs(auto.tables) == _runs(off.tables)
+        with pytest.raises(BatchUnsupported, match="fault plans"):
+            run_campaign(
+                sets=SMALL_SETS[:1], arms=SIM_ARMS, fault_plan=plan,
+                batch="force",
+            )
+
+    def test_invalid_batch_value_rejected(self):
+        with pytest.raises(ValueError, match="batch"):
+            run_campaign(sets=SMALL_SETS[:1], batch="fast")
+
+    def test_batch_records_checkpoint_like_pool_records(self, tmp_path):
+        from repro.experiments.campaign import RunPolicy
+
+        path = tmp_path / "runs.jsonl"
+        first = run_campaign(
+            sets=SMALL_SETS[:1], arms=SIM_ARMS, batch="auto",
+            run_policy=RunPolicy(checkpoint_path=path),
+        )
+        assert all(r.status == "ok" for r in first.records)
+        n_lines = len(path.read_text().splitlines())
+        assert n_lines == SMALL_SETS[0].nb_generation * len(SIM_ARMS)
+        # resuming (even with batch off) reuses the checkpointed records
+        resumed = run_campaign(
+            sets=SMALL_SETS[:1], arms=SIM_ARMS, batch="off",
+            run_policy=RunPolicy(checkpoint_path=path),
+        )
+        assert len(path.read_text().splitlines()) == n_lines
+        assert _runs(resumed.tables) == _runs(first.tables)

@@ -1,0 +1,274 @@
+"""The batched SoA kernel: bit-exactness, envelope, metric fold-back."""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import numpy as np
+import pytest
+
+from repro.batch import (
+    BatchTables,
+    BatchUnsupported,
+    ensure_batchable,
+    simulate_batch,
+)
+from repro.experiments.campaign import simulate_system
+from repro.sim.metrics import aggregate
+from repro.sim.trace import TraceEventKind
+from repro.workload.generator import PAPER_SETS, RandomSystemGenerator
+from repro.workload.spec import (
+    AperiodicEventSpec,
+    GeneratedSystem,
+    GenerationParameters,
+    PeriodicTaskSpec,
+)
+
+SMALL_SETS = tuple(
+    dataclasses.replace(s, nb_generation=3) for s in PAPER_SETS
+)
+
+
+def _random_systems(n: int, *, with_periodic: bool = True,
+                    seed: int = 42) -> list[GeneratedSystem]:
+    """``n`` random batchable systems: the paper's aperiodic stream with
+    varied server shapes, optionally plus a few periodic tasks."""
+    rnd = random.Random(seed)
+    systems = []
+    for sid in range(n):
+        period = rnd.uniform(4.0, 10.0)
+        params = GenerationParameters(
+            task_density=rnd.choice([0.5, 1, 2, 3, 4]),
+            average_cost=rnd.uniform(0.5, 5.0),
+            std_deviation=rnd.choice([0.0, 1.0, 2.0]),
+            server_capacity=rnd.uniform(0.5, period * 0.9),
+            server_period=period,
+            nb_generation=1,
+            seed=1000 + sid,
+        )
+        base = RandomSystemGenerator(params).generate()[0]
+        tasks = []
+        if with_periodic:
+            for t in range(rnd.randint(0, 3)):
+                tperiod = rnd.uniform(5.0, 20.0)
+                tasks.append(PeriodicTaskSpec(
+                    name=f"t{t}",
+                    cost=rnd.uniform(0.2, min(2.0, tperiod / 2)),
+                    period=tperiod,
+                    priority=t + 1,
+                    offset=(
+                        rnd.uniform(0.0, 5.0) if rnd.random() < 0.5 else 0.0
+                    ),
+                ))
+        systems.append(GeneratedSystem(
+            system_id=sid, server=base.server, events=base.events,
+            horizon=base.horizon, periodic_tasks=tuple(tasks),
+        ))
+    return systems
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("policy", ["polling", "deferrable"])
+    def test_paper_sets_match_reference_exactly(self, policy):
+        for params in SMALL_SETS:
+            systems = RandomSystemGenerator(params).generate()
+            batch = simulate_batch(BatchTables.from_systems(systems), policy)
+            for i, system in enumerate(systems):
+                reference = simulate_system(system, policy=policy).metrics
+                assert batch.run_metrics(i) == reference, (
+                    f"set {params.task_density}/{params.std_deviation} "
+                    f"system {i} diverged"
+                )
+
+    @pytest.mark.parametrize("policy", ["polling", "deferrable"])
+    def test_random_population_matches_reference_exactly(self, policy):
+        # >= 200 seeded random systems, periodic tasks included: AART,
+        # AIR and ASR (and every individual response time) must be
+        # bit-identical to the per-system reference kernel
+        systems = _random_systems(200)
+        batch = simulate_batch(BatchTables.from_systems(systems), policy)
+        for i, system in enumerate(systems):
+            reference = simulate_system(system, policy=policy).metrics
+            got = batch.run_metrics(i)
+            assert got.response_times == reference.response_times
+            assert got.average_response_time == (
+                reference.average_response_time
+            )
+            assert (got.released, got.served, got.interrupted) == (
+                reference.released, reference.served, reference.interrupted
+            )
+
+    def test_set_metrics_folds_back_bit_identically(self):
+        for params in SMALL_SETS[:2]:
+            systems = RandomSystemGenerator(params).generate()
+            batch = simulate_batch(
+                BatchTables.from_systems(systems), "polling"
+            )
+            reference = aggregate([
+                simulate_system(s, policy="polling").metrics
+                for s in systems
+            ])
+            folded = batch.set_metrics()
+            assert (folded.aart, folded.air, folded.asr) == (
+                reference.aart, reference.air, reference.asr
+            )
+
+
+class TestEnvelope:
+    def _system(self, **event_kwargs) -> GeneratedSystem:
+        params = dataclasses.replace(PAPER_SETS[0], nb_generation=1)
+        system = RandomSystemGenerator(params).generate()[0]
+        if event_kwargs:
+            first = dataclasses.replace(system.events[0], **event_kwargs)
+            system = dataclasses.replace(
+                system, events=(first,) + system.events[1:]
+            )
+        return system
+
+    def test_plain_system_is_batchable(self):
+        ensure_batchable(self._system(), "polling")
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(BatchUnsupported, match="not batchable"):
+            ensure_batchable(self._system(), "sporadic")
+
+    def test_rejects_enforcement(self):
+        from repro.faults.enforcement import EnforcementConfig
+
+        with pytest.raises(BatchUnsupported, match="enforcement"):
+            ensure_batchable(
+                self._system(), "polling", enforcement=EnforcementConfig()
+            )
+
+    def test_rejects_overload_wiring(self):
+        from repro.experiments.campaign import default_overload_config
+
+        with pytest.raises(BatchUnsupported, match="overload"):
+            ensure_batchable(
+                self._system(), "polling",
+                overload=default_overload_config(),
+            )
+
+    def test_rejects_verified_runs(self):
+        with pytest.raises(BatchUnsupported, match="monitor"):
+            ensure_batchable(self._system(), "polling", verify=True)
+
+    def test_rejects_multicore(self):
+        with pytest.raises(BatchUnsupported, match="multicore"):
+            ensure_batchable(self._system(), "polling", cores=2)
+
+    def test_rejects_faulted_event_costs(self):
+        faulted = self._system(actual_cost=9.9)
+        with pytest.raises(BatchUnsupported, match="actual cost"):
+            ensure_batchable(faulted, "polling")
+
+    def test_rejects_faulted_periodic_costs(self):
+        system = self._system()
+        system = dataclasses.replace(system, periodic_tasks=(
+            PeriodicTaskSpec(name="t0", cost=1.0, period=10.0,
+                             priority=1, actual_cost=2.0),
+        ))
+        with pytest.raises(BatchUnsupported, match="periodic task"):
+            ensure_batchable(system, "polling")
+
+
+class TestTables:
+    def test_padding_and_shapes(self):
+        systems = _random_systems(8, with_periodic=True)
+        tables = BatchTables.from_systems(systems)
+        assert tables.n_systems == 8
+        assert tables.release.shape == tables.cost.shape
+        assert tables.release.shape[1] == tables.max_events + 1
+        for i, system in enumerate(systems):
+            n = len(system.events)
+            assert tables.n_events[i] == n
+            assert np.all(np.isinf(tables.release[i, n:]))
+            assert np.all(tables.cost[i, n:] == 0.0)
+        # the padding column guarantees release[i, n_events[i]] is +inf
+        assert np.all(np.isinf(
+            tables.release[np.arange(8), tables.n_events]
+        ))
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="zero systems"):
+            BatchTables.from_systems([])
+
+    def test_scaled_costs_shape_checked(self):
+        tables = BatchTables.from_systems(_random_systems(4))
+        with pytest.raises(ValueError, match="shape"):
+            tables.scaled_costs(np.ones(3))
+
+    def test_scaled_costs_identity_and_growth(self):
+        systems = _random_systems(6, with_periodic=False)
+        tables = BatchTables.from_systems(systems)
+        same = simulate_batch(
+            tables.scaled_costs(np.ones(6)), "polling"
+        ).metrics()
+        assert same == simulate_batch(tables, "polling").metrics()
+        # doubling demand can only serve fewer (or equal) jobs per system
+        doubled = simulate_batch(
+            tables.scaled_costs(np.full(6, 2.0)), "polling"
+        ).metrics()
+        assert all(
+            d.served <= s.served for d, s in zip(doubled, same)
+        )
+        assert sum(d.served for d in doubled) < sum(s.served for s in same)
+
+
+class TestTraceColumns:
+    def test_lifecycle_events_match_reference_trace(self):
+        systems = _random_systems(12, with_periodic=False)
+        tables = BatchTables.from_systems(systems)
+        batch = simulate_batch(tables, "deferrable")
+        for i, system in enumerate(systems):
+            reference = simulate_system(system, policy="deferrable").trace
+            times, kinds, subjects = batch.event_columns(i)
+            for kind in (TraceEventKind.RELEASE, TraceEventKind.START,
+                         TraceEventKind.COMPLETION):
+                ref = sorted(
+                    (e.time, e.subject)
+                    for e in reference.events_of(kind)
+                    if e.subject.startswith("h")
+                )
+                got = sorted(
+                    (float(t), s)
+                    for t, k, s in zip(times, kinds, subjects)
+                    if k is kind
+                )
+                assert got == ref, f"system {i} {kind} columns diverged"
+
+    def test_compact_trace_materialises_sorted(self):
+        systems = _random_systems(3, with_periodic=False)
+        batch = simulate_batch(BatchTables.from_systems(systems), "polling")
+        trace = batch.compact_trace(0)
+        times = [e.time for e in trace.events]
+        assert times == sorted(times)
+        released = trace.events_of(TraceEventKind.RELEASE)
+        assert len(released) == len(systems[0].events)
+
+
+class TestEventSpecEdgeCases:
+    def test_eventless_system(self):
+        params = dataclasses.replace(PAPER_SETS[0], nb_generation=1)
+        base = RandomSystemGenerator(params).generate()[0]
+        empty = dataclasses.replace(base, events=())
+        both = BatchTables.from_systems([empty, base])
+        batch = simulate_batch(both, "polling")
+        assert batch.run_metrics(0) == simulate_system(
+            empty, policy="polling"
+        ).metrics
+        assert batch.run_metrics(1) == simulate_system(
+            base, policy="polling"
+        ).metrics
+
+    def test_single_immediate_event(self):
+        params = dataclasses.replace(PAPER_SETS[0], nb_generation=1)
+        base = RandomSystemGenerator(params).generate()[0]
+        system = dataclasses.replace(base, events=(
+            AperiodicEventSpec(event_id=0, release=0.0, declared_cost=2.0),
+        ))
+        batch = simulate_batch(BatchTables.from_systems([system]), "polling")
+        assert batch.run_metrics(0) == simulate_system(
+            system, policy="polling"
+        ).metrics

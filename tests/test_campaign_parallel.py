@@ -74,6 +74,45 @@ class TestUniprocessorParallelism:
         assert _table_rows(resumed) == _table_rows(first)
 
 
+class TestStartMethods:
+    def test_parallel_map_spawn_matches_inline(self):
+        """The pool works under an explicit ``spawn`` context: workers
+        re-import everything from scratch (no inherited state), so every
+        entry point and task payload must pickle by qualified name and
+        produce bit-identical ordered results."""
+        from repro.batch.driver import _batch_shard_worker
+        from repro.experiments.campaign import _parallel_map
+
+        params = dataclasses.replace(PAPER_SETS[0], nb_generation=4)
+        tasks = [
+            (params, ("ps_sim",), shard, shard * 2, 2, 0.05, 1 + shard,
+             "auto")
+            for shard in range(2)
+        ]
+        inline = _parallel_map(_batch_shard_worker, tasks, 1)
+        spawned = _parallel_map(
+            _batch_shard_worker, tasks, 2, mp_context="spawn"
+        )
+        assert spawned == inline
+
+    def test_parallel_map_explicit_context_object(self):
+        import multiprocessing
+
+        from repro.batch.driver import _batch_shard_worker
+        from repro.experiments.campaign import _parallel_map
+
+        params = dataclasses.replace(PAPER_SETS[0], nb_generation=2)
+        tasks = [(params, ("ds_sim",), 0, 0, 2, 0.0, 1, "auto")]
+        # a single task runs inline regardless of context; two workers
+        # with a context object exercise the ctx.Pool branch
+        inline = _parallel_map(_batch_shard_worker, tasks, 1)
+        pooled = _parallel_map(
+            _batch_shard_worker, tasks * 2, 2,
+            mp_context=multiprocessing.get_context("spawn"),
+        )
+        assert pooled == inline * 2
+
+
 class TestMulticoreParallelism:
     def test_workers_bit_identical_to_sequential(self):
         seq = run_multicore_campaign(MC_PARAMS, modes=MC_MODES, workers=1)

@@ -56,6 +56,30 @@ class TestRunnerTargets:
             main(["table9"])
 
 
+class TestBatchTarget:
+    def test_batch_sweep_with_checkpoint(self, tmp_path, capsys):
+        checkpoint = tmp_path / "shards.jsonl"
+        argv = ["batch", "--sweep-systems", "6", "--shard-size", "4",
+                "--checkpoint", str(checkpoint)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "ps_sim:" in out and "ds_sim:" in out
+        assert "36 system(s)" in out
+        assert "systems/sec" in out
+        assert checkpoint.exists()
+        # a second invocation resumes every shard from the checkpoint
+        assert main(argv) == 0
+        assert "(12 resumed)" in capsys.readouterr().out
+
+    def test_table_target_accepts_batch_flag(self, capsys):
+        assert main(["table2", "--batch", "auto"]) == 0
+        assert "Table 2." in capsys.readouterr().out
+
+    def test_bad_sweep_arguments_rejected(self, capsys):
+        assert main(["batch", "--sweep-systems", "0"]) == 1
+        assert main(["batch", "--shard-size", "0"]) == 1
+
+
 class TestMulticoreTarget:
     ARGS = ["multicore", "--cores", "2", "--systems", "2",
             "--utilization", "1.2"]

@@ -11,6 +11,7 @@ Usage::
     repro-experiments multicore --cores 4 --placement wf
     repro-experiments multicore --cores 2 --global-sched edf
     repro-experiments overload --queue-bound 6 --shed-policy drop-oldest
+    repro-experiments fabric --fabric-shards 3 --fabric-kill 30:1:corrupt
 
 Exit status is non-zero if any shape check fails, 2 when ``--fail-fast``
 stops the sweep on the first run that exhausts its retry budget.
@@ -32,7 +33,7 @@ __all__ = ["main"]
 
 _TARGETS = ("all", "table2", "table3", "table4", "table5", "figures",
             "checks", "report", "multicore", "overload", "verify",
-            "service", "batch")
+            "service", "batch", "fabric")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -212,6 +213,39 @@ def main(argv: list[str] | None = None) -> int:
         help="resume a killed storm from --service-checkpoint instead "
              "of starting fresh (completes the restart drill)",
     )
+    fabric = parser.add_argument_group("fabric target")
+    fabric.add_argument(
+        "--fabric-shards", type=int, default=3, metavar="N",
+        help="number of supervised admission shards (default: 3)",
+    )
+    fabric.add_argument(
+        "--fabric-sources", type=int, default=6, metavar="N",
+        help="number of declared client sources (default: 6)",
+    )
+    fabric.add_argument(
+        "--fabric-kill", action="append", default=[],
+        metavar="TIME:SHARD[:corrupt]",
+        help="crash shard SHARD at instant TIME; append ':corrupt' to "
+             "also tear the tail of its checkpoint (repeatable)",
+    )
+    fabric.add_argument(
+        "--fabric-restart-delay", type=float, default=None, metavar="TU",
+        help="supervisor delay between declaring a shard down and "
+             "restoring it from its checkpoint",
+    )
+    fabric.add_argument(
+        "--fabric-checkpoint-dir", type=Path, default=None, metavar="DIR",
+        help="directory for the per-shard JSONL write-ahead checkpoints "
+             "(default: a temporary directory; required persistent for "
+             "post-mortem inspection of kill drills)",
+    )
+    fabric.add_argument(
+        "--fabric-duplicate-fraction", type=float, default=0.0,
+        metavar="P",
+        help="fraction of requests also submitted by an impatient "
+             "duplicate client (default: 0)",
+    )
+
     multicore = parser.add_argument_group("multicore target")
     multicore.add_argument(
         "--cores", type=int, default=4, metavar="M",
@@ -310,6 +344,8 @@ def _dispatch(args: argparse.Namespace,
             return _run_service(args)
         if args.target == "batch":
             return _run_batch(args)
+        if args.target == "fabric":
+            return _run_fabric(args)
     except RunExhausted as exc:
         print(f"fail-fast: {exc}", file=sys.stderr)
         return 2
@@ -566,8 +602,118 @@ def _run_service(args: argparse.Namespace) -> int:
               file=sys.stderr)
         for violation in report.violations:
             print(f"  {violation}", file=sys.stderr)
+        if args.fail_fast:
+            raise _storm_exhausted(
+                "service", args.storm_seed, str(report.violations[0])
+            )
         return 1
     print("\nstorm clean: every monitor invariant held")
+    return 0
+
+
+def _storm_exhausted(arm: str, system_id: int,
+                     error: str) -> RunExhausted:
+    """A fail-fast exception for the single-run storm targets, shaped
+    like the campaign's so ``--fail-fast`` means exit 2 everywhere (and
+    stays picklable across worker-pool boundaries)."""
+    return RunExhausted({
+        "arm": arm,
+        "set_key": [0.0, 0.0],
+        "system_id": system_id,
+        "status": "failed",
+        "attempts": 1,
+        "error": error,
+    })
+
+
+def _run_fabric(args: argparse.Namespace) -> int:
+    """The ``fabric`` target: a seeded Poisson storm against the sharded
+    admission fabric, with an optional kill-the-shard chaos schedule
+    (``--fabric-kill TIME:SHARD[:corrupt]``), supervised failover, and
+    checkpoint restore; prints the fabric storm report and fails on any
+    merged-trace monitor violation, double admission, or unshed hard
+    deadline miss."""
+    import json as _json
+    import tempfile
+    from dataclasses import replace as _dc_replace
+
+    from ..fabric import (
+        FabricStormConfig,
+        ShardKill,
+        SupervisorConfig,
+        run_fabric_storm,
+    )
+
+    kills = []
+    for spec in args.fabric_kill:
+        parts = spec.split(":")
+        try:
+            if len(parts) == 3 and parts[2] == "corrupt":
+                kills.append(ShardKill(at=float(parts[0]),
+                                       shard=int(parts[1]),
+                                       corrupt_tail=True))
+            elif len(parts) == 2:
+                kills.append(ShardKill(at=float(parts[0]),
+                                       shard=int(parts[1])))
+            else:
+                raise ValueError(spec)
+        except ValueError:
+            print(f"--fabric-kill wants TIME:SHARD[:corrupt], got "
+                  f"{spec!r}", file=sys.stderr)
+            return 1
+    supervisor = SupervisorConfig()
+    if args.fabric_restart_delay is not None:
+        supervisor = _dc_replace(
+            supervisor, restart_delay=args.fabric_restart_delay
+        )
+    try:
+        config = FabricStormConfig(
+            rate=args.storm_rate,
+            horizon=args.storm_horizon,
+            seed=args.storm_seed,
+            drift_ppm=args.drift_ppm,
+            overrun_factor=args.overrun_factor,
+            overrun_probability=args.overrun_probability,
+            shards=args.fabric_shards,
+            sources=args.fabric_sources,
+            supervisor=supervisor,
+            kills=tuple(sorted(kills, key=lambda k: (k.at, k.shard))),
+            duplicate_fraction=args.fabric_duplicate_fraction,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+
+    def drill(checkpoint_dir):
+        return run_fabric_storm(config, checkpoint_dir=checkpoint_dir)
+
+    if args.fabric_checkpoint_dir is not None:
+        report = drill(args.fabric_checkpoint_dir)
+    elif kills:
+        with tempfile.TemporaryDirectory() as tmp:
+            report = drill(Path(tmp))
+    else:
+        report = drill(None)
+    print(_json.dumps(report.to_dict(), indent=1))
+    problems = list(report.violations)
+    if report.double_admitted:
+        problems.append(
+            f"double admission: {sorted(report.double_admitted)}"
+        )
+    if report.hard_misses:
+        problems.append(
+            f"{report.hard_misses} hard deadline miss(es) without SHED"
+        )
+    if problems:
+        print(f"\n{len(problems)} fabric violation(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        if args.fail_fast:
+            raise _storm_exhausted("fabric", args.storm_seed, problems[0])
+        return 1
+    print(f"\nfabric storm clean: {report.kills} kill(s), "
+          f"{report.declared_down} declared, {report.restored} restored, "
+          "every monitor invariant held")
     return 0
 
 

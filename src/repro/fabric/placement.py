@@ -1,0 +1,108 @@
+"""Source → shard placement on the SMP bin-packing machinery.
+
+Each fabric shard is a capacity-isolated admission server on its own
+logical core (the Nogueira & Pinho server-per-core shape), so mapping
+client *sources* onto shards is exactly the partitioned-placement
+problem :func:`repro.smp.partition.partition_tasks` already solves:
+model every source as a pseudo periodic task whose utilization is its
+expected demand share, reserve per-shard headroom for failover
+takeovers, and bin-pack with a decreasing-utilization heuristic
+(worst-fit by default — the balanced placement, so no shard starts the
+storm hot).
+
+The mapping must be *consistent*: every router instance derives the
+same source → shard assignment from the same inputs, and sources the
+placement has never seen hash onto shards deterministically.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+from ..smp.partition import Partition, PartitionError, partition_tasks
+from ..workload.spec import PeriodicTaskSpec
+
+__all__ = ["SourcePlacement", "place_sources"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class SourcePlacement:
+    """A consistent assignment of client sources onto fabric shards."""
+
+    n_shards: int
+    heuristic: str
+    #: declared source -> shard index
+    shard_of: dict[str, int] = field(default_factory=dict)
+    #: the underlying bin-packing, when one was computed (``None`` after
+    #: the round-robin fallback for unpackable weight vectors)
+    partition: Partition | None = None
+
+    def shard_for(self, source: str) -> int:
+        """The home shard of ``source``; undeclared sources hash on."""
+        shard = self.shard_of.get(source)
+        if shard is not None:
+            return shard
+        return zlib.crc32(source.encode("utf-8")) % self.n_shards
+
+    def sources_on(self, shard: int) -> list[str]:
+        """Declared sources homed on ``shard``, sorted."""
+        return sorted(s for s, k in self.shard_of.items() if k == shard)
+
+
+def place_sources(
+    sources: list[str] | tuple[str, ...],
+    n_shards: int,
+    heuristic: str = "wf",
+    weights: dict[str, float] | None = None,
+    reserve: float = 0.1,
+) -> SourcePlacement:
+    """Pack ``sources`` onto ``n_shards`` shards by expected demand.
+
+    ``weights`` gives each source's relative demand share (uniform when
+    omitted); ``reserve`` is the per-shard utilization headroom kept
+    free for failover takeovers, exactly like the per-core aperiodic
+    server reserve in the SMP partitioner.  Weight vectors are scaled
+    to fit comfortably inside the reserved bound; a vector no heuristic
+    can pack (degenerate weights) falls back to deterministic
+    round-robin rather than refusing the fabric.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    names = list(dict.fromkeys(sources))
+    if not names:
+        return SourcePlacement(n_shards=n_shards, heuristic=heuristic)
+    if weights is None:
+        weights = {name: 1.0 for name in names}
+    raw = [max(float(weights.get(name, 1.0)), _EPS) for name in names]
+    total = sum(raw)
+    shares = [w / total for w in raw]
+    room = 1.0 - reserve
+    # scale so the heaviest source fits one shard and the total fills at
+    # most half the fabric — worst-fit decreasing then always packs
+    scale = min(n_shards * room / 2.0, room / max(shares)) * (1.0 - _EPS)
+    tasks = [
+        PeriodicTaskSpec(
+            name=name, cost=max(share * scale, _EPS), period=1.0,
+            priority=index,
+        )
+        for index, (name, share) in enumerate(zip(names, shares))
+    ]
+    try:
+        partition = partition_tasks(
+            tasks, n_shards, heuristic=heuristic, capacity=1.0,
+            reserve=reserve,
+        )
+    except PartitionError:
+        return SourcePlacement(
+            n_shards=n_shards, heuristic="round-robin",
+            shard_of={
+                name: index % n_shards for index, name in enumerate(names)
+            },
+        )
+    return SourcePlacement(
+        n_shards=n_shards, heuristic=heuristic,
+        shard_of=dict(partition.core_of), partition=partition,
+    )

@@ -44,7 +44,12 @@ from .service import (
     ServiceClient,
     ServiceConfig,
 )
-from .storm import StormConfig, StormReport, run_service_storm
+from .storm import (
+    StormConfig,
+    StormReport,
+    default_storm_service_config,
+    run_service_storm,
+)
 from .twin import (
     BUDGET_DRIFT,
     DEADLINE_SLIP,
@@ -82,6 +87,7 @@ __all__ = [
     "TwinConfig",
     "VirtualClock",
     "WallClock",
+    "default_storm_service_config",
     "monitored_service_trace",
     "monitors_for_service",
     "replay_ops",

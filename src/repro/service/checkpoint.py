@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
+import zlib
 from dataclasses import asdict
 from pathlib import Path
 
@@ -32,6 +34,12 @@ class CheckpointError(Exception):
     """The log is unusable: missing header or inconsistent replay."""
 
 
+def _crc(op: dict) -> int:
+    """CRC-32 over the canonical serialization of ``op`` (crc key aside)."""
+    canonical = json.dumps(op, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
 class CheckpointLog:
     """Append-only durable op log (one JSON object per line)."""
 
@@ -42,7 +50,11 @@ class CheckpointLog:
         return self.path.exists() and self.path.stat().st_size > 0
 
     def append(self, op: dict) -> None:
-        """Append one op durably; isolates a truncated final line first."""
+        """Append one op durably; isolates a truncated final line first.
+
+        Each record carries a CRC-32 of its own canonical payload, so a
+        partially flushed line is *detectably* torn on restore — not
+        just unparseable-by-luck."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
         prefix = ""
         if self.path.exists() and self.path.stat().st_size:
@@ -50,8 +62,10 @@ class CheckpointLog:
                 fh.seek(-1, os.SEEK_END)
                 if fh.read(1) != b"\n":
                     prefix = "\n"
+        record = dict(op)
+        record["crc"] = _crc(op)
         with self.path.open("a") as fh:
-            fh.write(prefix + json.dumps(op, sort_keys=True) + "\n")
+            fh.write(prefix + json.dumps(record, sort_keys=True) + "\n")
             fh.flush()
             os.fsync(fh.fileno())
 
@@ -67,20 +81,42 @@ class CheckpointLog:
         })
 
     def load(self) -> list[dict]:
-        """All intact ops; a truncated final line (crash mid-write) is
-        skipped, mirroring the campaign checkpoint loader."""
+        """All intact ops, each verified against its per-line CRC.
+
+        A line that fails to parse *or* parses but fails its CRC (a
+        torn partial flush, a bit flip) is skipped with a warning — a
+        crash artifact, not a reason to refuse the whole log.  Lines
+        written before the CRC discipline (no ``crc`` key) are accepted
+        unverified for back-compatibility."""
         if not self.path.exists():
             return []
         ops: list[dict] = []
+        torn = 0
         with self.path.open() as fh:
             for line in fh:
                 line = line.strip()
                 if not line:
                     continue
                 try:
-                    ops.append(json.loads(line))
+                    record = json.loads(line)
                 except ValueError:
+                    torn += 1
                     continue
+                if not isinstance(record, dict):
+                    torn += 1
+                    continue
+                expected = record.pop("crc", None)
+                if expected is not None and expected != _crc(record):
+                    torn += 1
+                    continue
+                ops.append(record)
+        if torn:
+            warnings.warn(
+                f"checkpoint {self.path}: skipped {torn} torn/corrupt "
+                "record(s) (crash artifact — restoring from the intact "
+                "prefix)",
+                stacklevel=2,
+            )
         return ops
 
 

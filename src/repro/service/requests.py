@@ -40,6 +40,8 @@ class Decision(enum.Enum):
     REJECT_DEGRADED = "reject_degraded"
     #: the service is draining towards shutdown — final here
     REJECT_DRAINING = "reject_draining"
+    #: no live shard can take the request right now — transient, retryable
+    REJECT_UNREACHABLE = "reject_unreachable"
 
 
 #: decisions a well-behaved client retries with exponential backoff
@@ -47,6 +49,7 @@ RETRYABLE = frozenset({
     Decision.REJECT_OVERLOAD,
     Decision.REJECT_BREAKER,
     Decision.REJECT_DEGRADED,
+    Decision.REJECT_UNREACHABLE,
 })
 
 

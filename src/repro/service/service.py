@@ -174,6 +174,9 @@ class AdmissionService:
         self._housekeeper: asyncio.Task | None = None
         self.draining = False
         self.killed = False
+        #: housekeeping wake counter — the liveness beat a fabric
+        #: supervisor watches (a killed service's counter freezes)
+        self.heartbeats = 0
         self._degraded = False          # planner-side degraded state
         self._self_degraded = False     # entered by replan-budget escalation
         self._replan_times: list[float] = []
@@ -597,10 +600,13 @@ class AdmissionService:
     async def _housekeeping(self) -> None:
         interval = self.twin.config.heartbeat / 2.0
         try:
-            while not self.killed:
+            while not self.killed and not self.draining:
                 await self.clock.sleep(interval)
-                if self.killed:
+                if self.killed or self.draining:
+                    # drain() already wrote its cutoff op: a late
+                    # heartbeat tick must not pollute the checkpoint tail
                     return
+                self.heartbeats += 1
                 now = self.clock.now()
                 if self.twin.heartbeat_due(now):
                     divergence = self.twin.note_heartbeat_miss(now)
@@ -693,18 +699,21 @@ class AdmissionService:
         if task is not None:
             task.cancel()
 
-    def kill(self) -> None:
+    def kill(self, *, cancel_clock: bool = True) -> None:
         """Crash simulation: stop everything abruptly, mid-flight.
 
         No draining, no final trace events — the checkpoint log is the
-        only survivor, exactly as in a real power-loss."""
+        only survivor, exactly as in a real power-loss.  Pass
+        ``cancel_clock=False`` when the clock is shared with sibling
+        services (a fabric): killing one shard must not wake or cancel
+        the others' sleepers."""
         self.killed = True
         for task in list(self._tasks.values()):
             task.cancel()
         if self._housekeeper is not None:
             self._housekeeper.cancel()
             self._housekeeper = None
-        if isinstance(self.clock, VirtualClock):
+        if cancel_clock and isinstance(self.clock, VirtualClock):
             self.clock.cancel_all()
 
     # -- reporting ---------------------------------------------------------

@@ -31,8 +31,33 @@ from .clock import VirtualClock
 from .requests import EventRequest
 from .service import AdmissionService, ServiceClient, ServiceConfig
 
-__all__ = ["StormConfig", "StormReport", "run_service_storm",
-           "storm_requests"]
+__all__ = ["StormConfig", "StormReport", "default_storm_service_config",
+           "run_service_storm", "storm_requests"]
+
+
+def default_storm_service_config() -> ServiceConfig:
+    """The storm harnesses' shared service tuning (one shard's worth).
+
+    capacity/period = 1 tu/tu; the watermarks sit just below it so
+    overload is an excursion the detector rides out, not the steady
+    state (the library DetectorConfig defaults target the much
+    lower-utilization simulator campaigns).  The fabric storm reuses
+    this verbatim so a single-shard fabric is byte-identical to the
+    plain service on the same seed.
+    """
+    from ..overload.config import DetectorConfig
+    return ServiceConfig(
+        capacity=2.0, period=2.0,
+        detector=DetectorConfig(
+            high_watermark=0.9, low_watermark=0.7,
+            shed_threshold=4, quiescence=15.0,
+            # gentle degradation: still admits the typical request — a
+            # scale that rejects the median cost makes every rejected
+            # client's retries re-feed the demand estimator and wedges
+            # the detector above its low watermark
+            service_scale=0.75,
+        ),
+    )
 
 
 @dataclass(frozen=True)
@@ -229,23 +254,7 @@ def run_service_storm(
     continues with the arrivals the crash never saw.
     """
     if service_config is None:
-        # capacity/period = 1 tu/tu; the watermarks sit just below it so
-        # overload is an excursion the detector rides out, not the
-        # steady state (the library DetectorConfig defaults target the
-        # much lower-utilization simulator campaigns)
-        from ..overload.config import DetectorConfig
-        service_config = ServiceConfig(
-            capacity=2.0, period=2.0,
-            detector=DetectorConfig(
-                high_watermark=0.9, low_watermark=0.7,
-                shed_threshold=4, quiescence=15.0,
-                # gentle degradation: still admits the typical request —
-                # a scale that rejects the median cost makes every
-                # rejected client's retries re-feed the demand estimator
-                # and wedges the detector above its low watermark
-                service_scale=0.75,
-            ),
-        )
+        service_config = default_storm_service_config()
     skew = config.skew if config.skew.active else None
     report = StormReport(config=config, horizon=config.horizon)
     wall_start = _time.perf_counter()

@@ -128,6 +128,9 @@ _MARKERS = {
     TraceEventKind.RECONCILE: ("≈", "#4878d0"),
     TraceEventKind.DIVERGENCE: ("≉", "#d65f5f"),
     TraceEventKind.REPLAN: ("↻", "#956cb4"),
+    TraceEventKind.SHARD_DOWN: ("☠", "#c0392b"),
+    TraceEventKind.SHARD_RESTORED: ("⟳", "#2a7a2a"),
+    TraceEventKind.FAILOVER: ("⇒", "#b8860b"),
 }
 
 

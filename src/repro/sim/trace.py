@@ -51,6 +51,9 @@ class TraceEventKind(enum.Enum):
     RECONCILE = "reconcile"          # twin matched an actual execution event
     DIVERGENCE = "divergence"        # twin/actual divergence detected
     REPLAN = "replan"                # the service repaired its schedule
+    SHARD_DOWN = "shard_down"        # supervisor declared a shard dead
+    SHARD_RESTORED = "shard_restored"  # shard restored from checkpoint
+    FAILOVER = "failover"            # a source rerouted to a sibling shard
 
 
 @dataclass(frozen=True)

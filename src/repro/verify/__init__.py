@@ -35,6 +35,7 @@ from .differential import (
     batch_differential_check,
     differential_check,
 )
+from .fabric import FabricProtocolMonitor
 from .invariants import (
     BreakerMonitor,
     DOverLegalityMonitor,
@@ -78,6 +79,7 @@ __all__ = [
     "rta_oracle",
     "predicted_polling_finishes",
     "DifferentialTolerance",
+    "FabricProtocolMonitor",
     "batch_differential_check",
     "differential_check",
     "monitors_for_system",

@@ -20,6 +20,8 @@ flavor                    what runs
 ``differential``          simulator arm vs emulated RTSJ arm, same system
 ``batch``                 batched SoA kernel vs the per-system reference,
                           bit-exact metric comparison
+``fabric``                sharded admission fabric under a seeded
+                          kill-the-shard drill (failover + restore)
 ========================  ==================================================
 
 A failing run is *shrunk*: periodic tasks, then aperiodic events (then
@@ -65,6 +67,7 @@ CHAOS_FLAVORS = (
     "dover",
     "differential",
     "batch",
+    "fabric",
 )
 
 _UNI_FLAVORS = tuple(f for f in CHAOS_FLAVORS if not f.startswith("mc-"))
@@ -443,6 +446,76 @@ def _shrink_dover(specs, budget: int = 40):
     return current, spent
 
 
+def _run_fabric_drill(index: int, flavor: str, seed: int,
+                      rng: PortableRandom) -> ChaosRunResult:
+    """One seeded kill-the-shard drill through the fabric storm harness.
+
+    A small supervised fabric (2-3 shards) takes a Poisson front while
+    one randomly chosen shard is crashed mid-run — half the time with a
+    torn checkpoint tail — then restored from its write-ahead log.  The
+    run fails if the merged-trace monitor reports anything, any id is
+    double-admitted through failover, or a hard deadline is missed
+    without an explicit SHED.
+    """
+    import tempfile
+    import warnings
+    from pathlib import Path
+
+    from ..fabric import FabricStormConfig, ShardKill, run_fabric_storm
+
+    shards = rng.randint(2, 3)
+    config = FabricStormConfig(
+        rate=rng.uniform(0.3, 0.7),
+        horizon=80.0,
+        settle=40.0,
+        burst=(30.0, 50.0, 3.0),
+        seed=seed & 0xFFFFFF,
+        sources=shards * 2,
+        shards=shards,
+        kills=(ShardKill(
+            at=rng.uniform(20.0, 45.0),
+            shard=rng.randint(0, shards - 1),
+            corrupt_tail=rng.random() < 0.5,
+        ),),
+        duplicate_fraction=rng.uniform(0.0, 0.4),
+    )
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            with warnings.catch_warnings():
+                # torn-tail restore warnings are the drill, not a bug
+                warnings.simplefilter("ignore")
+                report = run_fabric_storm(config, checkpoint_dir=Path(tmp))
+    except Exception:
+        return ChaosRunResult(
+            index, flavor, seed, ok=False,
+            error=traceback.format_exc(limit=8), witness=config,
+        )
+    if report.clean:
+        return ChaosRunResult(index, flavor, seed, ok=True)
+    violations = [
+        Violation(kind="fabric-protocol", time=report.horizon, detail=text)
+        for text in report.violations
+    ]
+    if report.double_admitted:
+        violations.append(Violation(
+            kind="fabric-double-admission", time=report.horizon,
+            entities=tuple(report.double_admitted),
+        ))
+    if report.hard_misses:
+        violations.append(Violation(
+            kind="fabric-hard-miss", time=report.horizon,
+            detail=f"{report.hard_misses} unshed hard deadline miss(es)",
+        ))
+    return ChaosRunResult(
+        index, flavor, seed, ok=False,
+        violations=tuple(violations), witness=config,
+        witness_note=(
+            f"{config.shards} shard(s), kill at "
+            f"t={config.kills[0].at:.1f}"
+        ),
+    )
+
+
 # -- the campaign -----------------------------------------------------------
 
 
@@ -451,6 +524,9 @@ def _run_scenario(index: int, flavor: str, seed: int,
                   kernel: str = "auto",
                   trace_mode: str | None = None) -> ChaosRunResult:
     rng = PortableRandom(seed)
+
+    if flavor == "fabric":
+        return _run_fabric_drill(index, flavor, seed, rng)
 
     if flavor == "dover":
         specs = _dover_jobs(rng)
@@ -591,8 +667,9 @@ def run_chaos_campaign(
     ``progress`` is called after every run (CLI reporting hook).
 
     ``kernel``/``trace_mode`` select the kernel fast path and the
-    columnar trace for the simulated arms (the ``dover`` and
-    ``differential`` flavors always run with default knobs), so the
+    columnar trace for the simulated arms (the ``dover``,
+    ``differential`` and ``fabric`` flavors always run with default
+    knobs), so the
     whole monitor battery can be pointed at the fast path as its oracle.
     """
     for flavor in flavors:

@@ -1,0 +1,180 @@
+"""Fabric-level runtime verification: the cross-shard protocol oracle.
+
+The sharded fabric runs its shards unmonitored and verifies the
+*merged* timeline instead — per-shard oracles cannot see a request
+whose life spans a crash (admitted on the shard that died, resumed by
+its restored incarnation) or a failover (retried into a sibling).
+:class:`FabricProtocolMonitor` replays the merge produced by
+:meth:`~repro.fabric.fabric.AdmissionFabric.merged_trace`, where every
+service event carries a ``[shard-k]`` detail suffix and the fabric's
+own control-plane events (``SHARD_DOWN`` / ``FAILOVER`` /
+``SHARD_RESTORED``) interleave unsuffixed, and enforces:
+
+* **exactly one terminal per admitted request, fabric-wide** — a
+  request admitted anywhere reaches exactly one COMPLETION or SHED by
+  the horizon, across crashes, restores, and failovers; a second
+  non-resumed RELEASE for the same id is a double admission (the
+  idempotency breach failover must not introduce);
+* restored incarnations may re-announce in-flight jobs (RELEASE with a
+  ``resumed`` detail) — legal only for an id that *was* admitted;
+* hard requests never log a DEADLINE_MISS (cut-and-SHED is the only
+  legal miss path), and corrective re-plans stay in the causal shadow
+  of a divergence *on the same shard*;
+* the control plane is coherent: no double declaration, no restore of
+  a shard never declared down, no failover naming a shard that is up.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..sim.trace import TraceEvent, TraceEventKind
+from .invariants import TraceMonitor
+
+__all__ = ["FabricProtocolMonitor"]
+
+_CORRECTIVE_LEVELS = ("local", "renegotiate", "degrade")
+_SHARD_TAG = re.compile(r" \[shard-(\d+)\]$")
+_FAILOVER_FROM = re.compile(r"^shard-(\d+) -> ")
+
+
+def _shard_of(event: TraceEvent) -> int | None:
+    """The shard a merged service event came from (None = control plane)."""
+    match = _SHARD_TAG.search(event.detail)
+    return int(match.group(1)) if match else None
+
+
+class FabricProtocolMonitor(TraceMonitor):
+    """Exactly-one-terminal-per-request, across shard boundaries."""
+
+    name = "fabric-protocol"
+
+    def __init__(self, replan_window: float = 50.0) -> None:
+        super().__init__()
+        self.replan_window = replan_window
+        #: request id -> (release time, hard, shard)
+        self._released: dict[str, tuple[float, bool, int | None]] = {}
+        self._terminals: dict[str, list[tuple[str, float, int]]] = {}
+        #: per-shard last divergence/mode-change instant
+        self._last_divergence: dict[int | None, float] = {}
+        self._down: set[str] = set()
+
+    def on_event(self, index: int, event: TraceEvent) -> None:
+        kind = event.kind
+        if kind is TraceEventKind.RELEASE:
+            self._on_release(index, event)
+        elif kind in (TraceEventKind.COMPLETION, TraceEventKind.SHED):
+            if event.subject not in self._released:
+                self.report.record(
+                    "terminal-without-admission", event.time,
+                    (event.subject,),
+                    f"{kind.value} for a request never admitted on any "
+                    "shard",
+                    witness=(index,),
+                )
+            self._terminals.setdefault(event.subject, []).append(
+                (kind.value, event.time, index)
+            )
+        elif kind is TraceEventKind.DEADLINE_MISS:
+            released = self._released.get(event.subject)
+            if released is not None and released[1]:
+                self.report.record(
+                    "hard-deadline-miss", event.time, (event.subject,),
+                    "a hard request missed its deadline instead of being "
+                    "cut and shed",
+                    witness=(index,),
+                )
+        elif kind in (TraceEventKind.DIVERGENCE, TraceEventKind.MODE_CHANGE):
+            self._last_divergence[_shard_of(event)] = event.time
+        elif kind is TraceEventKind.REPLAN:
+            self._on_replan(index, event)
+        elif kind is TraceEventKind.SHARD_DOWN:
+            if event.subject in self._down:
+                self.report.record(
+                    "duplicate-shard-down", event.time, (event.subject,),
+                    "shard declared down while already down",
+                    witness=(index,),
+                )
+            self._down.add(event.subject)
+        elif kind is TraceEventKind.SHARD_RESTORED:
+            if event.subject not in self._down:
+                self.report.record(
+                    "restore-without-down", event.time, (event.subject,),
+                    "shard restored without a prior down declaration",
+                    witness=(index,),
+                )
+            self._down.discard(event.subject)
+        elif kind is TraceEventKind.FAILOVER:
+            match = _FAILOVER_FROM.match(event.detail)
+            home = f"shard-{match.group(1)}" if match else "?"
+            if home not in self._down:
+                self.report.record(
+                    "failover-without-down", event.time, (event.subject,),
+                    f"source failed over away from {home}, which is not "
+                    "declared down",
+                    witness=(index,),
+                )
+
+    def _on_release(self, index: int, event: TraceEvent) -> None:
+        rid = event.subject
+        if event.detail.startswith("resumed"):
+            # a restored incarnation re-announcing checkpointed
+            # in-flight work — legal iff the id was really admitted
+            if rid not in self._released:
+                self.report.record(
+                    "resumed-without-admission", event.time, (rid,),
+                    "restore resumed a request no shard ever admitted",
+                    witness=(index,),
+                )
+                self._released[rid] = (
+                    event.time, "hard" in event.detail, _shard_of(event)
+                )
+            return
+        if rid in self._released:
+            shard = _shard_of(event)
+            origin = self._released[rid][2]
+            where = (
+                f"shard-{origin} and shard-{shard}"
+                if origin != shard else f"shard-{shard} twice"
+            )
+            self.report.record(
+                "duplicate-admission", event.time, (rid,),
+                f"request admitted on {where} (cross-shard idempotency "
+                "breach)",
+                witness=(index,),
+            )
+            return
+        self._released[rid] = (
+            event.time, "hard" in event.detail, _shard_of(event)
+        )
+
+    def _on_replan(self, index: int, event: TraceEvent) -> None:
+        level = event.detail.split()[0] if event.detail else ""
+        if level not in _CORRECTIVE_LEVELS:
+            return
+        last = self._last_divergence.get(_shard_of(event))
+        if last is None or event.time - last > self.replan_window:
+            self.report.record(
+                "replan-without-divergence", event.time, (event.subject,),
+                f"{level} re-plan with no divergence inside "
+                f"{self.replan_window:g}tu on the same shard",
+                witness=(index,),
+            )
+
+    def finish(self, horizon: float) -> None:
+        for subject, terminals in self._terminals.items():
+            if len(terminals) > 1:
+                kinds = "+".join(kind for kind, _t, _i in terminals)
+                self.report.record(
+                    "duplicate-terminal", terminals[1][1], (subject,),
+                    f"{len(terminals)} terminals ({kinds}) across the "
+                    "fabric",
+                    witness=tuple(i for _k, _t, i in terminals),
+                )
+        for subject, (released_at, _hard, shard) in self._released.items():
+            if subject not in self._terminals:
+                self.report.record(
+                    "silently-dropped", horizon, (subject,),
+                    f"admitted at {released_at:g} on shard-{shard} but "
+                    "neither completed nor shed by the horizon",
+                )

@@ -1,0 +1,75 @@
+"""Source → shard placement (PR 8): consistency, reserve, fallback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric import SourcePlacement, place_sources
+
+
+class TestPlaceSources:
+    def test_every_declared_source_gets_a_shard(self):
+        sources = [f"src-{i}" for i in range(7)]
+        placement = place_sources(sources, 3)
+        assert set(placement.shard_of) == set(sources)
+        assert all(0 <= k < 3 for k in placement.shard_of.values())
+
+    def test_deterministic_across_calls(self):
+        sources = [f"src-{i}" for i in range(9)]
+        first = place_sources(sources, 4)
+        second = place_sources(sources, 4)
+        assert first.shard_of == second.shard_of
+
+    def test_worst_fit_balances_uniform_sources(self):
+        # 8 uniform sources over 4 shards: worst-fit spreads them 2/2/2/2
+        placement = place_sources([f"s{i}" for i in range(8)], 4)
+        per_shard = [len(placement.sources_on(k)) for k in range(4)]
+        assert per_shard == [2, 2, 2, 2]
+
+    def test_weights_steer_heavy_sources_apart(self):
+        weights = {"heavy-a": 10.0, "heavy-b": 10.0, "light": 1.0}
+        placement = place_sources(list(weights), 2, weights=weights)
+        assert (placement.shard_for("heavy-a")
+                != placement.shard_for("heavy-b"))
+
+    def test_undeclared_source_hashes_consistently(self):
+        placement = place_sources(["a", "b"], 3)
+        first = placement.shard_for("never-declared")
+        assert 0 <= first < 3
+        assert placement.shard_for("never-declared") == first
+        # and is independent of the declared set
+        other = place_sources(["x", "y", "z"], 3)
+        assert other.shard_for("never-declared") == first
+
+    def test_empty_sources_still_routes_by_hash(self):
+        placement = place_sources([], 2)
+        assert placement.shard_of == {}
+        assert 0 <= placement.shard_for("anything") < 2
+
+    def test_single_shard_takes_everything(self):
+        placement = place_sources(["a", "b", "c"], 1)
+        assert set(placement.shard_of.values()) == {0}
+        assert placement.shard_for("other") == 0
+
+    def test_reserve_keeps_headroom_in_the_packing(self):
+        placement = place_sources([f"s{i}" for i in range(6)], 3,
+                                  reserve=0.3)
+        assert placement.partition is not None
+        # no shard's pseudo-utilization exceeds the reserved bound
+        for load in placement.partition.utilization:
+            assert load <= 1.0 - 0.3 + 1e-9
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            place_sources(["a"], 0)
+
+    def test_duplicate_sources_deduplicated(self):
+        placement = place_sources(["a", "a", "b"], 2)
+        assert set(placement.shard_of) == {"a", "b"}
+
+    def test_sources_on_is_sorted_and_partitions(self):
+        sources = [f"src-{i}" for i in range(5)]
+        placement = place_sources(sources, 2)
+        union = placement.sources_on(0) + placement.sources_on(1)
+        assert sorted(union) == sorted(sources)
+        assert placement.sources_on(0) == sorted(placement.sources_on(0))

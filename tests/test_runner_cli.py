@@ -115,3 +115,90 @@ class TestMulticoreTarget:
     def test_bad_workers_rejected(self):
         with pytest.raises(SystemExit):
             main(["table2", "--workers", "0"])
+
+
+class TestFabricTarget:
+    ARGS = ["fabric", "--storm-rate", "0.4", "--storm-horizon", "50"]
+
+    def test_kill_drill_reports_clean(self, tmp_path, capsys):
+        assert main([*self.ARGS, "--fabric-kill", "20:1:corrupt",
+                     "--fabric-checkpoint-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert '"declared_down": 1' in out
+        assert '"restored": 1' in out
+        assert "fabric storm clean" in out
+        assert (tmp_path / "shard-1.jsonl").exists()
+
+    def test_kills_default_to_a_temporary_checkpoint_dir(self, capsys):
+        assert main([*self.ARGS, "--fabric-kill", "20:0"]) == 0
+        assert "fabric storm clean" in capsys.readouterr().out
+
+    def test_bad_kill_spec_rejected(self, capsys):
+        assert main([*self.ARGS, "--fabric-kill", "bogus"]) == 1
+        err = capsys.readouterr().err
+        assert "TIME:SHARD" in err
+        assert main([*self.ARGS, "--fabric-kill", "20:9"]) == 1
+
+    def test_bad_shard_count_rejected(self, capsys):
+        assert main(["fabric", "--fabric-shards", "0"]) == 1
+
+
+class _FakeStormReport:
+    """A violating storm report, for exercising the fail-fast plumbing
+    without having to construct a real invariant-breaking workload."""
+
+    def __init__(self):
+        self.violations = ["[fake] t=1 the sky fell"]
+        self.double_admitted = []
+        self.hard_misses = 0
+        self.killed = False
+        self.kills = 0
+        self.declared_down = 0
+        self.restored = 0
+
+    def to_dict(self):
+        return {"violations": self.violations}
+
+
+class TestFailFast:
+    """``--fail-fast`` means exit 2 with a picklable RunExhausted on
+    every target, the single-run storm targets included."""
+
+    def test_service_violations_exit_2(self, monkeypatch, capsys):
+        monkeypatch.setattr("repro.service.run_service_storm",
+                            lambda *a, **kw: _FakeStormReport())
+        assert main(["service", "--fail-fast"]) == 2
+        err = capsys.readouterr().err
+        assert "fail-fast" in err and "service" in err
+
+    def test_service_violations_without_flag_exit_1(self, monkeypatch,
+                                                    capsys):
+        monkeypatch.setattr("repro.service.run_service_storm",
+                            lambda *a, **kw: _FakeStormReport())
+        assert main(["service"]) == 1
+
+    def test_fabric_violations_exit_2(self, monkeypatch, capsys):
+        monkeypatch.setattr("repro.fabric.run_fabric_storm",
+                            lambda *a, **kw: _FakeStormReport())
+        assert main(["fabric", "--fail-fast"]) == 2
+        err = capsys.readouterr().err
+        assert "fail-fast" in err and "fabric" in err
+
+    def test_fabric_violations_without_flag_exit_1(self, monkeypatch,
+                                                   capsys):
+        monkeypatch.setattr("repro.fabric.run_fabric_storm",
+                            lambda *a, **kw: _FakeStormReport())
+        assert main(["fabric"]) == 1
+
+    def test_storm_exhausted_round_trips_through_pickle(self):
+        import pickle
+
+        from repro.experiments.runner import _storm_exhausted
+
+        exc = pickle.loads(pickle.dumps(_storm_exhausted(
+            "fabric", 7, "[fake] t=1 the sky fell"
+        )))
+        assert exc.record.arm == "fabric"
+        assert exc.record.system_id == 7
+        assert exc.record.status == "failed"
+        assert "gave up after 1 attempt(s)" in str(exc)

@@ -17,6 +17,7 @@ from repro.service import (
     Decision,
     EventRequest,
     ServiceConfig,
+    TwinConfig,
     VirtualClock,
     replay_ops,
 )
@@ -117,6 +118,59 @@ class TestDrain:
             second = await service.drain()
             assert first.completed == 1
             assert second.completed == 0 and second.shed == 0
+
+        asyncio.run(scenario())
+
+
+class TestDrainHousekeepingRace:
+    def test_no_housekeeping_ops_after_the_drain_cutoff(self, tmp_path):
+        """The drain/heartbeat race (PR 8 satellite): once ``drain()``
+        has written its cutoff op, a housekeeping tick waking during the
+        drain advance must not append ``heartbeat_miss`` ops behind it —
+        a restore would otherwise replay divergences that post-date the
+        shutdown."""
+        path = tmp_path / "service.jsonl"
+        config = ServiceConfig(
+            capacity=2.0, period=2.0, detector=None,
+            twin=TwinConfig(heartbeat=1.0),
+        )
+
+        async def scenario():
+            clock = VirtualClock()
+            service = AdmissionService(config, clock=clock,
+                                       checkpoint_path=path)
+            await service.start()
+            # slow work keeps events in flight long past the heartbeat
+            # window, so ticks during the drain advance WOULD fire
+            # heartbeat-miss divergences without the suppression
+            for i in range(4):
+                assert (await service.submit(
+                    _req(f"slow{i}", cost=1.5, deadline=120.0)
+                )).admitted
+            beats_before = service.heartbeats
+            report = await service.drain()
+            assert report.completed + report.shed == 4
+            assert service.heartbeats == beats_before  # counter froze
+            return service
+
+        asyncio.run(scenario())
+        ops = CheckpointLog(path).load()
+        drain_index = next(
+            i for i, op in enumerate(ops) if op["op"] == "drain"
+        )
+        tail = [op["op"] for op in ops[drain_index + 1:]]
+        assert "heartbeat_miss" not in tail
+
+    def test_draining_housekeeper_exits_promptly(self):
+        async def scenario():
+            clock = VirtualClock()
+            service = await _service(clock)
+            await service.submit(_req("a"))
+            await service.drain()
+            assert service._housekeeper is None
+            frozen = service.heartbeats
+            await clock.advance(clock.now() + 50.0)
+            assert service.heartbeats == frozen
 
         asyncio.run(scenario())
 

@@ -33,7 +33,7 @@ __all__ = ["main"]
 
 _TARGETS = ("all", "table2", "table3", "table4", "table5", "figures",
             "checks", "report", "multicore", "overload", "verify",
-            "service", "batch", "fabric")
+            "service", "batch", "fabric", "gateway")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -246,6 +246,45 @@ def main(argv: list[str] | None = None) -> int:
              "duplicate client (default: 0)",
     )
 
+    gateway = parser.add_argument_group("gateway target")
+    gateway.add_argument(
+        "--listen", default=None, metavar="HOST:PORT|unix:PATH",
+        help="serve mode: run the gateway as a long-lived listener on "
+             "this address (SIGTERM drains gracefully, a second SIGTERM "
+             "forces immediate exit); without --listen the target runs "
+             "the seeded wall-clock soak drill instead",
+    )
+    gateway.add_argument(
+        "--soak-requests", type=int, default=150, metavar="N",
+        help="requests pushed through the soak drill (default: 150)",
+    )
+    gateway.add_argument(
+        "--soak-rate", type=float, default=3.0, metavar="R",
+        help="Poisson arrival rate of the soak, per tu (default: 3)",
+    )
+    gateway.add_argument(
+        "--soak-seed", type=int, default=0, metavar="SEED",
+        help="master seed of the soak schedule and fault draws "
+             "(default: 0)",
+    )
+    gateway.add_argument(
+        "--soak-scale", type=float, default=1e-3, metavar="S",
+        help="wall seconds per logical tu (default: 1e-3)",
+    )
+    gateway.add_argument(
+        "--soak-dir", type=Path, default=None, metavar="DIR",
+        help="directory for the soak's journal/checkpoint/sockets "
+             "(default: a temporary directory)",
+    )
+    gateway.add_argument(
+        "--proxy-faults", default=None,
+        metavar="K=V[,K=V...]",
+        help="route the soak through the network fault proxy; keys: "
+             "latency, jitter (wall seconds), reset, torn, dup, reorder "
+             "(per-frame probabilities) — e.g. "
+             "'reset=0.03,torn=0.02,dup=0.05,latency=0.002'",
+    )
+
     multicore = parser.add_argument_group("multicore target")
     multicore.add_argument(
         "--cores", type=int, default=4, metavar="M",
@@ -346,6 +385,8 @@ def _dispatch(args: argparse.Namespace,
             return _run_batch(args)
         if args.target == "fabric":
             return _run_fabric(args)
+        if args.target == "gateway":
+            return _run_gateway(args)
     except RunExhausted as exc:
         print(f"fail-fast: {exc}", file=sys.stderr)
         return 2
@@ -715,6 +756,165 @@ def _run_fabric(args: argparse.Namespace) -> int:
           f"{report.declared_down} declared, {report.restored} restored, "
           "every monitor invariant held")
     return 0
+
+
+def _parse_proxy_faults(spec: str):
+    """``k=v,...`` -> :class:`~repro.gateway.ProxyFaultPlan`."""
+    from ..gateway import ProxyFaultPlan
+
+    keys = {
+        "latency": "latency_s", "jitter": "jitter_s",
+        "reset": "reset_probability", "torn": "torn_frame_probability",
+        "dup": "duplicate_probability", "reorder": "reorder_probability",
+    }
+    kwargs = {}
+    for item in spec.split(","):
+        if not item.strip():
+            continue
+        key, _, value = item.partition("=")
+        field = keys.get(key.strip())
+        if field is None or not value:
+            raise ValueError(
+                f"--proxy-faults wants K=V with K in "
+                f"{sorted(keys)}, got {item!r}"
+            )
+        kwargs[field] = float(value)
+    return ProxyFaultPlan(**kwargs)
+
+
+def _run_gateway(args: argparse.Namespace) -> int:
+    """The ``gateway`` target.
+
+    Without ``--listen``: the seeded wall-clock soak drill — a real
+    Unix-socket gateway under a Poisson front (optionally through the
+    network fault proxy and across one ``--kill-at`` kill + journal
+    restore), cross-checked fate-for-fate against a ``VirtualClock``
+    control replay.  With ``--listen``: a long-lived serving gateway;
+    SIGTERM drains gracefully (explicit drain-cutoff fates), a second
+    SIGTERM forces an immediate exit.
+    """
+    import json as _json
+    import tempfile
+
+    from ..gateway import GatewaySoakConfig, run_gateway_soak
+
+    plan = None
+    if args.proxy_faults is not None:
+        try:
+            plan = _parse_proxy_faults(args.proxy_faults)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+
+    if args.listen is not None:
+        return _serve_gateway(args)
+
+    try:
+        config = GatewaySoakConfig(
+            requests=args.soak_requests,
+            rate=args.soak_rate,
+            seed=args.soak_seed,
+            scale=args.soak_scale,
+            kill_at=args.kill_at,
+            proxy=plan,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+
+    if args.soak_dir is not None:
+        report = run_gateway_soak(config, args.soak_dir)
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            report = run_gateway_soak(config, Path(tmp))
+    print(_json.dumps(report.summary(), indent=1))
+    problems = [str(v) for v in report.violations]
+    problems.extend(
+        f"fate divergence {rid}: wall {wall} vs control {control}"
+        for rid, wall, control in report.fate_mismatches
+    )
+    if report.lost:
+        problems.append(
+            f"{report.lost} request(s) exhausted client retries"
+        )
+    if problems:
+        print(f"\n{len(problems)} gateway violation(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        if args.fail_fast:
+            raise _storm_exhausted("gateway", args.soak_seed, problems[0])
+        return 1
+    print(f"\ngateway soak clean: {report.delivered} request(s) "
+          f"delivered at {report.requests_per_sec:.0f} req/s, "
+          f"{report.retries} retr{'y' if report.retries == 1 else 'ies'}, "
+          + (f"1 kill + restore ({report.replayed} replayed), "
+             if report.killed else "")
+          + "every fate matched the control replay")
+    return 0
+
+
+def _serve_gateway(args: argparse.Namespace) -> int:
+    """Long-lived serving mode of the ``gateway`` target."""
+    import asyncio
+    import json as _json
+    import signal
+
+    from ..gateway import AdmissionGateway, GatewayConfig
+    from ..gateway.soak import default_gateway_service_config
+
+    listen = args.listen
+    if listen.startswith("unix:"):
+        gateway_config = GatewayConfig(unix_path=listen[len("unix:"):])
+    else:
+        host, _, port = listen.rpartition(":")
+        try:
+            gateway_config = GatewayConfig(
+                host=host or "127.0.0.1", port=int(port)
+            )
+        except ValueError:
+            print(f"--listen wants HOST:PORT or unix:PATH, got "
+                  f"{listen!r}", file=sys.stderr)
+            return 1
+
+    if args.soak_dir is not None:
+        args.soak_dir.mkdir(parents=True, exist_ok=True)
+
+    async def serve() -> int:
+        gateway = await AdmissionGateway(
+            gateway_config, default_gateway_service_config(),
+            seed=args.soak_seed,
+            journal_path=(
+                args.soak_dir / "gateway-journal.jsonl"
+                if args.soak_dir is not None else None
+            ),
+            checkpoint_path=(
+                args.soak_dir / "gateway-checkpoint.jsonl"
+                if args.soak_dir is not None else None
+            ),
+        ).start()
+        loop = asyncio.get_running_loop()
+        # both signals funnel into the idempotent shutdown path:
+        # first = graceful drain, second = forced immediate exit
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, gateway.request_shutdown)
+        print(f"gateway listening on {gateway.address}", flush=True)
+        assert gateway.terminated is not None
+        await gateway.terminated.wait()
+        report, _merged = gateway.finish()
+        print(_json.dumps(gateway.metrics(), indent=1))
+        if report.violations:
+            print(f"{len(report.violations)} violation(s):",
+                  file=sys.stderr)
+            for violation in report.violations:
+                print(f"  {violation}", file=sys.stderr)
+            if args.fail_fast:
+                raise _storm_exhausted(
+                    "gateway", args.soak_seed, str(report.violations[0])
+                )
+            return 1
+        return 0
+
+    return asyncio.run(serve())
 
 
 def _run_overload(args: argparse.Namespace, run_policy,

@@ -97,9 +97,16 @@ class ShardRouter:
 
     # -- the client-facing edge --------------------------------------------
 
-    async def submit(self, request: EventRequest) -> AdmissionTicket:
-        """One routing + admission attempt, idempotent by request id."""
-        now = self.fabric.clock.now()
+    async def submit(
+        self, request: EventRequest, *, at: float | None = None
+    ) -> AdmissionTicket:
+        """One routing + admission attempt, idempotent by request id.
+
+        ``at`` anchors the decision on a caller-chosen stamp, exactly as
+        in :meth:`AdmissionService.submit` — the gateway's wall-clock
+        front end stamps frames once and routes with that stamp.
+        """
+        now = at if at is not None else self.fabric.clock.now()
         self.routed += 1
         cached = self.cache.get(request.request_id)
         if cached is not None:
@@ -138,7 +145,7 @@ class ShardRouter:
             )
         if source_failed_over := (request.source in self._overrides):
             self.failover_routed += 1
-        ticket = await shard.service.submit(request)
+        ticket = await shard.service.submit(request, at=now)
         if breaker is not None:
             # the shard answered — that is success for *reachability*
             # (an overload rejection is the shard doing its job)

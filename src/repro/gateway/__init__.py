@@ -1,0 +1,73 @@
+"""Wall-clock network ingestion for the admission service (PR 9).
+
+The gateway is the deployment face of the repo: a hardened asyncio
+socket front end (:mod:`~repro.gateway.gateway`) speaking a
+length-prefixed JSON protocol (:mod:`~repro.gateway.protocol`),
+journaling every ingested frame for crash-safe at-least-once delivery,
+and drilled by a frame-aware chaos proxy (:mod:`~repro.gateway.faults`)
+plus seeded wall-clock soaks whose fates are cross-checked against a
+``VirtualClock`` control replay (:mod:`~repro.gateway.soak`).
+"""
+
+from .faults import NetworkFaultProxy, ProxyFaultPlan
+from .gateway import (
+    AdmissionGateway,
+    GatewayConfig,
+    load_journal,
+    undecided_entries,
+)
+from .protocol import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    FrameTimeout,
+    FrameTooLarge,
+    TornFrame,
+    encode_frame,
+    error_payload,
+    parse_request,
+    parse_ticket,
+    ping_payload,
+    read_frame,
+    read_raw_frame,
+    submit_payload,
+    ticket_payload,
+    write_frame,
+)
+from .soak import (
+    GatewaySoakConfig,
+    GatewaySoakReport,
+    default_gateway_service_config,
+    run_control_replay,
+    run_gateway_soak,
+    soak_requests,
+)
+
+__all__ = [
+    "AdmissionGateway",
+    "GatewayConfig",
+    "load_journal",
+    "undecided_entries",
+    "NetworkFaultProxy",
+    "ProxyFaultPlan",
+    "MAX_FRAME_BYTES",
+    "FrameError",
+    "FrameTimeout",
+    "FrameTooLarge",
+    "TornFrame",
+    "encode_frame",
+    "error_payload",
+    "parse_request",
+    "parse_ticket",
+    "ping_payload",
+    "read_frame",
+    "read_raw_frame",
+    "submit_payload",
+    "ticket_payload",
+    "write_frame",
+    "GatewaySoakConfig",
+    "GatewaySoakReport",
+    "default_gateway_service_config",
+    "run_control_replay",
+    "run_gateway_soak",
+    "soak_requests",
+]

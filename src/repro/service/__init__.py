@@ -24,7 +24,7 @@ long-running asyncio server:
 
 from .backoff import DEFAULT_BACKOFF, BackoffPolicy
 from .checkpoint import CheckpointError, CheckpointLog, replay_ops
-from .clock import VirtualClock, WallClock
+from .clock import ClockPause, VirtualClock, WallClock
 from .monitors import (
     ServiceProtocolMonitor,
     monitored_service_trace,
@@ -66,6 +66,7 @@ __all__ = [
     "BackoffPolicy",
     "CheckpointError",
     "CheckpointLog",
+    "ClockPause",
     "DEADLINE_SLIP",
     "DEFAULT_BACKOFF",
     "Decision",

@@ -1,4 +1,4 @@
-"""Logical-time clock driving the asyncio admission service.
+"""Logical-time clocks driving the asyncio admission service.
 
 The service never reads the wall clock for *scheduling* decisions: all
 deadlines, replenishments and execution finishes live on a logical
@@ -10,9 +10,13 @@ implement it:
   a seed: same arrivals, same interleavings, same trace, replayable
   bit-for-bit (the wall clock only ever feeds *measurement*, e.g.
   re-plan latency in seconds).
-* :class:`WallClock` — maps the asyncio loop's monotonic time onto the
-  logical timeline for a real deployment; provided for completeness and
-  exercised lightly in tests.
+* :class:`WallClock` — a production mapping of the process monotonic
+  clock onto the logical timeline for real deployments (the gateway
+  runs on it).  It is anchored explicitly, tracks wake-up lateness, and
+  runs an optional pause watchdog: a stalled event loop or a suspended
+  process surfaces as a recorded :class:`ClockPause` (which the gateway
+  feeds into the digital twin as a heartbeat-miss divergence) instead
+  of silently warping deadlines.
 
 ``advance()`` wakes sleepers strictly in (time, registration) order and
 lets the woken tasks settle between wakeups, so completions scheduled
@@ -23,8 +27,10 @@ from __future__ import annotations
 
 import asyncio
 import heapq
+import time
+from dataclasses import dataclass
 
-__all__ = ["VirtualClock", "WallClock"]
+__all__ = ["ClockPause", "VirtualClock", "WallClock"]
 
 _EPS = 1e-9
 #: ready-queue cycles granted after each wakeup so woken tasks reach
@@ -70,13 +76,18 @@ class VirtualClock:
         Each wakeup is followed by a settle phase, so a task woken at an
         intermediate instant observes ``now() == its wake time`` and may
         register earlier sleeps than ``to`` — the heap is re-examined
-        after every wakeup.
+        after every wakeup.  A sleeper whose task was cancelled while
+        suspended leaves a done future in the heap; those are skipped
+        without advancing time or burning a settle phase.
         """
         while self._sleepers and self._sleepers[0][0] <= to + _EPS:
             when, _seq, future = heapq.heappop(self._sleepers)
+            if future.done():
+                # cancelled (or otherwise settled) while sleeping —
+                # nothing is waiting on this wakeup anymore
+                continue
             self._now = max(self._now, when)
-            if not future.done():
-                future.set_result(None)
+            future.set_result(None)
             await self._settle()
         self._now = max(self._now, to)
         await self._settle()
@@ -93,33 +104,132 @@ class VirtualClock:
 
     @property
     def pending(self) -> int:
-        return len(self._sleepers)
+        """Live sleepers only — cancelled heap entries don't count."""
+        return sum(1 for _w, _s, f in self._sleepers if not f.done())
+
+
+@dataclass(frozen=True)
+class ClockPause:
+    """A detected stall of the wall-clock event loop.
+
+    ``at`` is the logical instant the stall was *detected* (after the
+    loop resumed); ``observed`` is the logical gap the watchdog measured
+    where it expected ``expected``.
+    """
+
+    at: float
+    expected: float
+    observed: float
+
+    @property
+    def excess(self) -> float:
+        return self.observed - self.expected
 
 
 class WallClock:
-    """The asyncio loop's monotonic time as the logical timeline.
+    """The process monotonic clock mapped onto the logical timeline.
 
     ``scale`` maps logical tu onto wall seconds (default: 1 tu = 1 ms,
-    the emulated VM's convention).
+    the emulated VM's convention).  ``start`` offsets the logical
+    origin, so a restored gateway can resume its logical timeline where
+    the checkpoint left off.
+
+    The mapping is monotonic by construction (``time.monotonic`` base,
+    non-decreasing guard) and observable: ``late_wakeups`` /
+    ``max_lateness`` record how far :meth:`sleep_until` overshoots its
+    target, and :meth:`start_watchdog` samples the clock at a fixed
+    logical interval, recording a :class:`ClockPause` whenever the
+    observed gap exceeds a threshold — the signature of a stalled loop
+    or a suspended process.
     """
 
-    def __init__(self, scale: float = 1e-3) -> None:
+    #: lateness below this many tu is ordinary scheduler jitter
+    LATENESS_TOLERANCE = 0.5
+
+    def __init__(self, scale: float = 1e-3, start: float = 0.0) -> None:
         if scale <= 0:
             raise ValueError(f"scale must be > 0, got {scale}")
         self.scale = scale
+        self.start = start
         self._origin: float | None = None
+        self._last = start
+        self.late_wakeups = 0
+        self.max_lateness = 0.0
+        self.pauses: list[ClockPause] = []
+        self._pause_callbacks: list = []
+        self._watchdog: asyncio.Task | None = None
 
-    def _loop_now(self) -> float:
-        return asyncio.get_event_loop().time()
+    def anchor(self) -> "WallClock":
+        """Pin the logical origin to the current monotonic instant.
+
+        Idempotent; ``now()`` anchors lazily on first read if this was
+        never called.
+        """
+        if self._origin is None:
+            self._origin = time.monotonic()
+        return self
 
     def now(self) -> float:
         if self._origin is None:
-            self._origin = self._loop_now()
-        return (self._loop_now() - self._origin) / self.scale
+            self.anchor()
+        raw = self.start + (time.monotonic() - self._origin) / self.scale
+        # defensive: the logical timeline never runs backwards
+        self._last = max(self._last, raw)
+        return self._last
 
     async def sleep_until(self, when: float) -> None:
         delta = when - self.now()
-        await asyncio.sleep(max(delta * self.scale, 0.0))
+        if delta <= 0:
+            # zero/negative sleeps still yield so peers aren't starved
+            await asyncio.sleep(0)
+        else:
+            await asyncio.sleep(delta * self.scale)
+        lateness = self.now() - when
+        if lateness > self.LATENESS_TOLERANCE:
+            self.late_wakeups += 1
+            self.max_lateness = max(self.max_lateness, lateness)
 
     async def sleep(self, duration: float) -> None:
-        await asyncio.sleep(max(duration * self.scale, 0.0))
+        await self.sleep_until(self.now() + duration)
+
+    # -- pause watchdog -------------------------------------------------
+
+    def on_pause(self, callback) -> None:
+        """Register ``callback(pause: ClockPause)`` for detected stalls."""
+        self._pause_callbacks.append(callback)
+
+    def note_pause(self, pause: ClockPause) -> None:
+        """Record an externally detected stall (e.g. a restart blackout)."""
+        self.pauses.append(pause)
+        for callback in self._pause_callbacks:
+            callback(pause)
+
+    def start_watchdog(
+        self, interval: float = 5.0, threshold: float | None = None
+    ) -> asyncio.Task:
+        """Sample the clock every ``interval`` tu; a gap beyond
+        ``threshold`` tu (default ``3 * interval``) records a pause.
+        """
+        if self._watchdog is not None and not self._watchdog.done():
+            return self._watchdog
+        bound = threshold if threshold is not None else 3.0 * interval
+
+        async def watch() -> None:
+            previous = self.now()
+            while True:
+                await asyncio.sleep(interval * self.scale)
+                current = self.now()
+                gap = current - previous
+                if gap > bound:
+                    self.note_pause(
+                        ClockPause(at=current, expected=interval,
+                                   observed=gap))
+                previous = current
+
+        self._watchdog = asyncio.get_running_loop().create_task(watch())
+        return self._watchdog
+
+    def stop_watchdog(self) -> None:
+        if self._watchdog is not None:
+            self._watchdog.cancel()
+            self._watchdog = None

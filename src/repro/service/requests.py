@@ -42,6 +42,9 @@ class Decision(enum.Enum):
     REJECT_DRAINING = "reject_draining"
     #: no live shard can take the request right now — transient, retryable
     REJECT_UNREACHABLE = "reject_unreachable"
+    #: the gateway's bounded in-flight pipeline is full — transient,
+    #: retryable backpressure, never an unbounded queue
+    REJECT_BUSY = "reject_busy"
 
 
 #: decisions a well-behaved client retries with exponential backoff
@@ -50,6 +53,7 @@ RETRYABLE = frozenset({
     Decision.REJECT_BREAKER,
     Decision.REJECT_DEGRADED,
     Decision.REJECT_UNREACHABLE,
+    Decision.REJECT_BUSY,
 })
 
 
@@ -130,6 +134,24 @@ class AdmissionTicket:
     def margin(self) -> float:
         """Predicted slack to the deadline (admitted tickets only)."""
         return self.deadline - self.predicted_finish
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "decision": self.decision.value,
+            "submitted_at": self.submitted_at,
+            "predicted_finish": self.predicted_finish,
+            "deadline": self.deadline,
+            "detail": self.detail,
+            "duplicate": self.duplicate,
+            "attempt": self.attempt,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AdmissionTicket":
+        data = dict(data)
+        data["decision"] = Decision(data["decision"])
+        return cls(**data)
 
 
 @dataclass

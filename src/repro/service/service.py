@@ -255,9 +255,19 @@ class AdmissionService:
 
     # -- submission (the client-facing edge) -------------------------------
 
-    async def submit(self, request: EventRequest) -> AdmissionTicket:
-        """One admission attempt; O(1) decision, idempotent by id."""
-        now = self.clock.now()
+    async def submit(
+        self, request: EventRequest, *, at: float | None = None
+    ) -> AdmissionTicket:
+        """One admission attempt; O(1) decision, idempotent by id.
+
+        ``at`` anchors the decision on a caller-chosen logical stamp
+        instead of ``clock.now()``: the gateway stamps each frame once
+        at dispatch, journals the stamp, and submits with it, so a
+        ``VirtualClock`` control run replaying the same (stamp, request)
+        pairs reproduces the admission arithmetic bit-for-bit.  Stamps
+        must be non-decreasing across calls.
+        """
+        now = at if at is not None else self.clock.now()
         self.submitted += 1
         cached = self.cache.get(request.request_id)
         if cached is not None:
@@ -715,6 +725,41 @@ class AdmissionService:
             self._housekeeper = None
         if cancel_clock and isinstance(self.clock, VirtualClock):
             self.clock.cancel_all()
+
+    # -- gateway hooks -----------------------------------------------------
+
+    def pending_due(self, t: float) -> list[str]:
+        """In-flight ids whose settle instant is at or before ``t``.
+
+        The gateway's settle discipline uses this before stamping a new
+        arrival: on a wall clock, completions due before the stamp must
+        commit first, mirroring ``VirtualClock.advance``'s
+        wake-then-settle ordering so a control replay sees the same
+        ledger state at every stamp.
+        """
+        due: list[str] = []
+        for rid, job in self.planner.jobs.items():
+            actual, _served = self._actual_outcome(job)
+            settle = min(actual, job.deadline) if job.request.hard else actual
+            if settle <= t + _EPS:
+                due.append(rid)
+        return due
+
+    def note_clock_pause(self, now: float, detail: str) -> None:
+        """Register an externally detected wall-clock stall.
+
+        A stalled event loop or a suspended process is a real divergence
+        between the plan and reality: record it in the digital twin as a
+        heartbeat miss (checkpointed, so restores replay it) rather than
+        silently warping deadlines.
+        """
+        divergence = self.twin.note_heartbeat_miss(now)
+        self._log({"op": "heartbeat_miss", "t": now})
+        self._last_divergence_at = now
+        self.trace.add_event(
+            now, TraceEventKind.DIVERGENCE, "twin",
+            detail=f"{divergence.kind}: {detail}",
+        )
 
     # -- reporting ---------------------------------------------------------
 

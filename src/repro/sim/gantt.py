@@ -131,6 +131,10 @@ _MARKERS = {
     TraceEventKind.SHARD_DOWN: ("☠", "#c0392b"),
     TraceEventKind.SHARD_RESTORED: ("⟳", "#2a7a2a"),
     TraceEventKind.FAILOVER: ("⇒", "#b8860b"),
+    TraceEventKind.INGEST: ("▷", "#4878d0"),
+    TraceEventKind.RESPONSE: ("◁", "#2a7a2a"),
+    TraceEventKind.CLOCK_PAUSE: ("⏸", "#c0392b"),
+    TraceEventKind.GATEWAY_RESTORED: ("⟲", "#2a7a2a"),
 }
 
 

@@ -54,6 +54,10 @@ class TraceEventKind(enum.Enum):
     SHARD_DOWN = "shard_down"        # supervisor declared a shard dead
     SHARD_RESTORED = "shard_restored"  # shard restored from checkpoint
     FAILOVER = "failover"            # a source rerouted to a sibling shard
+    INGEST = "ingest"                # gateway accepted a frame off the wire
+    RESPONSE = "response"            # gateway wrote a decision frame back
+    CLOCK_PAUSE = "clock_pause"      # wall-clock stall/blackout detected
+    GATEWAY_RESTORED = "gateway_restored"  # gateway replayed its journal
 
 
 @dataclass(frozen=True)

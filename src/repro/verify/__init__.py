@@ -36,6 +36,7 @@ from .differential import (
     differential_check,
 )
 from .fabric import FabricProtocolMonitor
+from .gateway import GatewayProtocolMonitor
 from .invariants import (
     BreakerMonitor,
     DOverLegalityMonitor,
@@ -80,6 +81,7 @@ __all__ = [
     "predicted_polling_finishes",
     "DifferentialTolerance",
     "FabricProtocolMonitor",
+    "GatewayProtocolMonitor",
     "batch_differential_check",
     "differential_check",
     "monitors_for_system",

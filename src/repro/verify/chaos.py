@@ -68,6 +68,7 @@ CHAOS_FLAVORS = (
     "differential",
     "batch",
     "fabric",
+    "gateway",
 )
 
 _UNI_FLAVORS = tuple(f for f in CHAOS_FLAVORS if not f.startswith("mc-"))
@@ -516,6 +517,75 @@ def _run_fabric_drill(index: int, flavor: str, seed: int,
     )
 
 
+def _run_gateway_drill(index: int, flavor: str, seed: int,
+                       rng: PortableRandom) -> ChaosRunResult:
+    """One seeded wall-clock soak through the gateway's fault proxy.
+
+    A real Unix-socket gateway takes a Poisson front through the
+    :class:`~repro.gateway.NetworkFaultProxy` (resets, torn writes,
+    duplicates, reorders, latency), half the time with a mid-run
+    kill + journal restore.  The run fails if the merged-timeline
+    monitors report anything, any client gives up, or any request's
+    terminal fate differs from the ``VirtualClock`` control replay.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from ..gateway import (
+        GatewaySoakConfig,
+        ProxyFaultPlan,
+        run_gateway_soak,
+    )
+
+    config = GatewaySoakConfig(
+        requests=rng.randint(50, 90),
+        rate=rng.uniform(2.0, 6.0),
+        seed=seed & 0xFFFFFF,
+        sources=rng.randint(2, 4),
+        cost_range=(0.1, rng.uniform(0.3, 0.7)),
+        deadline_factor=rng.uniform(8.0, 40.0),
+        kill_at=rng.uniform(5.0, 12.0) if rng.random() < 0.5 else None,
+        proxy=ProxyFaultPlan(
+            latency_s=0.001,
+            jitter_s=rng.uniform(0.0, 0.003),
+            reset_probability=rng.uniform(0.0, 0.04),
+            torn_frame_probability=rng.uniform(0.0, 0.03),
+            duplicate_probability=rng.uniform(0.0, 0.06),
+            reorder_probability=rng.uniform(0.0, 0.04),
+        ),
+    )
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            report = run_gateway_soak(config, Path(tmp))
+    except Exception:
+        return ChaosRunResult(
+            index, flavor, seed, ok=False,
+            error=traceback.format_exc(limit=8), witness=config,
+        )
+    if report.clean:
+        return ChaosRunResult(index, flavor, seed, ok=True)
+    violations = list(report.violations)
+    for rid, wall, control in report.fate_mismatches:
+        violations.append(Violation(
+            kind="gateway-fate-divergence", time=0.0, entities=(rid,),
+            detail=f"wall run {wall} vs control replay {control}",
+        ))
+    if report.lost:
+        violations.append(Violation(
+            kind="gateway-request-lost", time=0.0,
+            detail=f"{report.lost} request(s) exhausted client retries",
+        ))
+    return ChaosRunResult(
+        index, flavor, seed, ok=False,
+        violations=tuple(violations), witness=config,
+        witness_note=(
+            f"{config.requests} request(s)"
+            + (f", kill at t={config.kill_at:.1f}"
+               if config.kill_at is not None else "")
+        ),
+    )
+
+
 # -- the campaign -----------------------------------------------------------
 
 
@@ -527,6 +597,9 @@ def _run_scenario(index: int, flavor: str, seed: int,
 
     if flavor == "fabric":
         return _run_fabric_drill(index, flavor, seed, rng)
+
+    if flavor == "gateway":
+        return _run_gateway_drill(index, flavor, seed, rng)
 
     if flavor == "dover":
         specs = _dover_jobs(rng)

@@ -1,0 +1,109 @@
+"""Wall-clock gateway soak drills (PR 9): fates must match the control."""
+
+from __future__ import annotations
+
+from repro.gateway import (
+    GatewaySoakConfig,
+    ProxyFaultPlan,
+    default_gateway_service_config,
+    load_journal,
+    run_control_replay,
+    run_gateway_soak,
+    soak_requests,
+)
+
+FAULTS = ProxyFaultPlan(
+    latency_s=0.001, jitter_s=0.002,
+    reset_probability=0.03, torn_frame_probability=0.02,
+    duplicate_probability=0.05, reorder_probability=0.03,
+)
+
+
+class TestSchedule:
+    def test_seeded_schedule_is_deterministic(self):
+        config = GatewaySoakConfig(requests=40, seed=9)
+        first = soak_requests(config)
+        second = soak_requests(config)
+        assert first == second
+        other = soak_requests(GatewaySoakConfig(requests=40, seed=10))
+        assert other != first
+
+    def test_schedule_shape(self):
+        config = GatewaySoakConfig(requests=30, sources=3, seed=1)
+        schedule = soak_requests(config)
+        assert len(schedule) == 30
+        times = [t for t, _r in schedule]
+        assert times == sorted(times)
+        assert {r.source for _t, r in schedule} == {
+            "src-0", "src-1", "src-2"
+        }
+        assert len({r.request_id for _t, r in schedule}) == 30
+
+
+class TestPlainSoak:
+    def test_clean_run_matches_control_replay(self, tmp_path):
+        report = run_gateway_soak(
+            GatewaySoakConfig(requests=60, seed=5), tmp_path / "plain"
+        )
+        assert report.clean
+        assert report.delivered == 60
+        assert report.lost == 0
+        assert report.fate_mismatches == []
+        assert report.violations == []
+        assert report.fates == report.control_fates
+        assert report.summary()["clean"] is True
+
+    def test_control_replay_is_deterministic(self, tmp_path):
+        run_gateway_soak(
+            GatewaySoakConfig(requests=40, seed=6), tmp_path / "s"
+        )
+        ops = load_journal(tmp_path / "s" / "gateway-journal.jsonl")
+        service_config = default_gateway_service_config()
+        first = run_control_replay(ops, service_config, seed=6)
+        second = run_control_replay(ops, service_config, seed=6)
+        assert first == second
+        assert len(first) == 40
+
+
+class TestChaosSoak:
+    def test_fault_proxy_soak_stays_fate_identical(self, tmp_path):
+        report = run_gateway_soak(
+            GatewaySoakConfig(requests=80, seed=11, proxy=FAULTS),
+            tmp_path / "faults",
+        )
+        assert report.clean, (report.fate_mismatches, report.violations)
+        assert report.proxy is not None
+        assert report.proxy["forwarded"] > 0
+
+    def test_kill_restore_drill_stays_fate_identical(self, tmp_path):
+        report = run_gateway_soak(
+            GatewaySoakConfig(requests=80, seed=13, proxy=FAULTS,
+                              kill_at=12.0),
+            tmp_path / "kill",
+        )
+        assert report.clean, (report.fate_mismatches, report.violations)
+        assert report.killed and report.restored
+        # the blackout forced clients through reconnect-and-retry
+        assert report.retries > 0
+
+    def test_overload_pressure_keeps_fate_parity(self, tmp_path):
+        """Rejections, not just admits, must replay identically."""
+        report = run_gateway_soak(
+            GatewaySoakConfig(requests=100, seed=3, rate=8.0,
+                              cost_range=(0.3, 0.9), deadline_factor=6.0,
+                              kill_at=8.0),
+            tmp_path / "hot",
+        )
+        assert report.clean, (report.fate_mismatches, report.violations)
+        assert sum(report.decisions.values()) == 100
+
+
+class TestChaosFlavor:
+    def test_gateway_flavor_runs_clean(self):
+        from repro.verify.chaos import CHAOS_FLAVORS, run_chaos_campaign
+
+        assert "gateway" in CHAOS_FLAVORS
+        result = run_chaos_campaign(
+            n_systems=1, seed=2, flavors=("gateway",)
+        )
+        assert result.ok, result.summary()

@@ -143,6 +143,49 @@ class TestFabricTarget:
         assert main(["fabric", "--fabric-shards", "0"]) == 1
 
 
+class TestGatewayTarget:
+    ARGS = ["gateway", "--soak-requests", "40", "--soak-rate", "4"]
+
+    def test_soak_drill_reports_clean(self, tmp_path, capsys):
+        assert main([*self.ARGS, "--soak-dir", str(tmp_path),
+                     "--proxy-faults", "reset=0.02,dup=0.04",
+                     "--kill-at", "5"]) == 0
+        captured = capsys.readouterr()
+        assert '"clean": true' in captured.out
+        assert "gateway soak clean" in captured.out
+        assert "kill + restore" in captured.out
+        assert (tmp_path / "gateway-journal.jsonl").exists()
+
+    def test_soak_without_faults_defaults_to_tmpdir(self, capsys):
+        assert main([*self.ARGS]) == 0
+        assert "gateway soak clean" in capsys.readouterr().out
+
+    def test_bad_proxy_fault_spec_rejected(self, capsys):
+        assert main([*self.ARGS, "--proxy-faults", "bogus=1"]) == 1
+        assert "--proxy-faults" in capsys.readouterr().err
+
+    def test_bad_listen_spec_rejected(self, capsys):
+        assert main(["gateway", "--listen", "nonsense"]) == 1
+        assert "--listen" in capsys.readouterr().err
+
+
+class _FakeSoakReport:
+    """A violating soak report, for the fail-fast plumbing."""
+
+    def __init__(self):
+        self.violations = ["[fake] t=1 the stamps ran backwards"]
+        self.fate_mismatches = [("r-1", ("admit", None), ("shed", None))]
+        self.lost = 0
+        self.delivered = 1
+        self.retries = 0
+        self.killed = False
+        self.replayed = 0
+        self.requests_per_sec = 1.0
+
+    def summary(self):
+        return {"violations": 1, "fate_mismatches": 1}
+
+
 class _FakeStormReport:
     """A violating storm report, for exercising the fail-fast plumbing
     without having to construct a real invariant-breaking workload."""
@@ -189,6 +232,21 @@ class TestFailFast:
         monkeypatch.setattr("repro.fabric.run_fabric_storm",
                             lambda *a, **kw: _FakeStormReport())
         assert main(["fabric"]) == 1
+
+    def test_gateway_violations_exit_2(self, monkeypatch, capsys):
+        monkeypatch.setattr("repro.gateway.run_gateway_soak",
+                            lambda *a, **kw: _FakeSoakReport())
+        assert main(["gateway", "--fail-fast"]) == 2
+        err = capsys.readouterr().err
+        assert "fail-fast" in err and "gateway" in err
+
+    def test_gateway_violations_without_flag_exit_1(self, monkeypatch,
+                                                    capsys):
+        monkeypatch.setattr("repro.gateway.run_gateway_soak",
+                            lambda *a, **kw: _FakeSoakReport())
+        assert main(["gateway"]) == 1
+        err = capsys.readouterr().err
+        assert "fate divergence" in err
 
     def test_storm_exhausted_round_trips_through_pickle(self):
         import pickle

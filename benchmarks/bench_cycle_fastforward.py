@@ -1,0 +1,104 @@
+"""Hyperperiod fast-forward benchmark: O(hyperperiod) long horizons.
+
+Not a paper table — this pins the PR's claim that ``cycle="fastforward"``
+makes long-horizon simulation cost O(hyperperiod) instead of O(horizon):
+a dense dyadic periodic set is run to 10x, 100x and 1000x its
+hyperperiod with the knob off (full simulation) and on (detect the
+release-pattern cycle once, then skip whole windows with exact metric
+extrapolation).  The fast-forwarded run's per-task metrics are asserted
+bit-identical to the full run before anything is timed, so the speedup
+is never bought with drift.
+
+The committed medians live in ``benchmarks/BENCH_engine.json``; the
+``fastforward/off`` ratio at 100x hyperperiod is guarded by the
+``bench-smoke`` CI job (must stay under 0.1 — at least 10x faster).
+"""
+
+from __future__ import annotations
+
+from repro.cycle import cross_check, periodic_summary
+from repro.sim import FixedPriorityPolicy, Simulation
+from repro.workload.spec import PeriodicTaskSpec
+
+# dense dyadic set on the 0.25-tu grid: hyperperiod 16 tu, utilization
+# ~0.86, every release/completion instant exactly representable so the
+# skip's exactness gate always commits
+CYCLE_TASKS = [
+    ("a", 0.75, 2.0, 0.0),
+    ("b", 1.0, 4.0, 0.25),
+    ("c", 1.25, 8.0, 0.0),
+    ("d", 1.5, 16.0, 1.5),
+    ("e", 2.0, 16.0, 0.0),
+]
+HYPERPERIOD = 16.0
+
+
+def _build(cycle: str) -> Simulation:
+    sim = Simulation(FixedPriorityPolicy(), cycle=cycle)
+    for i, (name, cost, period, offset) in enumerate(CYCLE_TASKS):
+        sim.add_periodic_task(PeriodicTaskSpec(
+            name, cost=cost, period=period, offset=offset,
+            priority=10 - i,
+        ))
+    return sim
+
+
+def _run(cycle: str, multiplier: int):
+    sim = _build(cycle)
+    sim.run(until=HYPERPERIOD * multiplier)
+    return sim
+
+
+def _assert_exact(multiplier: int) -> None:
+    """The fast-forwarded metrics must match the full run bit-for-bit."""
+    outcome = cross_check(_build, HYPERPERIOD * multiplier)
+    assert outcome.fast_forwarded, "tracker never engaged"
+    assert outcome.matched, f"metric drift: {outcome.mismatches}"
+
+
+def _report(sim) -> None:
+    report = sim._cycle_report
+    summary = periodic_summary(sim)
+    skipped = (
+        f", skipped {report.windows_skipped} window(s) "
+        f"({report.skipped_time:g} tu)"
+        if report is not None and report.fast_forwarded else ""
+    )
+    print(f"\n{summary.total_released} release(s) accounted over "
+          f"{summary.horizon:g} tu{skipped}")
+
+
+def bench_cycle_off_10x(benchmark):
+    sim = benchmark(_run, "off", 10)
+    _report(sim)
+
+
+def bench_cycle_fastforward_10x(benchmark):
+    _assert_exact(10)
+    sim = benchmark(_run, "fastforward", 10)
+    assert sim._cycle_report.fast_forwarded
+    _report(sim)
+
+
+def bench_cycle_off_100x(benchmark):
+    sim = benchmark(_run, "off", 100)
+    _report(sim)
+
+
+def bench_cycle_fastforward_100x(benchmark):
+    _assert_exact(100)
+    sim = benchmark(_run, "fastforward", 100)
+    assert sim._cycle_report.fast_forwarded
+    _report(sim)
+
+
+def bench_cycle_off_1000x(benchmark):
+    sim = benchmark(_run, "off", 1000)
+    _report(sim)
+
+
+def bench_cycle_fastforward_1000x(benchmark):
+    _assert_exact(1000)
+    sim = benchmark(_run, "fastforward", 1000)
+    assert sim._cycle_report.fast_forwarded
+    _report(sim)

@@ -14,6 +14,7 @@ Complements the exact RTA with the classic closed-form tests:
 from __future__ import annotations
 
 import math
+from fractions import Fraction
 from functools import reduce
 
 from ..workload.spec import PeriodicTaskSpec, ServerSpec
@@ -83,18 +84,45 @@ def rm_schedulable_by_utilization(
 
 
 def hyperperiod(tasks: list[PeriodicTaskSpec],
-                resolution: float = 1e-6) -> float:
-    """LCM of the task periods, computed over integer multiples of
-    ``resolution`` (periods must be representable at that grain)."""
+                resolution: float | None = None) -> float:
+    """Exact LCM of the task periods as rationals.
+
+    Every float is a dyadic rational, so each period converts to a
+    :class:`fractions.Fraction` without loss and the least common
+    multiple is ``lcm(numerators) / gcd(denominators)`` — no resolution
+    grid, no accumulated float error (the historical implementation
+    scaled by a 1e-6 grid and multiplied back, which silently mis-sized
+    the window for non-grid periods and for results like ``0.3`` whose
+    grid product is not the nearest float).
+
+    ``resolution``, if given, only *validates* that every period is an
+    exact multiple of that grain (the historical contract); it no longer
+    participates in the computation.  The returned float is exact
+    whenever the rational LCM is representable (always true for the
+    dyadic task sets the cycle detector fast-forwards).
+    """
     if not tasks:
         raise ValueError("task set must not be empty")
-    scaled = []
+    fractions_ = []
     for t in tasks:
-        q = t.period / resolution
-        if abs(q - round(q)) > 1e-6:
+        if resolution is not None:
+            q = t.period / resolution
+            if abs(q - round(q)) > 1e-6:
+                raise ValueError(
+                    f"period {t.period} of {t.name!r} is not a multiple of "
+                    f"the resolution {resolution}"
+                )
+        if not (t.period > 0 and math.isfinite(t.period)):
             raise ValueError(
-                f"period {t.period} of {t.name!r} is not a multiple of "
-                f"the resolution {resolution}"
+                f"period {t.period} of {t.name!r} is not a positive finite "
+                "number"
             )
-        scaled.append(round(q))
-    return reduce(math.lcm, scaled) * resolution
+        fractions_.append(Fraction(t.period))
+    lcm = reduce(
+        lambda a, b: Fraction(
+            math.lcm(a.numerator, b.numerator),
+            math.gcd(a.denominator, b.denominator),
+        ),
+        fractions_,
+    )
+    return float(lcm)

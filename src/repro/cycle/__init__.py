@@ -1,0 +1,34 @@
+"""Hyperperiod cycle detection and state fast-forward.
+
+Public surface of the ``cycle="off"|"detect"|"fastforward"`` knob on
+both kernels (see :mod:`repro.cycle.tracker` for the mechanism and its
+stand-down rails, :mod:`repro.cycle.monitor` for the trace obligations,
+:mod:`repro.cycle.crosscheck` for the full-replay verifier).
+"""
+
+from ..analysis.utilization import hyperperiod
+from ..sim.engine import CYCLE_MODES
+from ..sim.metrics import PeriodicRunSummary, periodic_summary
+from .crosscheck import CrossCheckResult, cross_check
+from .monitor import CycleConsistencyMonitor, parse_cycle_detail
+from .tracker import (
+    STAND_DOWNS,
+    CycleReport,
+    CycleTracker,
+    cycle_hyperperiod,
+)
+
+__all__ = [
+    "CYCLE_MODES",
+    "CycleReport",
+    "CycleTracker",
+    "CycleConsistencyMonitor",
+    "parse_cycle_detail",
+    "CrossCheckResult",
+    "cross_check",
+    "cycle_hyperperiod",
+    "hyperperiod",
+    "PeriodicRunSummary",
+    "periodic_summary",
+    "STAND_DOWNS",
+]

@@ -1,0 +1,83 @@
+"""Cycle-consistency trace monitor.
+
+Checks the structural obligations a fast-forwarded trace carries: at
+most one :attr:`~repro.sim.trace.TraceEventKind.CYCLE` marker, a
+well-formed detail payload, and a clean gap — no segment may start and
+no point event may fire strictly inside the skipped span
+``(detected_at, detected_at + windows * period)``, because the kernel
+was advanced over it in one jump.
+"""
+
+from __future__ import annotations
+
+from ..sim.engine import EPS
+from ..sim.trace import TraceEventKind
+from ..verify.invariants import TraceMonitor
+
+__all__ = ["CycleConsistencyMonitor"]
+
+
+def parse_cycle_detail(detail: str) -> dict:
+    """Decode a CYCLE event's ``start=... period=... windows=...`` payload."""
+    out: dict = {}
+    for token in detail.split():
+        key, _, value = token.partition("=")
+        out[key] = int(value) if key == "windows" else float(value)
+    return out
+
+
+class CycleConsistencyMonitor(TraceMonitor):
+    """Verifies the CYCLE marker and the emptiness of the skipped gap."""
+
+    name = "cycle-consistency"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cycles: list[tuple[float, dict]] = []
+
+    def on_event(self, index: int, event) -> None:
+        if event.kind is TraceEventKind.CYCLE:
+            self._cycles.append((event.time, parse_cycle_detail(event.detail)))
+
+    def finish(self, horizon: float) -> None:
+        assert self.trace is not None
+        if len(self._cycles) > 1:
+            self.report.record(
+                "multiple-cycle-markers", self._cycles[1][0], ("kernel",),
+                f"{len(self._cycles)} CYCLE events recorded; the tracker "
+                "stops sampling after the first detection",
+            )
+        for time, info in self._cycles:
+            missing = [k for k in ("start", "period", "windows")
+                       if k not in info]
+            if missing:
+                self.report.record(
+                    "malformed-cycle-marker", time, ("kernel",),
+                    f"CYCLE detail lacks {missing}",
+                )
+                continue
+            if info["windows"] <= 0:
+                continue  # detect-only marker: nothing was skipped
+            gap_start = time
+            gap_end = time + info["windows"] * info["period"]
+            for segment in self.trace.segments:
+                if (
+                    segment.start > gap_start + EPS
+                    and segment.start < gap_end - EPS
+                ):
+                    self.report.record(
+                        "segment-in-gap", segment.start, (segment.entity,),
+                        f"segment [{segment.start:g},{segment.end:g}) starts "
+                        f"inside the fast-forwarded span "
+                        f"({gap_start:g},{gap_end:g})",
+                    )
+            for event in self.trace.events:
+                if (
+                    event.time > gap_start + EPS
+                    and event.time < gap_end - EPS
+                ):
+                    self.report.record(
+                        "event-in-gap", event.time, (event.subject,),
+                        f"{event.kind.value} at {event.time:g} inside the "
+                        f"fast-forwarded span ({gap_start:g},{gap_end:g})",
+                    )

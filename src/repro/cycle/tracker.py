@@ -1,0 +1,647 @@
+"""Hyperperiod cycle detection and state fast-forward.
+
+Grolleau, Goossens and Cucu-Grosjean ("On the periodic behavior of
+real-time schedulers on identical multiprocessor platforms",
+arXiv:1305.3849) prove that a deterministic memoryless scheduler over a
+periodic task set reaches a cyclic state: once the kernel state observed
+at one release-pattern boundary (a multiple of the hyperperiod, offset
+adjusted) recurs at a later boundary, the schedule between the two
+boundaries repeats verbatim for the rest of the horizon.
+
+:class:`CycleTracker` exploits that constructively.  It samples a
+canonical fingerprint of the kernel state at each boundary; on the first
+match it has *proved* a cycle of the simulated system (no appeal to the
+theorem is needed — equal state plus a deterministic kernel implies equal
+futures), records a :attr:`~repro.sim.trace.TraceEventKind.CYCLE` event,
+and — in ``fastforward`` mode — advances the kernel over ``q`` whole
+cycles in O(state) instead of O(q · hyperperiod):
+
+* every timed-callback heap entry is shifted by ``q·P`` (a uniform shift
+  preserves the heap order bit-for-bit);
+* every lazy release chain's instance cell advances by ``q·P/Tᵢ``;
+* every queued job is re-labelled as the activation the full simulation
+  would have queued at the resume instant (release/deadline recomputed
+  exactly from the advanced instance number).
+
+The skip only commits when the recomputed absolute times equal the
+shifted ones bit-for-bit (true for any task set whose periods, offsets
+and deadlines are binary-representable — integers, multiples of 0.25,
+...); otherwise the tracker stands down loudly and the run continues in
+full, still correct, merely slower.  The same stand-down discipline
+guards every kernel feature that makes state non-memoryless (servers,
+aperiodic streams, enforcement, watchdogs, monitors, observers, patched
+hooks, non-whitelisted policies), mirroring the ``_exact_*`` identity
+checks of the PR 5 fast path.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from ..sim.engine import (
+    EPS,
+    PeriodicTaskEntity,
+    _CycleSkip,
+    _EXACT_CONSUME,
+    _EXACT_EXHAUSTED,
+    _EXACT_RELEASE,
+)
+from ..sim.task import JobState
+from ..sim.trace import CompactTrace, ExecutionTrace, TraceEventKind
+
+__all__ = [
+    "CycleReport",
+    "CycleTracker",
+    "STAND_DOWNS",
+    "cycle_hyperperiod",
+]
+
+logger = logging.getLogger("repro.cycle")
+
+#: global stand-down tally (reason -> count); the "loudly, counted" rail
+STAND_DOWNS: Counter = Counter()
+
+_MISS = TraceEventKind.DEADLINE_MISS
+_ABORT = TraceEventKind.ABORT
+_MIGRATION = TraceEventKind.MIGRATION
+_CYCLE = TraceEventKind.CYCLE
+_COMPLETED = JobState.COMPLETED
+
+
+#: finest time grid the skip arithmetic accepts: 2^-20 tu.  A float is
+#: "on grid" when exactly representable with <= 20 fractional bits; sums
+#: and integer multiples of such values stay bit-exact up to 2^33 tu,
+#: so every skipped window is a bit-exact translate of the captured one.
+_GRID = 1 << 20
+
+
+def _on_grid(value: float) -> bool:
+    # a float's Fraction denominator is always a power of two, so a
+    # magnitude test is the whole check
+    return Fraction(value).denominator <= _GRID
+
+
+def _stand_down(reason: str, mode: str) -> None:
+    STAND_DOWNS[reason] += 1
+    if mode == "fastforward":
+        logger.warning("cycle fastforward stood down: %s", reason)
+
+
+@dataclass
+class CycleReport:
+    """Outcome of cycle detection for one run (``sim._cycle_report``)."""
+
+    mode: str
+    #: "ineligible" | "armed" | "no-cycle" | "detected" | "fastforwarded"
+    status: str = "armed"
+    #: why the tracker stood down (ineligible / skip refused)
+    reason: str = ""
+    hyperperiod: float = 0.0
+    #: first sampled boundary (offset-adjusted hyperperiod multiple)
+    base: float = 0.0
+    samples: int = 0
+    cycle_start: float | None = None
+    cycle_period: float | None = None
+    detected_at: float | None = None
+    windows_skipped: int = 0
+    skipped_time: float = 0.0
+    # -- per-cycle accumulators captured at detection ----------------------
+    window_busy: dict = field(default_factory=dict)
+    window_released: dict = field(default_factory=dict)
+    window_completed: dict = field(default_factory=dict)
+    window_missed: dict = field(default_factory=dict)
+    window_aborted: dict = field(default_factory=dict)
+    window_response_sum: dict = field(default_factory=dict)
+    window_response_max: dict = field(default_factory=dict)
+    #: MIGRATION events per cycle (multicore kernel only)
+    window_migrations: int = 0
+
+    @property
+    def fast_forwarded(self) -> bool:
+        return self.status == "fastforwarded"
+
+
+@dataclass(frozen=True)
+class _Sample:
+    """Trace cursor recorded at one boundary."""
+
+    time: float
+    seg_count: int
+    evt_count: int
+    #: trailing segment rows that may still merge-extend past this
+    #: boundary: (row index, end recorded at the boundary)
+    tails: tuple[tuple[int, float], ...]
+
+
+def cycle_hyperperiod(tasks) -> float:
+    """Exact hyperperiod of ``PeriodicTask``s (delegates to
+    :func:`repro.analysis.utilization.hyperperiod`)."""
+    from ..analysis.utilization import hyperperiod
+
+    return hyperperiod([t.spec for t in tasks])
+
+
+# -- eligibility -------------------------------------------------------------
+
+
+def _policy_reason(sim) -> str:
+    """"" when the scheduling policy is whitelisted and pristine."""
+    policy = sim.policy
+    policy_type = type(policy)
+    if hasattr(sim, "n_cores"):  # multicore kernel
+        from ..smp.policies import (
+            GlobalEDFPolicy,
+            GlobalFixedPriorityPolicy,
+            PartitionedPolicy,
+        )
+
+        if policy_type in (GlobalFixedPriorityPolicy, GlobalEDFPolicy):
+            if (
+                policy_type.assign
+                is getattr(policy_type, "_exact_assign", None)
+                and policy_type._rank
+                is getattr(policy_type, "_exact_rank", None)
+            ):
+                return ""
+            return "patched-policy"
+        if policy_type is PartitionedPolicy:
+            if policy_type.assign is not getattr(
+                policy_type, "_exact_assign", None
+            ):
+                return "patched-policy"
+            from ..sim.schedulers.fp import FixedPriorityPolicy
+
+            for per_core in policy.policies:
+                per_type = type(per_core)
+                if per_type is not FixedPriorityPolicy or (
+                    per_type.select
+                    is not getattr(per_type, "_exact_select", None)
+                    or per_type.preempts
+                    is not getattr(per_type, "_exact_preempts", None)
+                ):
+                    return "non-memoryless-per-core-policy"
+            return ""
+        return "non-memoryless-policy"
+    from ..sim.schedulers.edf import EarliestDeadlineFirstPolicy
+    from ..sim.schedulers.fp import FixedPriorityPolicy
+
+    if policy_type not in (FixedPriorityPolicy, EarliestDeadlineFirstPolicy):
+        return "non-memoryless-policy"
+    if (
+        policy_type.select is not getattr(policy_type, "_exact_select", None)
+        or policy_type.preempts
+        is not getattr(policy_type, "_exact_preempts", None)
+    ):
+        return "patched-policy"
+    return ""
+
+
+def _eligibility_reason(sim, mode: str) -> str:
+    """"" when cycle tracking may be armed on ``sim``; called from run()
+    *before* periodic releases are scheduled, so a non-empty callback
+    queue means externally scheduled events."""
+    if not sim.periodic_tasks:
+        return "no-periodic-tasks"
+    if sim.aperiodic_jobs:
+        return "aperiodic-jobs"
+    if len(sim.queue):
+        return "external-events"
+    if sim.enforcement is not None:
+        return "enforcement"
+    if sim.watchdog is not None:
+        return "watchdog"
+    if sim.segment_observers:
+        return "segment-observers"
+    if hasattr(sim.trace, "finish_monitors"):
+        return "monitors"
+    if type(sim.trace) not in (ExecutionTrace, CompactTrace):
+        return "custom-trace"
+    if mode == "fastforward" and sim.kernel == "reference":
+        # the eager reference path pre-creates every job and holds no
+        # advanceable release chains; detection still works on it
+        return "reference-kernel"
+    if any(h is not None for _t, _e, h in sim._pending_periodic):
+        return "per-task-horizon"
+    if any(type(e) is not PeriodicTaskEntity for e in sim.entities):
+        return "non-periodic-entity"
+    if (
+        PeriodicTaskEntity.release is not _EXACT_RELEASE
+        or PeriodicTaskEntity.consume is not _EXACT_CONSUME
+        or PeriodicTaskEntity.on_budget_exhausted is not _EXACT_EXHAUSTED
+    ):
+        return "patched-hook"
+    return _policy_reason(sim)
+
+
+# -- the tracker -------------------------------------------------------------
+
+
+class CycleTracker:
+    """Samples kernel-state fingerprints at hyperperiod boundaries and
+    fast-forwards the kernel on the first recurrence."""
+
+    @classmethod
+    def install(cls, sim, until: float) -> CycleReport:
+        """Arm a tracker on ``sim`` (both kernels) if it is eligible.
+
+        Returns the :class:`CycleReport`; ``sim._cycle_tracker`` is set
+        only when armed.  Must run before periodic releases are
+        scheduled (the eligibility probe reads the pristine queue and
+        the tracker disables deadline-sentinel elision, which release
+        closures capture at creation).
+        """
+        mode = sim.cycle
+        report = CycleReport(mode=mode)
+        reason = _eligibility_reason(sim, mode)
+        if not reason:
+            try:
+                hyper = cycle_hyperperiod(sim.periodic_tasks)
+            except (OverflowError, ValueError):
+                reason = "hyperperiod-overflow"
+            else:
+                if not math.isfinite(hyper) or hyper <= 0:
+                    reason = "hyperperiod-overflow"
+        if not reason:
+            max_offset = max(
+                t.spec.offset for t in sim.periodic_tasks
+            )
+            base = float(
+                Fraction(hyper) * math.ceil(Fraction(max_offset) / Fraction(hyper))
+            )
+            if base + hyper >= until - EPS:
+                # fewer than two boundaries fit: nothing to compare
+                reason = "horizon-shorter-than-hyperperiod"
+        if reason:
+            report.status = "ineligible"
+            report.reason = reason
+            _stand_down(reason, mode)
+            return report
+        report.hyperperiod = hyper
+        report.base = base
+        tracker = cls(sim, until, report)
+        sim._cycle_tracker = tracker
+        # sentinel elision trades event positions for speed; the
+        # fingerprint needs the sentinels armed, and the trace must be
+        # position-complete for window accounting
+        sim._elide_deadlines = False
+        sim.queue.schedule(base, tracker._on_sample, order=3)
+        return report
+
+    def __init__(self, sim, until: float, report: CycleReport) -> None:
+        self.sim = sim
+        self.until = until
+        self.report = report
+        self._seen: dict[tuple, _Sample] = {}
+        self._k = 0  # boundary counter: t_k = base + k * hyperperiod
+        self._entity_index = {id(e): i for i, e in enumerate(sim.entities)}
+        self._skip_shift = 0.0
+        self._skip_windows = 0
+
+    # -- sampling ----------------------------------------------------------
+
+    def _on_sample(self, now: float) -> None:
+        report = self.report
+        report.samples += 1
+        fingerprint = self._fingerprint(now)
+        previous = self._seen.get(fingerprint)
+        if previous is None:
+            self._seen[fingerprint] = self._snapshot(now)
+            self._k += 1
+            next_time = report.base + self._k * report.hyperperiod
+            if next_time < self.until - EPS:
+                self.sim.queue.schedule(next_time, self._on_sample, order=3)
+            return
+        self._on_detected(previous, now)
+
+    def _snapshot(self, now: float) -> _Sample:
+        count, row = _segment_rows(self.sim.trace)
+        tails = []
+        k = count - 1
+        while k >= 0:
+            start, end, _entity = row(k)
+            if end < now - EPS:
+                break
+            tails.append((k, end))
+            k -= 1
+        return _Sample(
+            time=now,
+            seg_count=count,
+            evt_count=_event_count(self.sim.trace),
+            tails=tuple(tails),
+        )
+
+    def _fingerprint(self, now: float) -> tuple:
+        """Canonical relative kernel state at boundary ``now``.
+
+        Positional over the registration order; all times are offsets
+        from ``now`` compared with exact float equality.  Next-release
+        phases are provably boundary-invariant (boundaries are offset-
+        adjusted hyperperiod multiples) and deadline sentinels of live
+        jobs are implied by the queued-job deadlines, so neither needs
+        encoding; sentinels of completed jobs are no-ops either way.
+        """
+        sim = self.sim
+        index_of = self._entity_index
+        state = []
+        for entity in sim.entities:
+            state.append((
+                entity._shed_pending,
+                tuple(
+                    (
+                        job.remaining,
+                        job.start_time is not None,
+                        now - job.release,
+                        job.deadline - now,
+                    )
+                    for job in entity._queue
+                ),
+            ))
+        running = getattr(sim, "_running")
+        if isinstance(running, list):  # multicore: per-core run state
+            run_state = tuple(
+                index_of[id(e)] if e is not None and e._queue else -1
+                for e in running
+            )
+            last_core = tuple(sorted(
+                (index_of[ident], core)
+                for ident, core in sim._last_core.items()
+                if ident in index_of
+            ))
+            return (tuple(state), run_state, last_core)
+        run_state = (
+            index_of[id(running)]
+            if running is not None and running._queue else -1
+        )
+        return (tuple(state), run_state)
+
+    # -- detection and skip -------------------------------------------------
+
+    def _on_detected(self, previous: _Sample, now: float) -> None:
+        sim = self.sim
+        report = self.report
+        period = now - previous.time
+        report.status = "detected"
+        report.cycle_start = previous.time
+        report.cycle_period = period
+        report.detected_at = now
+        self._capture_window(previous, now)
+        windows = 0
+        if report.mode == "fastforward":
+            windows = int((self.until - now) // period)
+            while windows > 0 and now + windows * period > self.until:
+                windows -= 1
+            if windows > 0 and not self._skip_is_exact(now, windows, period):
+                _stand_down("float-representation", report.mode)
+                report.reason = "float-representation"
+                windows = 0
+        sim.trace.add_event(
+            now, _CYCLE, "kernel",
+            f"start={previous.time:g} period={period:g} windows={windows}",
+        )
+        if windows > 0:
+            report.status = "fastforwarded"
+            report.windows_skipped = windows
+            report.skipped_time = windows * period
+            self._skip_shift = windows * period
+            self._skip_windows = windows
+            raise _CycleSkip()
+        # detect-only (or refused skip): periodicity is established, so
+        # sampling stops; the run continues in full
+
+    def _instance_steps(self, period_ratio_cache: dict, task) -> int | None:
+        """Whole activations of ``task`` per cycle period, or None."""
+        steps = period_ratio_cache.get(id(task))
+        if steps is None:
+            ratio = self.report.cycle_period / task._period
+            rounded = round(ratio)
+            if rounded < 1 or abs(ratio - rounded) > 1e-9:
+                return None
+            steps = rounded
+            period_ratio_cache[id(task)] = steps
+        return steps
+
+    def _skip_is_exact(self, now: float, windows: int, period: float) -> bool:
+        """True when advancing instances by ``windows`` cycles reproduces
+        the uniformly shifted absolute times bit-for-bit.
+
+        Two layers: every task parameter (and the cycle geometry) must
+        sit on the dyadic grid (:func:`_on_grid`), which makes *all*
+        kernel arithmetic — release instants, slice boundaries, response
+        times — translation-invariant across windows; and the pending
+        state's relabelled absolute times must equal the uniformly
+        shifted ones exactly.  The second check alone is not enough: it
+        proves the resume state, but extrapolating the skipped windows'
+        response/busy sums also needs every *intermediate* window to be
+        a bit-exact translate, which only the grid property guarantees
+        (e.g. a period of 0.2 passes the shift check for the pending
+        instance yet accumulates ulp drift in later windows).
+        """
+        sim = self.sim
+        for task in sim.periodic_tasks:
+            if not (
+                _on_grid(task._period)
+                and _on_grid(task._offset)
+                and _on_grid(task._rel_deadline)
+                and _on_grid(task.spec.cost)
+            ):
+                return False
+        if not (_on_grid(period) and _on_grid(now)):
+            return False
+        shift = windows * period
+        cache: dict[int, int] = {}
+        self.report.cycle_period = period  # _instance_steps reads it
+        for task, _entity, cell, _index in sim._cycle_cells:
+            steps = self._instance_steps(cache, task)
+            if steps is None:
+                return False
+            inst = cell[0]
+            current = task._offset + inst * task._period
+            advanced = task._offset + (inst + windows * steps) * task._period
+            if advanced != current + shift:
+                return False
+        for entity in sim.entities:
+            for job in entity._queue:
+                task = job.task
+                steps = self._instance_steps(cache, task)
+                if steps is None:
+                    return False
+                new_instance = job.instance + windows * steps
+                new_release = task._offset + new_instance * task._period
+                if new_release != job.release + shift:
+                    return False
+                if (
+                    new_release + task._rel_deadline
+                    != job.deadline + shift
+                ):
+                    return False
+        return True
+
+    def apply_skip(self) -> None:
+        """Fast-forward the kernel state over the prepared skip.
+
+        Called by the kernel's run() when :meth:`_on_detected` raised
+        :class:`_CycleSkip`; the exactness of every rewritten absolute
+        time was proven by :meth:`_skip_is_exact` before the raise.
+        """
+        sim = self.sim
+        shift = self._skip_shift
+        windows = self._skip_windows
+        cache: dict[int, int] = {}
+        # release chains: advance each instance cell
+        for task, _entity, cell, _index in sim._cycle_cells:
+            steps = self._instance_steps(cache, task)
+            assert steps is not None
+            cell[0] += windows * steps
+        # queued jobs: re-label as the activations alive at the resume
+        # instant (their trace prefix stays attributed to the original
+        # labels, exactly like any other partially-elided history)
+        for entity in sim.entities:
+            for job in entity._queue:
+                task = job.task
+                steps = self._instance_steps(cache, task)
+                assert steps is not None
+                job.instance += windows * steps
+                job.name = f"{task._name}#{job.instance}"
+                job.release = task._offset + job.instance * task._period
+                job.deadline = job.release + task._rel_deadline
+                if job.start_time is not None:
+                    job.start_time += shift
+        # timed callbacks: a uniform shift preserves heap order verbatim.
+        # The rewrite must be in place — the lazy release closures hold
+        # an alias of this exact list and re-push themselves onto it.
+        heap = sim.queue._heap
+        heap[:] = [
+            (time + shift, order, suborder, seq, callback)
+            for time, order, suborder, seq, callback in heap
+        ]
+        # the EDF ready index keys on absolute deadlines: re-stamp
+        if getattr(sim, "_index_mode", None) == "edf":
+            for entity in sim.entities:
+                if entity._queue:
+                    sim._entity_queue_changed(entity)
+        # the multicore migration counter extrapolates linearly (its
+        # per-cycle MIGRATION events are in the captured window)
+        if hasattr(sim, "migrations"):
+            sim.migrations += windows * self.report.window_migrations
+        sim.now = sim.now + shift
+
+    # -- per-cycle accumulators ---------------------------------------------
+
+    def _capture_window(self, previous: _Sample, now: float) -> None:
+        """Measure one full cycle window ``(previous.time, now]`` from the
+        trace rows and job records laid down between the two samples."""
+        sim = self.sim
+        report = self.report
+        trace = sim.trace
+        t_i = previous.time
+        count, row = _segment_rows(trace)
+        busy: dict[str, float] = {}
+        for k in range(previous.seg_count, count):
+            start, end, entity = row(k)
+            busy[entity] = busy.get(entity, 0.0) + (end - start)
+        for k, old_end in previous.tails:
+            start, end, entity = row(k)
+            if end > old_end:
+                # the straddling row merge-extended into this window
+                busy[entity] = busy.get(entity, 0.0) + (end - old_end)
+        report.window_busy = busy
+        missed: dict[str, int] = {}
+        aborted: dict[str, int] = {}
+        migrations = 0
+        evt_count, evt_row = _event_rows(trace)
+        for k in range(previous.evt_count, evt_count):
+            kind, subject = evt_row(k)
+            if kind is _MISS:
+                task = subject.rsplit("#", 1)[0]
+                missed[task] = missed.get(task, 0) + 1
+            elif kind is _ABORT:
+                task = subject.rsplit("#", 1)[0]
+                aborted[task] = aborted.get(task, 0) + 1
+            elif kind is _MIGRATION:
+                migrations += 1
+        report.window_missed = missed
+        report.window_aborted = aborted
+        report.window_migrations = migrations
+        released: dict[str, int] = {}
+        completed: dict[str, int] = {}
+        resp_sum: dict[str, float] = {}
+        resp_max: dict[str, float] = {}
+        for task in sim.periodic_tasks:
+            name = task._name
+            n_rel = n_done = 0
+            r_sum = 0.0
+            r_max = 0.0
+            for job in task.jobs:
+                # membership mirrors the event order at a boundary:
+                # releases fire after the sampler, completions before it
+                if t_i <= job.release < now:
+                    n_rel += 1
+                finish = job.finish_time
+                if (
+                    job.state is _COMPLETED
+                    and finish is not None
+                    and t_i < finish <= now
+                ):
+                    n_done += 1
+                    rt = finish - job.release
+                    r_sum += rt
+                    if rt > r_max:
+                        r_max = rt
+            released[name] = n_rel
+            completed[name] = n_done
+            resp_sum[name] = r_sum
+            resp_max[name] = r_max
+        report.window_released = released
+        report.window_completed = completed
+        report.window_response_sum = resp_sum
+        report.window_response_max = resp_max
+
+
+# -- trace row accessors (positional reads over both trace layouts) ---------
+
+
+def _segment_rows(trace):
+    if type(trace) is CompactTrace:
+        starts = trace._seg_start
+        ends = trace._seg_end
+        entities = trace._seg_entity
+
+        def row(k: int):
+            return starts[k], ends[k], entities[k]
+
+        return len(starts), row
+    segments = trace.segments
+
+    def row(k: int):
+        segment = segments[k]
+        return segment.start, segment.end, segment.entity
+
+    return len(segments), row
+
+
+def _event_rows(trace):
+    if type(trace) is CompactTrace:
+        kinds = trace._evt_kind
+        subjects = trace._evt_subject
+
+        def row(k: int):
+            return kinds[k], subjects[k]
+
+        return len(kinds), row
+    events = trace.events
+
+    def row(k: int):
+        event = events[k]
+        return event.kind, event.subject
+
+    return len(events), row
+
+
+def _event_count(trace) -> int:
+    if type(trace) is CompactTrace:
+        return len(trace._evt_time)
+    return len(trace.events)

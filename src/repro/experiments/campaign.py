@@ -275,6 +275,8 @@ class SystemResult:
     jobs: list[AperiodicJob] = field(default_factory=list)
     #: monitor verdicts when the run was verified (``verify=True``)
     report: "VerificationReport | None" = None
+    #: cycle-detection outcome when ``cycle != "off"`` (repro.cycle)
+    cycle: "object | None" = None
 
 
 @dataclass
@@ -313,6 +315,7 @@ def simulate_system(system: GeneratedSystem,
                     verify: bool = False,
                     trace_mode: str | None = None,
                     kernel: str = "auto",
+                    cycle: str = "off",
                     ) -> SystemResult:
     """Run one system on RTSS with the ideal version of ``policy``.
 
@@ -328,7 +331,12 @@ def simulate_system(system: GeneratedSystem,
     (off = the byte-identical golden path).  ``trace_mode``/``kernel``
     select the columnar trace and the kernel fast path (see
     docs/performance.md); the defaults are byte-identical to the
-    historical behaviour.
+    historical behaviour.  ``cycle`` arms hyperperiod cycle detection
+    (:mod:`repro.cycle`) — note the paper's systems always carry an
+    aperiodic stream through a server, so fast-forward stands down here
+    by design (loudly, counted); the pure-periodic value lives in
+    direct kernel use, ``run_multicore_system(server=None)`` and the
+    long-horizon benches.
     """
     server_cls = _SIM_SERVERS[policy]
     top = max(
@@ -351,7 +359,7 @@ def simulate_system(system: GeneratedSystem,
         )
     sim = Simulation(
         FixedPriorityPolicy(), enforcement=enforcement, monitors=monitors,
-        trace_mode=trace_mode, kernel=kernel,
+        trace_mode=trace_mode, kernel=kernel, cycle=cycle,
     )
     server.attach(sim, horizon=system.horizon)
     detector = None
@@ -385,7 +393,8 @@ def simulate_system(system: GeneratedSystem,
         else None
     )
     return SystemResult(
-        metrics=measure_run(jobs), trace=trace, jobs=jobs, report=report
+        metrics=measure_run(jobs), trace=trace, jobs=jobs, report=report,
+        cycle=sim._cycle_report,
     )
 
 
@@ -401,6 +410,7 @@ def execute_system(
     overload: "OverloadConfig | None" = None,
     verify: bool = False,
     trace_mode: str | None = None,
+    cycle: str = "off",
 ) -> SystemResult:
     """Run one system's framework implementation on the emulated VM.
 
@@ -411,8 +421,15 @@ def execute_system(
     declared costs; ``timer_drift_ppm`` makes the VM's release timers
     drift (see :mod:`repro.faults`); ``overload`` bounds the server's
     pending queue, installs one circuit breaker per event source and
-    drives degraded modes (see :mod:`repro.overload`).
+    drives degraded modes (see :mod:`repro.overload`).  The emulated VM
+    charges stateful runtime overheads, so it is never cycle-capable:
+    any ``cycle != "off"`` request stands down loudly and the run
+    proceeds in full.
     """
+    if cycle != "off":
+        from ..cycle.tracker import _stand_down
+
+        _stand_down("execution-arm", cycle)
     monitored = None
     if verify:
         # the VM charges ISR/dispatch overheads and its servers are
@@ -541,17 +558,18 @@ def _run_arm(
     verify: bool = False,
     trace_mode: str | None = None,
     kernel: str = "auto",
+    cycle: str = "off",
 ) -> RunMetrics:
     policy = "polling" if arm.startswith("ps") else "deferrable"
     if arm.endswith("_sim"):
         result = simulate_system(
             system, policy, enforcement=enforcement, verify=verify,
-            trace_mode=trace_mode, kernel=kernel,
+            trace_mode=trace_mode, kernel=kernel, cycle=cycle,
         )
     else:
         result = execute_system(
             system, policy, overhead, enforcement=enforcement, verify=verify,
-            trace_mode=trace_mode,
+            trace_mode=trace_mode, cycle=cycle,
         )
     if result.report is not None and not result.report.ok:
         from ..verify.violations import VerificationError
@@ -561,13 +579,15 @@ def _run_arm(
 
 
 def _arm_extras(verify: bool, trace_mode: str | None,
-                kernel: str) -> tuple:
+                kernel: str, cycle: str = "off") -> tuple:
     """Positional extras for a ``_run_arm`` call.
 
     The performance/verification knobs are opt-in: with everything at its
     default the historical 4-argument call shape is kept, so test
     stand-ins with the old signature stay usable.
     """
+    if cycle != "off":
+        return (verify, trace_mode, kernel, cycle)
     if trace_mode is not None or kernel != "auto":
         return (verify, trace_mode, kernel)
     if verify:
@@ -660,18 +680,18 @@ def _parallel_map(fn, tasks: list, workers: int,
 def _campaign_worker(task: tuple) -> RunRecord:
     """Pool entry point for one (arm, system) run of the paper campaign."""
     (hardened, arm, params, system, overhead, enforcement, fault_plan,
-     run_policy, verify, trace_mode, kernel) = task
+     run_policy, verify, trace_mode, kernel, cycle) = task
     if hardened:
         record = _guarded_run(
             arm, params, system, overhead, enforcement, fault_plan,
-            run_policy, verify, trace_mode, kernel,
+            run_policy, verify, trace_mode, kernel, cycle,
         )
         if run_policy.fail_fast and record.status != "ok":
             raise RunExhausted(record.to_dict())
         return record
     key = (params.task_density, params.std_deviation)
     metrics = _run_arm(arm, system, overhead, enforcement,
-                       *_arm_extras(verify, trace_mode, kernel))
+                       *_arm_extras(verify, trace_mode, kernel, cycle))
     return RunRecord(
         arm=arm, set_key=key, system_id=system.system_id,
         status="ok", metrics=metrics,
@@ -689,6 +709,7 @@ def _guarded_run(
     verify: bool = False,
     trace_mode: str | None = None,
     kernel: str = "auto",
+    cycle: str = "off",
 ) -> RunRecord:
     """Run one (arm, system) with timeout, bounded retry and seed-bump.
 
@@ -705,8 +726,10 @@ def _guarded_run(
         attempts += 1
         try:
             with _time_limit(run_policy.timeout_s):
-                metrics = _run_arm(arm, current, overhead, enforcement,
-                                   *_arm_extras(verify, trace_mode, kernel))
+                metrics = _run_arm(
+                    arm, current, overhead, enforcement,
+                    *_arm_extras(verify, trace_mode, kernel, cycle),
+                )
             return RunRecord(
                 arm=arm, set_key=key, system_id=system.system_id,
                 status="ok", attempts=attempts, metrics=metrics,
@@ -745,6 +768,7 @@ def run_campaign(
     trace_mode: str | None = None,
     kernel: str = "auto",
     batch: str = "off",
+    cycle: str = "off",
 ) -> CampaignResult:
     """Run the full evaluation; returns per-arm tables keyed like the
     paper's ``(density, std)`` columns.
@@ -772,6 +796,12 @@ def run_campaign(
     :class:`repro.batch.BatchUnsupported` instead of falling back.
     Fault plans mutate per-run costs, so any ``fault_plan`` disables
     batching entirely (``auto`` falls back, ``force`` raises).
+
+    ``cycle`` threads hyperperiod cycle detection (:mod:`repro.cycle`)
+    into every per-system kernel run; the paper's server-carrying
+    systems stand down individually (loudly, counted in
+    ``repro.cycle.STAND_DOWNS``), so this knob is most useful combined
+    with pure-periodic workloads and long horizons.
     """
     if batch not in ("off", "auto", "force"):
         raise ValueError(
@@ -865,7 +895,7 @@ def run_campaign(
                     None if source != "pool" else (
                         hardened, arm, params, system, overhead,
                         enforcement, fault_plan, worker_policy, verify,
-                        trace_mode, kernel,
+                        trace_mode, kernel, cycle,
                     )
                 )
     fresh = iter(_parallel_map(

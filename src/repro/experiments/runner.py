@@ -98,6 +98,22 @@ def main(argv: list[str] | None = None) -> int:
         help="run the target under cProfile and print the hottest "
              "kernel frames (sorted by total time) afterwards",
     )
+    parser.add_argument(
+        "--cycle", choices=("off", "detect", "fastforward"), default="off",
+        help="hyperperiod cycle handling for the simulation arms: "
+             "'detect' marks the first repeated kernel state (CYCLE trace "
+             "event), 'fastforward' additionally skips ahead whole "
+             "release-pattern windows with exact metric extrapolation; "
+             "ineligible runs stand down loudly and run in full "
+             "(default: off — byte-identical traces)",
+    )
+    parser.add_argument(
+        "--horizon-multiplier", type=int, default=1, metavar="N",
+        dest="horizon_multiplier",
+        help="stretch every generated system's observation horizon N-fold "
+             "(long-horizon runs are where --cycle fastforward pays off; "
+             "default: 1)",
+    )
     verify_group = parser.add_argument_group("verify target")
     verify_group.add_argument(
         "--chaos-systems", type=int, default=50, metavar="N",
@@ -313,6 +329,11 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.horizon_multiplier < 1:
+        parser.error(
+            f"--horizon-multiplier must be >= 1, "
+            f"got {args.horizon_multiplier}"
+        )
 
     if args.profile:
         return _run_profiled(args, parser)
@@ -394,9 +415,10 @@ def _dispatch(args: argparse.Namespace,
     if wants_tables:
         try:
             campaign = run_campaign(
+                sets=_scaled_sets(args.horizon_multiplier),
                 overhead=overhead, run_policy=run_policy,
                 workers=args.workers, verify=args.verify,
-                batch=args.batch,
+                batch=args.batch, cycle=args.cycle,
             )
         except RunExhausted as exc:
             print(f"fail-fast: {exc}", file=sys.stderr)
@@ -437,6 +459,21 @@ def _dispatch(args: argparse.Namespace,
     return 1 if failures else 0
 
 
+def _scaled_sets(multiplier: int):
+    """The paper's parameter sets with ``horizon_periods`` stretched
+    ``multiplier``-fold (``--horizon-multiplier``)."""
+    from dataclasses import replace
+
+    from ..workload.generator import PAPER_SETS
+
+    if multiplier == 1:
+        return PAPER_SETS
+    return tuple(
+        replace(params, horizon_periods=params.horizon_periods * multiplier)
+        for params in PAPER_SETS
+    )
+
+
 def _run_multicore(args: argparse.Namespace, run_policy) -> int:
     """The ``multicore`` target: run the SMP campaign and print tables.
 
@@ -474,10 +511,11 @@ def _run_multicore(args: argparse.Namespace, run_policy) -> int:
         n_cores=args.cores,
         total_utilization=utilization,
         nb_systems=args.systems,
+        horizon_periods=10 * args.horizon_multiplier,
     )
     result = run_multicore_campaign(
         params, modes=modes, run_policy=run_policy, workers=args.workers,
-        verify=args.verify,
+        verify=args.verify, cycle=args.cycle,
     )
     print(format_multicore_campaign(result.tables))
     failures = [r for r in result.records if r.status != "ok"]
@@ -493,7 +531,9 @@ def _run_multicore(args: argparse.Namespace, run_policy) -> int:
         args.svg_dir.mkdir(parents=True, exist_ok=True)
         system = build_multicore_system(params, 0)
         for mode in modes:
-            run = run_multicore_system(system, params.n_cores, mode)
+            run = run_multicore_system(
+                system, params.n_cores, mode, cycle=args.cycle
+            )
             path = args.svg_dir / f"multicore_{mode}.svg"
             path.write_text(
                 svg_gantt_cores(run.trace, n_cores=params.n_cores),
@@ -520,6 +560,7 @@ def _run_verify(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         kernel=args.kernel,
         trace_mode=args.trace_mode,
+        cycle=args.cycle,
     )
     print(result.summary())
     for run in result.failures:
@@ -555,7 +596,6 @@ def _run_batch(args: argparse.Namespace) -> int:
         BatchVerificationError,
         run_batched_campaign,
     )
-    from ..workload.generator import PAPER_SETS
 
     if args.sweep_systems < 1:
         print(f"--sweep-systems must be >= 1, got {args.sweep_systems}",
@@ -567,7 +607,7 @@ def _run_batch(args: argparse.Namespace) -> int:
         return 1
     sets = tuple(
         replace(params, nb_generation=args.sweep_systems)
-        for params in PAPER_SETS
+        for params in _scaled_sets(args.horizon_multiplier)
     )
     try:
         result = run_batched_campaign(
@@ -578,6 +618,7 @@ def _run_batch(args: argparse.Namespace) -> int:
             verify_fraction=args.verify_fraction,
             mode="force" if args.batch == "force" else "auto",
             keep_runs=False,
+            cycle=args.cycle,
         )
     except BatchVerificationError as exc:
         print(f"DIFFERENTIAL FAILURE: {exc}", file=sys.stderr)

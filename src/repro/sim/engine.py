@@ -49,6 +49,7 @@ __all__ = [
     "EPS",
     "KERNEL_MODES",
     "TRACE_MODES",
+    "CYCLE_MODES",
     "EventQueue",
     "Entity",
     "SchedulingPolicy",
@@ -63,6 +64,13 @@ EPS = 1e-9
 KERNEL_MODES = ("auto", "reference", "fast")
 #: accepted values of the ``trace_mode=`` knob
 TRACE_MODES = ("object", "compact")
+#: accepted values of the ``cycle=`` knob (see repro.cycle)
+CYCLE_MODES = ("off", "detect", "fastforward")
+
+
+class _CycleSkip(Exception):
+    """Internal: unwinds the run loop when the cycle tracker committed a
+    fast-forward; the loop applies the skip and resumes (repro.cycle)."""
 
 # members resolved once at import: the per-release entity hot paths
 # record thousands of these per run
@@ -388,7 +396,8 @@ class Simulation:
                  enforcement: "EnforcementConfig | None" = None,
                  monitors: "list | None" = None,
                  kernel: str = "auto",
-                 trace_mode: str | None = None) -> None:
+                 trace_mode: str | None = None,
+                 cycle: str = "off") -> None:
         if on_deadline_miss not in ("continue", "abort"):
             raise ValueError(
                 "on_deadline_miss must be 'continue' (soft: late jobs keep "
@@ -397,6 +406,10 @@ class Simulation:
         if kernel not in KERNEL_MODES:
             raise ValueError(
                 f"kernel must be one of {KERNEL_MODES}, got {kernel!r}"
+            )
+        if cycle not in CYCLE_MODES:
+            raise ValueError(
+                f"cycle must be one of {CYCLE_MODES}, got {cycle!r}"
             )
         if trace_mode is not None and trace_mode not in TRACE_MODES:
             raise ValueError(
@@ -407,6 +420,13 @@ class Simulation:
         self.policy = policy
         self.on_deadline_miss = on_deadline_miss
         self.kernel = kernel
+        #: hyperperiod cycle handling: "off" | "detect" | "fastforward"
+        self.cycle = cycle
+        self._cycle_tracker = None
+        #: repro.cycle.CycleReport after run() when cycle != "off"
+        self._cycle_report = None
+        #: lazy release chains: (task, entity, instance cell, index)
+        self._cycle_cells: list = []
         #: cost-overrun enforcement applied to periodic entities (see
         #: repro.faults.enforcement); None = paper-faithful golden path
         self.enforcement = enforcement
@@ -509,6 +529,13 @@ class Simulation:
             and self.watchdog is None
             and not hasattr(self.trace, "finish_monitors")
         )
+        if self.cycle != "off":
+            # must happen after the elide decision (the tracker clears
+            # it) and before releases are scheduled (closures capture it,
+            # and eligibility probes the still-pristine event queue)
+            from ..cycle.tracker import CycleTracker
+
+            self._cycle_report = CycleTracker.install(self, until)
         self._schedule_periodic_releases(until)
 
         if (
@@ -526,9 +553,22 @@ class Simulation:
             # inlines selection, dispatch and job accounting (semantics
             # identical; every structural guarantee it relies on is
             # stated inline)
-            self._run_fast_fp(until)
+            runner = self._run_fast_fp
         else:
-            self._run_main(until)
+            runner = self._run_main
+        if self._cycle_tracker is None:
+            runner(until)
+        else:
+            while True:
+                try:
+                    runner(until)
+                    break
+                except _CycleSkip:
+                    # both loops re-read self.now on entry, so resuming
+                    # after the state jump is a plain re-call
+                    self._cycle_tracker.apply_skip()
+            if self._cycle_report.status == "armed":
+                self._cycle_report.status = "no-cycle"
 
         if self._elide_deadlines:
             self._emit_elided_deadline_misses(until)
@@ -741,6 +781,7 @@ class Simulation:
         queue = self.queue
         heap = queue._heap
         now = self.now
+        guarded = self._cycle_tracker is not None
         while True:
             batch = queue.pop_batch_due(now)
             if not batch:
@@ -748,7 +789,18 @@ class Simulation:
             i = 0
             n = len(batch)
             while i < n:
-                batch[i][4](now)
+                if guarded:
+                    # the cycle sampler may commit a fast-forward from
+                    # inside the batch; return the unrun tail to the heap
+                    # so apply_skip() shifts it with everything else
+                    try:
+                        batch[i][4](now)
+                    except _CycleSkip:
+                        for entry in batch[i + 1:]:
+                            queue.push_entry(entry)
+                        raise
+                else:
+                    batch[i][4](now)
                 i += 1
                 # a callback may have scheduled a same-instant event that
                 # sorts before the remaining batch entries; push the rest
@@ -974,6 +1026,7 @@ class Simulation:
         if release >= limit - EPS:
             return
         cell = [instance]
+        self._cycle_cells.append((task, entity, cell, index))
         queue = self.queue
         heap = queue._heap
         trace = self.trace

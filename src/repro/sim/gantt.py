@@ -135,6 +135,7 @@ _MARKERS = {
     TraceEventKind.RESPONSE: ("◁", "#2a7a2a"),
     TraceEventKind.CLOCK_PAUSE: ("⏸", "#c0392b"),
     TraceEventKind.GATEWAY_RESTORED: ("⟲", "#2a7a2a"),
+    TraceEventKind.CYCLE: ("↺", "#1f618d"),
 }
 
 
@@ -194,9 +195,12 @@ def svg_gantt(
                 continue
             row = job_row.get(event.subject)
             if row is None:
-                if event.kind is not TraceEventKind.VIOLATION:
+                if event.kind not in (TraceEventKind.VIOLATION,
+                                      TraceEventKind.CYCLE):
                     continue
-                row = 0  # unattributable violations flag the top row
+                # unattributable violations and the kernel's CYCLE
+                # marker flag the top row so they are never missed
+                row = 0
             glyph, colour = marker
             y = 10 + row * row_height
             parts.append(
@@ -237,6 +241,9 @@ _MIGRATION_MARKER = ("⇄", "#1f618d")
 
 #: glyph + colour for sanitizer violations on the per-core renderer
 _VIOLATION_MARKER = ("✖", "#e0115f")
+
+#: glyph + colour for the kernel's hyperperiod CYCLE marker
+_CYCLE_MARKER = ("↺", "#1f618d")
 
 
 def svg_gantt_cores(
@@ -328,6 +335,17 @@ def svg_gantt_cores(
                     f'font-size="10">{glyph}'
                     f"<title>violation: {_esc(event.subject)} "
                     f"{_esc(event.detail)} at {event.time:g}</title></text>"
+                )
+            elif event.kind is TraceEventKind.CYCLE:
+                # the kernel's cycle marker is core-less; flag it above
+                # the top lane, like violations
+                glyph, colour = _CYCLE_MARKER
+                parts.append(
+                    f'<text x="{x(event.time) - 4:.1f}" '
+                    f'y="{lane_y(0) - 2:.1f}" fill="{colour}" '
+                    f'font-size="10">{glyph}'
+                    f"<title>cycle: {_esc(event.detail)} "
+                    f"at {event.time:g}</title></text>"
                 )
     # time axis with unit ticks
     axis_y = 10 + n_cores * row_height + 8

@@ -17,8 +17,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .task import AperiodicJob, JobState
+from .trace import TraceEventKind
 
-__all__ = ["RunMetrics", "SetMetrics", "measure_run", "aggregate"]
+__all__ = [
+    "RunMetrics",
+    "SetMetrics",
+    "measure_run",
+    "aggregate",
+    "PeriodicRunSummary",
+    "periodic_summary",
+]
 
 
 @dataclass(frozen=True)
@@ -130,4 +138,131 @@ def aggregate(runs: list[RunMetrics]) -> SetMetrics:
         air=sum(r.interrupted_ratio for r in runs) / n,
         asr=sum(r.served_ratio for r in runs) / n,
         runs=tuple(runs),
+    )
+
+
+@dataclass
+class PeriodicRunSummary:
+    """Per-task metrics of one periodic run, extrapolation-aware.
+
+    Produced by :func:`periodic_summary` from a finished kernel.  When
+    the run was fast-forwarded over ``windows_extrapolated`` cycles
+    (see :mod:`repro.cycle`), the totals combine what the trace and job
+    records actually hold with the per-cycle accumulators scaled by the
+    skipped window count; counts and sums scale linearly, maxima are
+    cycle-invariant.  For a full run every extrapolation term is zero
+    and the same formulas apply verbatim — which is what makes summaries
+    of full and fast-forwarded runs directly (bit-for-bit, on task sets
+    whose times are exactly representable) comparable.
+    """
+
+    horizon: float
+    n_cores: int
+    released: dict[str, int]
+    completed: dict[str, int]
+    missed: dict[str, int]
+    aborted: dict[str, int]
+    busy: dict[str, float]
+    response_sum: dict[str, float]
+    response_max: dict[str, float]
+    windows_extrapolated: int = 0
+    extrapolated_time: float = 0.0
+
+    @property
+    def total_released(self) -> int:
+        return sum(self.released.values())
+
+    @property
+    def total_completed(self) -> int:
+        return sum(self.completed.values())
+
+    @property
+    def total_missed(self) -> int:
+        return sum(self.missed.values())
+
+    @property
+    def utilization(self) -> float:
+        """Processor-time fraction spent executing, over all cores."""
+        if self.horizon <= 0:
+            return 0.0
+        return sum(self.busy.values()) / (self.horizon * self.n_cores)
+
+    def average_response_time(self, task: str) -> float:
+        """Mean response time of ``task``'s completed activations."""
+        n = self.completed.get(task, 0)
+        return self.response_sum.get(task, 0.0) / n if n else 0.0
+
+
+def periodic_summary(sim) -> PeriodicRunSummary:
+    """Summarise a finished :class:`~repro.sim.engine.Simulation` or
+    :class:`~repro.smp.engine.MulticoreSimulation` over its periodic
+    tasks, folding in the cycle extrapolation when one applies."""
+    trace = sim.trace
+    report = getattr(sim, "_cycle_report", None)
+    q = (
+        report.windows_skipped
+        if report is not None and report.status == "fastforwarded"
+        else 0
+    )
+    miss_kind = TraceEventKind.DEADLINE_MISS
+    abort_kind = TraceEventKind.ABORT
+    task_names = {t._name for t in sim.periodic_tasks}
+    missed: dict[str, int] = {}
+    aborted: dict[str, int] = {}
+    for event in trace.events:
+        kind = event.kind
+        if kind is miss_kind or kind is abort_kind:
+            name = event.subject.rsplit("#", 1)[0]
+            if name in task_names:
+                bucket = missed if kind is miss_kind else aborted
+                bucket[name] = bucket.get(name, 0) + 1
+    released: dict[str, int] = {}
+    completed: dict[str, int] = {}
+    resp_sum: dict[str, float] = {}
+    resp_max: dict[str, float] = {}
+    busy: dict[str, float] = {}
+    for task in sim.periodic_tasks:
+        name = task._name
+        n_done = 0
+        r_sum = 0.0
+        r_max = 0.0
+        for job in task.jobs:
+            if job.state is JobState.COMPLETED and job.finish_time is not None:
+                n_done += 1
+                rt = job.finish_time - job.release
+                r_sum += rt
+                if rt > r_max:
+                    r_max = rt
+        released[name] = len(task.jobs)
+        completed[name] = n_done
+        resp_sum[name] = r_sum
+        resp_max[name] = r_max
+        busy[name] = trace.busy_time(name)
+        missed.setdefault(name, 0)
+        aborted.setdefault(name, 0)
+    if q:
+        for name in task_names:
+            released[name] += q * report.window_released.get(name, 0)
+            completed[name] += q * report.window_completed.get(name, 0)
+            missed[name] += q * report.window_missed.get(name, 0)
+            aborted[name] += q * report.window_aborted.get(name, 0)
+            resp_sum[name] += q * report.window_response_sum.get(name, 0.0)
+            w_max = report.window_response_max.get(name, 0.0)
+            if w_max > resp_max[name]:
+                resp_max[name] = w_max
+        for name, extra in report.window_busy.items():
+            if name in busy:
+                busy[name] += q * extra
+    return PeriodicRunSummary(
+        horizon=sim.now,
+        n_cores=getattr(sim, "n_cores", 1),
+        released=released,
+        completed=completed,
+        missed=missed,
+        aborted=aborted,
+        busy=busy,
+        response_sum=resp_sum,
+        response_max=resp_max,
+        windows_extrapolated=q,
+        extrapolated_time=report.skipped_time if q else 0.0,
     )

@@ -58,6 +58,7 @@ class TraceEventKind(enum.Enum):
     RESPONSE = "response"            # gateway wrote a decision frame back
     CLOCK_PAUSE = "clock_pause"      # wall-clock stall/blackout detected
     GATEWAY_RESTORED = "gateway_restored"  # gateway replayed its journal
+    CYCLE = "cycle"                  # hyperperiod cycle detected (repro.cycle)
 
 
 @dataclass(frozen=True)

@@ -143,6 +143,8 @@ class MulticoreSystemResult:
     jobs: list[AperiodicJob] = field(default_factory=list)
     #: verification outcome when the run was monitored (``verify=True``)
     report: "VerificationReport | None" = None
+    #: cycle-detection report when the run used ``cycle != "off"``
+    cycle: "object | None" = None
 
 
 @dataclass
@@ -239,6 +241,7 @@ def run_multicore_system(
     verify: bool = False,
     trace_mode: str | None = None,
     kernel: str = "auto",
+    cycle: str = "off",
 ) -> MulticoreSystemResult:
     """Run one generated system under one multicore arm.
 
@@ -254,7 +257,10 @@ def run_multicore_system(
     conservation — and stores the outcome on the result's ``report``.
     ``trace_mode``/``kernel`` select the columnar trace and the lazy
     release-scheduling path (see docs/performance.md); defaults are
-    byte-identical to the historical behaviour.
+    byte-identical to the historical behaviour.  ``cycle`` arms
+    hyperperiod cycle detection (:mod:`repro.cycle`); note that runs
+    carrying an aperiodic server stand down from fast-forwarding by
+    design — pass ``server=None`` (pure periodic scheduling) to benefit.
     """
     if mode not in MULTICORE_MODES:
         raise ValueError(
@@ -268,11 +274,11 @@ def run_multicore_system(
     if mode in _HEURISTIC_OF_MODE:
         return _run_partitioned(
             system, n_cores, _HEURISTIC_OF_MODE[mode], mode, server,
-            enforcement, overload, verify, trace_mode, kernel,
+            enforcement, overload, verify, trace_mode, kernel, cycle,
         )
     return _run_global(
         system, n_cores, mode, server, enforcement, overload, verify,
-        trace_mode, kernel,
+        trace_mode, kernel, cycle,
     )
 
 
@@ -314,6 +320,7 @@ def _run_partitioned(
     verify: bool = False,
     trace_mode: str | None = None,
     kernel: str = "auto",
+    cycle: str = "off",
 ) -> MulticoreSystemResult:
     tasks = list(system.periodic_tasks)
     reserve = (
@@ -354,6 +361,7 @@ def _run_partitioned(
         monitors=monitors,
         trace_mode=trace_mode,
         kernel=kernel,
+        cycle=cycle,
     )
     for instance in servers:
         instance.attach(sim, horizon=system.horizon)
@@ -388,7 +396,7 @@ def _run_partitioned(
     )
     return MulticoreSystemResult(
         mode=mode, metrics=metrics, trace=trace, partition=partition,
-        jobs=jobs, report=report,
+        jobs=jobs, report=report, cycle=sim._cycle_report,
     )
 
 
@@ -402,6 +410,7 @@ def _run_global(
     verify: bool = False,
     trace_mode: str | None = None,
     kernel: str = "auto",
+    cycle: str = "off",
 ) -> MulticoreSystemResult:
     tasks = list(system.periodic_tasks)
     top = max((t.priority for t in tasks), default=0)
@@ -436,7 +445,8 @@ def _run_global(
         )
     sim = MulticoreSimulation(policy, n_cores=n_cores,
                               enforcement=enforcement, monitors=monitors,
-                              trace_mode=trace_mode, kernel=kernel)
+                              trace_mode=trace_mode, kernel=kernel,
+                              cycle=cycle)
     if instance is not None:
         instance.attach(sim, horizon=system.horizon)
     for task_spec in tasks:
@@ -457,7 +467,8 @@ def _run_global(
         else None
     )
     return MulticoreSystemResult(
-        mode=mode, metrics=metrics, trace=trace, jobs=jobs, report=report
+        mode=mode, metrics=metrics, trace=trace, jobs=jobs, report=report,
+        cycle=sim._cycle_report,
     )
 
 
@@ -467,10 +478,12 @@ def _run_global(
 def _mc_worker(task: tuple) -> "object":
     """Pool entry point: run one (mode, system) with guard rails."""
     (mode, params, system_id, system, server, enforcement, fault_plan,
-     run_policy, verify) = task
+     run_policy, verify), cycle = task[:9], "off"
+    if len(task) > 9:  # tuples only grow when cycle != "off"
+        cycle = task[9]
     return _guarded_mc_run(
         mode, params, system_id, system, server, enforcement, fault_plan,
-        run_policy, verify,
+        run_policy, verify, cycle,
     )
 
 
@@ -484,6 +497,7 @@ def _guarded_mc_run(
     fault_plan: "FaultPlan | None",
     run_policy: "RunPolicy | None",
     verify: bool = False,
+    cycle: str = "off",
 ):
     """One hardened run -> a RunRecord (metrics carry the aggregate)."""
     import traceback
@@ -511,7 +525,7 @@ def _guarded_mc_run(
             with _time_limit(timeout_s):
                 result = run_multicore_system(
                     current, params.n_cores, mode, server=server,
-                    enforcement=enforcement, verify=verify,
+                    enforcement=enforcement, verify=verify, cycle=cycle,
                 )
                 if result.report is not None and not result.report.ok:
                     raise VerificationError(result.report.summary())
@@ -686,6 +700,7 @@ def run_multicore_campaign(
     run_policy: "RunPolicy | None" = None,
     workers: int = 1,
     verify: bool = False,
+    cycle: str = "off",
 ) -> MulticoreCampaignResult:
     """Run every generated system under every multicore arm.
 
@@ -694,6 +709,9 @@ def run_multicore_campaign(
     results are bit-identical to a sequential sweep; checkpoint lines
     (``run_policy.checkpoint_path``) are written by the parent only,
     flushed and fsynced per record, and an existing checkpoint resumes.
+    ``cycle`` arms hyperperiod cycle detection on every run (only
+    effective with ``server=None``: server-carrying systems stand down
+    loudly, counted in :data:`repro.cycle.STAND_DOWNS`).
     """
     from ..experiments.campaign import (
         _append_checkpoint,
@@ -733,10 +751,11 @@ def run_multicore_campaign(
             if (mode, key, system_id) in checkpointed:
                 pending.append(None)
                 continue
-            pending.append(
-                (mode, params, system_id, system, server, enforcement,
-                 fault_plan, worker_policy, verify)
-            )
+            entry = (mode, params, system_id, system, server, enforcement,
+                     fault_plan, worker_policy, verify)
+            if cycle != "off":
+                entry = entry + (cycle,)
+            pending.append(entry)
     fresh = _parallel_map(
         _mc_worker, [t for t in pending if t is not None], workers
     )

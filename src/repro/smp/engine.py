@@ -34,12 +34,14 @@ import math
 from typing import Callable, TYPE_CHECKING
 
 from ..sim.engine import (
+    CYCLE_MODES,
     EPS,
     KERNEL_MODES,
     TRACE_MODES,
     Entity,
     EventQueue,
     PeriodicTaskEntity,
+    _CycleSkip,
 )
 from ..sim.task import Job, JobState, PeriodicJob, PeriodicTask
 from ..sim.trace import CompactTrace, ExecutionTrace, TraceEventKind
@@ -76,6 +78,7 @@ class MulticoreSimulation:
         monitors: "list | None" = None,
         kernel: str = "auto",
         trace_mode: str | None = None,
+        cycle: str = "off",
     ) -> None:
         if n_cores <= 0:
             raise ValueError(f"n_cores must be >= 1, got {n_cores}")
@@ -87,6 +90,10 @@ class MulticoreSimulation:
         if kernel not in KERNEL_MODES:
             raise ValueError(
                 f"kernel must be one of {KERNEL_MODES}, got {kernel!r}"
+            )
+        if cycle not in CYCLE_MODES:
+            raise ValueError(
+                f"cycle must be one of {CYCLE_MODES}, got {cycle!r}"
             )
         if trace_mode is not None and trace_mode not in TRACE_MODES:
             raise ValueError(
@@ -102,6 +109,12 @@ class MulticoreSimulation:
         #: between lazy (auto/fast) and eager (reference) release
         #: scheduling, both byte-identical by the suborder argument
         self.kernel = kernel
+        #: hyperperiod cycle handling: "off" | "detect" | "fastforward"
+        self.cycle = cycle
+        self._cycle_tracker = None
+        self._cycle_report = None
+        #: lazy release chains: (task, entity, instance cell, index)
+        self._cycle_cells: list = []
         self.enforcement = enforcement
         self.watchdog = None
         if monitors:
@@ -185,8 +198,37 @@ class MulticoreSimulation:
         if self._ran:
             raise RuntimeError("a MulticoreSimulation can only be run once")
         self._ran = True
+        if self.cycle != "off":
+            # before releases are scheduled: eligibility probes the
+            # still-pristine event queue (see repro.cycle)
+            from ..cycle.tracker import CycleTracker
+
+            self._cycle_report = CycleTracker.install(self, until)
         self._schedule_periodic_releases(until)
 
+        if self._cycle_tracker is None:
+            self._run_loop(until)
+        else:
+            while True:
+                try:
+                    self._run_loop(until)
+                    break
+                except _CycleSkip:
+                    # the loop reads self.now directly, so resuming
+                    # after the state jump is a plain re-call
+                    self._cycle_tracker.apply_skip()
+            if self._cycle_report.status == "armed":
+                self._cycle_report.status = "no-cycle"
+
+        self.now = min(max(self.now, until), until)
+        finish_monitors = getattr(self.trace, "finish_monitors", None)
+        if finish_monitors is not None:
+            finish_monitors(self.now)
+        self.trace.validate()
+        return self.trace
+
+    def _run_loop(self, until: float) -> None:
+        """The decision loop: drain, assign, slice, account."""
         while self.now < until - EPS:
             self._drain_due_events()
             assignment = self._pick(self.now)
@@ -230,19 +272,13 @@ class MulticoreSimulation:
                     if abs(slice_end - (previous + budgets[core])) <= EPS:
                         assignment[core].on_budget_exhausted(slice_end, self)
 
-        self.now = min(max(self.now, until), until)
-        finish_monitors = getattr(self.trace, "finish_monitors", None)
-        if finish_monitors is not None:
-            finish_monitors(self.now)
-        self.trace.validate()
-        return self.trace
-
     # -- internals ----------------------------------------------------------
 
     def _drain_due_events(self) -> None:
         queue = self.queue
         heap = queue._heap
         now = self.now
+        guarded = self._cycle_tracker is not None
         while True:
             batch = queue.pop_batch_due(now)
             if not batch:
@@ -250,7 +286,18 @@ class MulticoreSimulation:
             i = 0
             n = len(batch)
             while i < n:
-                batch[i][4](now)
+                if guarded:
+                    # the cycle sampler may commit a fast-forward from
+                    # inside the batch; return the unrun tail to the heap
+                    # so apply_skip() shifts it with everything else
+                    try:
+                        batch[i][4](now)
+                    except _CycleSkip:
+                        for entry in batch[i + 1:]:
+                            queue.push_entry(entry)
+                        raise
+                else:
+                    batch[i][4](now)
                 i += 1
                 # preserve one-at-a-time ordering when a callback
                 # schedules a same-instant event sorting before the rest
@@ -333,29 +380,42 @@ class MulticoreSimulation:
     def _schedule_next_release(self, task: PeriodicTask,
                                entity: PeriodicTaskEntity, instance: int,
                                limit: float, index: int) -> None:
-        release = task.spec.offset + instance * task.spec.period
+        """Arm the task's lazy release chain starting at ``instance``.
+
+        One closure per task, re-armed with its instance counter in a
+        cell (which the cycle tracker advances when it fast-forwards).
+        The operation order — create the job, arm its deadline sentinel,
+        re-arm the chain, deliver the activation — and the sequence
+        numbering match the historical per-release closures exactly.
+        """
+        offset = task._offset
+        period = task._period
+        release = offset + instance * period
         if release >= limit - EPS:
             return
-        self.queue.schedule(
-            release,
-            lambda now: self._lazy_release(now, task, entity, instance,
-                                           limit, index),
-            order=4, suborder=index,
-        )
+        cell = [instance]
+        self._cycle_cells.append((task, entity, cell, index))
+        queue = self.queue
+        release_job = task.release_job
+        horizon = limit - EPS
 
-    def _lazy_release(self, now: float, task: PeriodicTask,
-                      entity: PeriodicTaskEntity, instance: int,
-                      limit: float, index: int) -> None:
-        job = task.release_job(instance)
-        deadline = job.deadline
-        assert deadline is not None
-        self.queue.schedule(
-            deadline,
-            lambda t, j=job: self._check_deadline(t, j),
-            order=9, suborder=index,
-        )
-        self._schedule_next_release(task, entity, instance + 1, limit, index)
-        entity.release(now, job, self)
+        def fire(now: float) -> None:
+            inst = cell[0]
+            job = release_job(inst)
+            deadline = job.deadline
+            assert deadline is not None
+            queue.schedule(
+                deadline,
+                lambda t, j=job: self._check_deadline(t, j),
+                order=9, suborder=index,
+            )
+            nxt = offset + (inst + 1) * period
+            if nxt < horizon:
+                cell[0] = inst + 1
+                queue.schedule(nxt, fire, order=4, suborder=index)
+            entity.release(now, job, self)
+
+        queue.schedule(release, fire, order=4, suborder=index)
 
     def record_overrun(self, now: float, subject: str, detail: str = "") -> None:
         """Record a cost overrun on the trace and notify the watchdog."""

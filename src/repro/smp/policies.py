@@ -116,6 +116,16 @@ class GlobalEDFPolicy(_GlobalPolicy):
         return entity.current_deadline(now)
 
 
+# canonical dispatch hooks, stashed at class-definition time so the
+# cycle detector (repro.cycle) can tell when a subclass or monkeypatch
+# made dispatch non-memoryless — the multicore mirror of the
+# _exact_select/_exact_preempts pattern on the uniprocessor schedulers
+GlobalFixedPriorityPolicy._exact_assign = _GlobalPolicy.assign  # type: ignore[attr-defined]
+GlobalFixedPriorityPolicy._exact_rank = GlobalFixedPriorityPolicy._rank  # type: ignore[attr-defined]
+GlobalEDFPolicy._exact_assign = _GlobalPolicy.assign  # type: ignore[attr-defined]
+GlobalEDFPolicy._exact_rank = GlobalEDFPolicy._rank  # type: ignore[attr-defined]
+
+
 class AperiodicRouter:
     """Routes aperiodic arrivals onto the per-core servers.
 
@@ -246,3 +256,6 @@ class PartitionedPolicy(MulticorePolicy):
             if choice is not None:
                 assignment[core] = choice
         return assignment
+
+
+PartitionedPolicy._exact_assign = PartitionedPolicy.assign  # type: ignore[attr-defined]

@@ -22,6 +22,9 @@ flavor                    what runs
                           bit-exact metric comparison
 ``fabric``                sharded admission fabric under a seeded
                           kill-the-shard drill (failover + restore)
+``cycle``                 hyperperiod fast-forward vs full simulation on a
+                          random dyadic pure-periodic system, metrics
+                          compared bit-for-bit (:mod:`repro.cycle`)
 ========================  ==================================================
 
 A failing run is *shrunk*: periodic tasks, then aperiodic events (then
@@ -69,6 +72,7 @@ CHAOS_FLAVORS = (
     "batch",
     "fabric",
     "gateway",
+    "cycle",
 )
 
 _UNI_FLAVORS = tuple(f for f in CHAOS_FLAVORS if not f.startswith("mc-"))
@@ -249,11 +253,13 @@ def _run_dover_check(specs) -> VerificationReport:
 
 def _check_uni(system: GeneratedSystem, policy: str,
                oracles: bool, kernel: str = "auto",
-               trace_mode: str | None = None) -> VerificationReport:
+               trace_mode: str | None = None,
+               cycle: str = "off") -> VerificationReport:
     from ..experiments.campaign import simulate_system
 
     result = simulate_system(
-        system, policy, verify=True, kernel=kernel, trace_mode=trace_mode
+        system, policy, verify=True, kernel=kernel, trace_mode=trace_mode,
+        cycle=cycle,
     )
     report = result.report
     assert report is not None
@@ -267,13 +273,14 @@ def _check_uni(system: GeneratedSystem, policy: str,
 
 def _check_uni_faulted(system: GeneratedSystem, policy: str, plan,
                        enforcement, kernel: str = "auto",
-                       trace_mode: str | None = None) -> VerificationReport:
+                       trace_mode: str | None = None,
+                       cycle: str = "off") -> VerificationReport:
     from ..experiments.campaign import simulate_system
 
     faulted = plan.apply(system)
     result = simulate_system(
         faulted, policy, enforcement=enforcement, verify=True,
-        kernel=kernel, trace_mode=trace_mode,
+        kernel=kernel, trace_mode=trace_mode, cycle=cycle,
     )
     assert result.report is not None
     return result.report
@@ -281,13 +288,14 @@ def _check_uni_faulted(system: GeneratedSystem, policy: str, plan,
 
 def _check_uni_overload(system: GeneratedSystem, policy: str,
                         plan, kernel: str = "auto",
-                        trace_mode: str | None = None) -> VerificationReport:
+                        trace_mode: str | None = None,
+                        cycle: str = "off") -> VerificationReport:
     from ..experiments.campaign import default_overload_config, simulate_system
 
     burst = plan.apply(system)
     result = simulate_system(
         burst, policy, overload=default_overload_config(), verify=True,
-        kernel=kernel, trace_mode=trace_mode,
+        kernel=kernel, trace_mode=trace_mode, cycle=cycle,
     )
     assert result.report is not None
     return result.report
@@ -295,12 +303,13 @@ def _check_uni_overload(system: GeneratedSystem, policy: str,
 
 def _check_multicore(system: GeneratedSystem, n_cores: int, mode: str,
                      server: str | None, kernel: str = "auto",
-                     trace_mode: str | None = None) -> VerificationReport:
+                     trace_mode: str | None = None,
+                     cycle: str = "off") -> VerificationReport:
     from ..smp.campaign import run_multicore_system
 
     result = run_multicore_system(
         system, n_cores, mode, server=server, verify=True,
-        kernel=kernel, trace_mode=trace_mode,
+        kernel=kernel, trace_mode=trace_mode, cycle=cycle,
     )
     assert result.report is not None
     return result.report
@@ -586,13 +595,134 @@ def _run_gateway_drill(index: int, flavor: str, seed: int,
     )
 
 
+#: dyadic period pool of the ``cycle`` drill — the hyperperiod divides
+#: 16 tu, so long horizons hold many release-pattern windows
+_CYCLE_PERIODS = (2.0, 4.0, 8.0, 16.0)
+
+
+def _dyadic_specs(rng: PortableRandom, n_tasks: int, budget: float):
+    """A pure-periodic task set on the 0.25-tu grid: every period, cost
+    and offset is exactly representable, so the fast-forward skip's
+    arithmetic commits bit-for-bit (see ``_skip_is_exact``)."""
+    from ..workload.spec import PeriodicTaskSpec
+
+    share = budget / n_tasks
+    specs = []
+    for i in range(n_tasks):
+        period = _CYCLE_PERIODS[rng.randint(0, len(_CYCLE_PERIODS) - 1)]
+        quanta = max(1, int(period * share * 4.0))
+        specs.append(PeriodicTaskSpec(
+            name=f"c{i}",
+            cost=0.25 * rng.randint(1, quanta),
+            period=period,
+            priority=rng.randint(1, 8),
+            offset=0.25 * rng.randint(0, 8) if rng.random() < 0.4 else 0.0,
+        ))
+    return specs
+
+
+def _run_cycle_drill(index: int, flavor: str, seed: int,
+                     rng: PortableRandom) -> ChaosRunResult:
+    """One fast-forward-vs-full cross-check on an engineered-eligible
+    system (pure periodic, dyadic grid, pristine policy, no monitors).
+
+    The run fails if any per-task metric differs from the full
+    simulation by even one ulp, or if the tracker never engaged — an
+    eligible dyadic system over dozens of hyperperiods must both detect
+    its cycle and commit the skip.
+    """
+    from ..cycle import cross_check
+
+    arena = ("uni-fp", "uni-edf", "mc-global-fp", "mc-global-edf",
+             "mc-part")[rng.randint(0, 4)]
+    n_tasks = rng.randint(2, 5)
+    until = 16.0 * rng.randint(20, 60)
+    if arena.startswith("uni"):
+        specs = _dyadic_specs(rng, n_tasks, rng.uniform(0.4, 0.85))
+        miss = "abort" if rng.random() < 0.3 else "continue"
+
+        def make_sim(cycle):
+            from ..sim.engine import Simulation
+            from ..sim.schedulers.edf import EarliestDeadlineFirstPolicy
+            from ..sim.schedulers.fp import FixedPriorityPolicy
+
+            policy_type = (
+                FixedPriorityPolicy if arena == "uni-fp"
+                else EarliestDeadlineFirstPolicy
+            )
+            sim = Simulation(
+                policy_type(), on_deadline_miss=miss, cycle=cycle
+            )
+            for spec in specs:
+                sim.add_periodic_task(spec)
+            return sim
+    else:
+        n_cores = rng.randint(2, 3)
+        specs = _dyadic_specs(
+            rng, n_tasks + n_cores, rng.uniform(0.25, 0.5) * n_cores
+        )
+        # greedy least-loaded placement keeps every core under unit
+        # utilization, so backlogs stay bounded and the pattern repeats
+        loads = [0.0] * n_cores
+        core_of: dict[str, int] = {}
+        for spec in sorted(specs, key=lambda s: -(s.cost / s.period)):
+            core = loads.index(min(loads))
+            core_of[spec.name] = core
+            loads[core] += spec.cost / spec.period
+
+        def make_sim(cycle):
+            from ..smp.engine import MulticoreSimulation
+            from ..smp.policies import (
+                GlobalEDFPolicy,
+                GlobalFixedPriorityPolicy,
+                PartitionedPolicy,
+            )
+
+            if arena == "mc-part":
+                policy = PartitionedPolicy(dict(core_of), n_cores)
+            elif arena == "mc-global-fp":
+                policy = GlobalFixedPriorityPolicy()
+            else:
+                policy = GlobalEDFPolicy()
+            sim = MulticoreSimulation(policy, n_cores=n_cores, cycle=cycle)
+            for spec in specs:
+                sim.add_periodic_task(spec)
+            return sim
+
+    try:
+        outcome = cross_check(make_sim, until)
+    except Exception:
+        return ChaosRunResult(
+            index, flavor, seed, ok=False,
+            error=traceback.format_exc(limit=8), witness=specs,
+        )
+    violations = [
+        Violation(kind="cycle-metric-divergence", time=until, detail=text)
+        for text in outcome.mismatches
+    ]
+    if not outcome.fast_forwarded:
+        violations.append(Violation(
+            kind="cycle-not-engaged", time=until,
+            detail=f"{arena}: eligible dyadic system never fast-forwarded "
+                   f"within {until:g} tu",
+        ))
+    if not violations:
+        return ChaosRunResult(index, flavor, seed, ok=True)
+    return ChaosRunResult(
+        index, flavor, seed, ok=False,
+        violations=tuple(violations), witness=specs,
+        witness_note=f"{arena}, {len(specs)} task(s), horizon {until:g}",
+    )
+
+
 # -- the campaign -----------------------------------------------------------
 
 
 def _run_scenario(index: int, flavor: str, seed: int,
                   shrink: bool, shrink_budget: int,
                   kernel: str = "auto",
-                  trace_mode: str | None = None) -> ChaosRunResult:
+                  trace_mode: str | None = None,
+                  cycle: str = "off") -> ChaosRunResult:
     rng = PortableRandom(seed)
 
     if flavor == "fabric":
@@ -600,6 +730,9 @@ def _run_scenario(index: int, flavor: str, seed: int,
 
     if flavor == "gateway":
         return _run_gateway_drill(index, flavor, seed, rng)
+
+    if flavor == "cycle":
+        return _run_cycle_drill(index, flavor, seed, rng)
 
     if flavor == "dover":
         specs = _dover_jobs(rng)
@@ -622,13 +755,14 @@ def _run_scenario(index: int, flavor: str, seed: int,
     if flavor == "uni-polling":
         system = _uni_system(rng, seed)
         check = lambda s: _check_uni(  # noqa: E731
-            s, "polling", oracles=True, kernel=kernel, trace_mode=trace_mode
+            s, "polling", oracles=True, kernel=kernel,
+            trace_mode=trace_mode, cycle=cycle,
         )
     elif flavor == "uni-deferrable":
         system = _uni_system(rng, seed)
         check = lambda s: _check_uni(  # noqa: E731
             s, "deferrable", oracles=True, kernel=kernel,
-            trace_mode=trace_mode,
+            trace_mode=trace_mode, cycle=cycle,
         )
     elif flavor == "uni-faults":
         system = _uni_system(rng, seed)
@@ -642,7 +776,7 @@ def _run_scenario(index: int, flavor: str, seed: int,
         check = (  # noqa: E731
             lambda s: _check_uni_faulted(
                 s, policy, plan, enforcement, kernel=kernel,
-                trace_mode=trace_mode,
+                trace_mode=trace_mode, cycle=cycle,
             )
         )
     elif flavor == "uni-overload":
@@ -659,7 +793,8 @@ def _run_scenario(index: int, flavor: str, seed: int,
         )
         policy = "polling" if rng.random() < 0.5 else "deferrable"
         check = lambda s: _check_uni_overload(  # noqa: E731
-            s, policy, plan, kernel=kernel, trace_mode=trace_mode
+            s, policy, plan, kernel=kernel, trace_mode=trace_mode,
+            cycle=cycle,
         )
     elif flavor == "mc-part":
         n_cores = rng.randint(2, 4)
@@ -669,7 +804,7 @@ def _run_scenario(index: int, flavor: str, seed: int,
         check = (  # noqa: E731
             lambda s: _check_multicore(
                 s, n_cores, mode, server, kernel=kernel,
-                trace_mode=trace_mode,
+                trace_mode=trace_mode, cycle=cycle,
             )
         )
     elif flavor == "mc-global":
@@ -680,7 +815,7 @@ def _run_scenario(index: int, flavor: str, seed: int,
         check = (  # noqa: E731
             lambda s: _check_multicore(
                 s, n_cores, mode, server, kernel=kernel,
-                trace_mode=trace_mode,
+                trace_mode=trace_mode, cycle=cycle,
             )
         )
     elif flavor == "differential":
@@ -730,6 +865,7 @@ def run_chaos_campaign(
     progress: Callable[[ChaosRunResult], None] | None = None,
     kernel: str = "auto",
     trace_mode: str | None = None,
+    cycle: str = "off",
 ) -> ChaosCampaignResult:
     """Run ``n_systems`` seeded chaos scenarios and report the failures.
 
@@ -744,6 +880,10 @@ def run_chaos_campaign(
     ``differential`` and ``fabric`` flavors always run with default
     knobs), so the
     whole monitor battery can be pointed at the fast path as its oracle.
+    ``cycle`` arms hyperperiod cycle handling on the monitored arms:
+    every monitored run stands down (monitors are a stand-down reason),
+    so this exercises the rails under the full battery — the dedicated
+    ``cycle`` flavor is where fast-forwarding actually engages.
     """
     for flavor in flavors:
         if flavor not in CHAOS_FLAVORS:
@@ -759,6 +899,7 @@ def run_chaos_campaign(
         run = _run_scenario(
             index, flavor, _scenario_seed(seed, index), shrink,
             shrink_budget, kernel=kernel, trace_mode=trace_mode,
+            cycle=cycle,
         )
         result.runs.append(run)
         if progress is not None:

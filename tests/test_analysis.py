@@ -198,6 +198,30 @@ class TestUtilizationBounds:
         tasks = [T("a", 0.1, 0.5, 1), T("b", 0.1, 0.75, 2)]
         assert hyperperiod(tasks) == pytest.approx(1.5)
 
+    def test_hyperperiod_is_exact_on_dyadic_grids(self):
+        """Fraction-based LCM: dyadic periods give a bit-exact result,
+        not a float-accumulated approximation."""
+        tasks = [T("a", 0.1, 0.25, 1), T("b", 0.1, 4.0, 2),
+                 T("c", 0.1, 16.0, 3)]
+        assert hyperperiod(tasks) == 16.0
+
+    def test_hyperperiod_single_task(self):
+        assert hyperperiod([T("a", 1, 7.5, 1)]) == 7.5
+
+    def test_hyperperiod_coprime_periods(self):
+        tasks = [T("a", 1, 7, 1), T("b", 1, 11, 2), T("c", 1, 13, 3)]
+        assert hyperperiod(tasks) == 1001.0
+
+    def test_hyperperiod_repeated_periods(self):
+        tasks = [T("a", 1, 6, 1), T("b", 2, 6, 2), T("c", 1, 6, 3)]
+        assert hyperperiod(tasks) == 6.0
+
+    def test_hyperperiod_rejects_bad_periods(self):
+        with pytest.raises(ValueError):
+            hyperperiod([T("a", 1, 0.0, 1)])
+        with pytest.raises(ValueError):
+            hyperperiod([T("a", 1, float("inf"), 1)])
+
     def test_validation(self):
         with pytest.raises(ValueError):
             liu_layland_bound(0)

@@ -176,6 +176,56 @@ class TestPeriodicity:
         demand = 2 * (1 + 2) + 2  # two a/b jobs + one c job per window
         assert sum(e - s for s, e, _, _ in first) == pytest.approx(demand)
 
+    @pytest.mark.parametrize("policy_cls", [
+        GlobalFixedPriorityPolicy, GlobalEDFPolicy,
+    ])
+    def test_offset_set_repeats_past_max_offset(self, policy_cls):
+        """The asynchronous extension (Grolleau et al.): with release
+        offsets the pattern still repeats every hyperperiod, but only
+        from the first hyperperiod boundary at or past the largest
+        offset — the windows before it hold the transient."""
+        sim = MulticoreSimulation(policy_cls(), n_cores=2)
+        sim.add_periodic_task(PeriodicTaskSpec("a", cost=1, period=4,
+                                               priority=3, offset=1.0))
+        sim.add_periodic_task(PeriodicTaskSpec("b", cost=2, period=4,
+                                               priority=2, offset=0.5))
+        sim.add_periodic_task(PeriodicTaskSpec("c", cost=2, period=8,
+                                               priority=1))
+        hyper = 8.0  # >= max offset, so the pattern locks from t=8
+        trace = sim.run(until=4 * hyper)
+        second = _window(trace, hyper, 2 * hyper, shift=hyper)
+        third = _window(trace, 2 * hyper, 3 * hyper, shift=2 * hyper)
+        fourth = _window(trace, 3 * hyper, 4 * hyper, shift=3 * hyper)
+        assert second == third == fourth
+
+    @pytest.mark.parametrize("policy_cls", [
+        GlobalFixedPriorityPolicy, GlobalEDFPolicy,
+    ])
+    def test_cycle_tracker_exploits_the_periodicity(self, policy_cls):
+        """The theorem operationalized: ``cycle="fastforward"`` detects
+        the repeat at a hyperperiod boundary and skips ahead, with
+        per-task metrics bit-identical to the full run."""
+        from repro.cycle import cross_check
+
+        def make_sim(cycle):
+            sim = MulticoreSimulation(policy_cls(), n_cores=2, cycle=cycle)
+            sim.add_periodic_task(PeriodicTaskSpec("a", cost=1, period=4,
+                                                   priority=3, offset=1.0))
+            sim.add_periodic_task(PeriodicTaskSpec("b", cost=2, period=4,
+                                                   priority=2, offset=0.5))
+            sim.add_periodic_task(PeriodicTaskSpec("c", cost=2, period=8,
+                                                   priority=1))
+            return sim
+
+        outcome = cross_check(make_sim, until=50 * 8.0)
+        assert outcome.fast_forwarded
+        assert outcome.matched, outcome.mismatches
+        # the fast-forwarded run also extrapolates migration counts
+        fast, full = make_sim("fastforward"), make_sim("off")
+        fast.run(until=50 * 8.0)
+        full.run(until=50 * 8.0)
+        assert fast.migrations == full.migrations
+
 
 class TestValidation:
     def test_bad_core_count(self):
